@@ -1,0 +1,44 @@
+// Figure 3 — achieved GEMM rates on one GCD vs matrix size, per precision.
+//
+// The paper's headline points: FP64 33.8 TF and FP32 24.1 TF (both above the
+// 23.95 TF vector peak thanks to matrix cores), FP16 111.2 TF.
+#include <cstdio>
+
+#include "core/xscale.hpp"
+
+using namespace xscale;
+using namespace xscale::units;
+
+int main() {
+  std::printf("== Reproducing Figure 3: CoralGemm on one MI250X GCD ==\n\n");
+  const auto g = hw::mi250x_gcd();
+
+  std::printf("Peaks per GCD: FP64 vector %.2f TF / matrix %.1f TF; FP16 matrix %.1f TF\n\n",
+              g.fp64_vector / 1e12, g.fp64_matrix / 1e12, g.fp16_matrix / 1e12);
+
+  sim::Table t("Achieved TFLOP/s vs N (model)");
+  t.header({"N", "FP64", "FP32", "FP16"});
+  for (int n : {256, 512, 1024, 2048, 4096, 8192, 16384, 32768}) {
+    t.row({std::to_string(n),
+           sim::Table::num(g.gemm_achieved(hw::Precision::FP64, n) / 1e12, 4),
+           sim::Table::num(g.gemm_achieved(hw::Precision::FP32, n) / 1e12, 4),
+           sim::Table::num(g.gemm_achieved(hw::Precision::FP16, n) / 1e12, 4)});
+  }
+  t.print();
+
+  std::printf("\nLarge-N plateau vs paper: FP64 %.1f (33.8), FP32 %.1f (24.1), "
+              "FP16 %.1f (111.2) TFLOP/s\n",
+              g.gemm_achieved(hw::Precision::FP64, 32768) / 1e12,
+              g.gemm_achieved(hw::Precision::FP32, 32768) / 1e12,
+              g.gemm_achieved(hw::Precision::FP16, 32768) / 1e12);
+  std::printf("FP64 and FP32 exceed the vector peak because hipBLAS engages the\n"
+              "matrix cores (verified with rocprof in the paper).\n");
+
+  std::printf("\nRagged-tile ablation (tile quantization visible off multiples of %d):\n",
+              g.gemm_tile);
+  for (int n : {4096, 4097, 4160}) {
+    std::printf("  N=%5d -> %.2f TF FP64\n", n,
+                g.gemm_achieved(hw::Precision::FP64, n) / 1e12);
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Figure 6 — mpiGraph per-NIC bandwidth histograms.
+//
+// Frontier (dragonfly, 57% taper, adaptive routing): a wide 3-17.5 GB/s
+// distribution with a small intra-group population at ~17.5 GB/s.
+// Summit (non-blocking EDR fat-tree): a tight distribution at ~8.5 GB/s.
+// Plus a routing ablation: minimal-only vs adaptive (the non-minimal
+// "halving" the paper describes).
+#include <cstdio>
+
+#include "core/xscale.hpp"
+
+using namespace xscale;
+
+namespace {
+
+// mpiGraph: sample shift rounds over all nodes (1 flow per node per round),
+// collecting achieved per-NIC receive bandwidth.
+sim::Histogram run_mpigraph(const machines::Machine& m, const net::Fabric& fabric,
+                            int rounds, double hist_max) {
+  sim::Histogram h(0.0, hist_max, 36);
+  sim::Rng rng(0x5175);
+  const int nodes = m.total_nodes;
+  for (int r = 0; r < rounds; ++r) {
+    const int shift = 1 + static_cast<int>(rng.index(static_cast<std::uint64_t>(nodes - 1)));
+    net::PairList pairs;
+    pairs.reserve(static_cast<std::size_t>(nodes));
+    for (int i = 0; i < nodes; ++i) {
+      const int j = (i + shift) % nodes;
+      pairs.emplace_back(machines::node_endpoint(m, i, r % m.node.nics),
+                         machines::node_endpoint(m, j, r % m.node.nics));
+    }
+    for (double rate : fabric.steady_rates(pairs)) h.add(rate / 1e9);
+  }
+  return h;
+}
+
+void summarize(const char* name, const sim::Histogram& h) {
+  double lo = -1, hi = -1, peak_bin = 0, peak = 0;
+  for (std::size_t i = 0; i < h.bins(); ++i) {
+    if (h.count(i) > 0) {
+      if (lo < 0) lo = h.bin_lo(i);
+      hi = h.bin_hi(i);
+      if (h.count(i) > peak) {
+        peak = h.count(i);
+        peak_bin = h.bin_center(i);
+      }
+    }
+  }
+  std::printf("%s: range [%.1f, %.1f] GB/s, mode ~%.1f GB/s, %d samples\n", name,
+              lo, hi, peak_bin, static_cast<int>(h.total()));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Reproducing Figure 6: mpiGraph per-NIC measurements ==\n\n");
+  const int rounds = 48;
+
+  const auto frontier = machines::frontier();
+  auto ff = frontier.build_fabric();
+  const auto hf = run_mpigraph(frontier, ff, rounds, 26.0);
+  std::printf("--- Frontier (Slingshot dragonfly, 25 GB/s NICs) ---\n");
+  std::fputs(hf.ascii(48, "GB/s").c_str(), stdout);
+  summarize("Frontier", hf);
+  std::printf("Paper: wide distribution, 3 to 17.5 GB/s; ~1.4%% of pairs intra-group\n"
+              "at ~17.5 GB/s; ~3 GB/s floor when all traffic rides global links.\n\n");
+
+  const auto summit = machines::summit();
+  auto sf = summit.build_fabric();
+  const auto hs = run_mpigraph(summit, sf, rounds, 14.0);
+  std::printf("--- Summit (EDR InfiniBand non-blocking fat-tree, 12.5 GB/s NICs) ---\n");
+  std::fputs(hs.ascii(48, "GB/s").c_str(), stdout);
+  summarize("Summit", hs);
+  std::printf("Paper: tight distribution at ~8.5 GB/s (68%% of EDR peak).\n\n");
+
+  // Ablation: minimal-only routing on Frontier collapses aligned shifts onto
+  // single bundles; adaptive (UGAL) recovers bandwidth via Valiant detours.
+  std::printf("--- Routing ablation (Frontier, one all-global shift round) ---\n");
+  for (auto routing : {net::Routing::Minimal, net::Routing::Valiant,
+                       net::Routing::Adaptive}) {
+    auto cfg = frontier.fabric_defaults;
+    cfg.routing = routing;
+    auto fab = frontier.build_fabric(cfg);
+    net::PairList pairs;
+    for (int i = 0; i < frontier.total_nodes; ++i)
+      pairs.emplace_back(machines::node_endpoint(frontier, i, 0),
+                         machines::node_endpoint(frontier, (i + 4000) % frontier.total_nodes, 0));
+    const auto rates = fab.steady_rates(pairs);
+    sim::OnlineStats s;
+    for (double r : rates) s.add(r / 1e9);
+    std::printf("  %-8s routing: mean %5.2f GB/s  min %5.2f  max %5.2f\n",
+                net::to_string(routing), s.mean(), s.min(), s.max());
+  }
+  std::printf("\nNon-minimal paths consume two global hops — the factor-of-two\n"
+              "bandwidth cost the paper cites for fully global traffic.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Section 4.4 scaling claims (not a numbered figure, but quantified in the
+// text):
+//   * WarpX: "near-ideal weak-scaling over multiple orders of magnitude of
+//     system utilization and realistic strong-scaling over an order of
+//     magnitude in node-numbers";
+//   * Shift: "a weak-scaling efficiency of 97.8% from 1 to 8,192 nodes";
+//   * PIConGPU: "90% weak scaling efficiency" at 9,216 nodes;
+//   * HACC: "consistent timings between the 4096-8192 node Frontier runs".
+#include <cstdio>
+#include <numeric>
+
+#include "core/xscale.hpp"
+
+using namespace xscale;
+
+namespace {
+
+// Weak scaling: per-GPU FOM at `nodes` relative to one node.
+double weak_eff(const apps::AppSpec& spec, const machines::Machine& m,
+                const net::Fabric* f, int nodes) {
+  const auto one = apps::run_app(spec, m, f, 1);
+  const auto many = apps::run_app(spec, m, f, nodes);
+  return (many.fom / many.gpus) / (one.fom / one.gpus);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Reproducing Section 4.4 scaling claims ==\n\n");
+  const auto m = machines::frontier();
+  auto fabric = m.build_fabric();
+
+  std::printf("--- WarpX weak scaling (per-GCD rate vs 1 node) ---\n");
+  for (int nodes : {8, 64, 512, 4096, 9216}) {
+    std::printf("  %5d nodes: %.1f%% of ideal\n", nodes,
+                100.0 * weak_eff(apps::warpx(), m, &fabric, nodes));
+  }
+  std::printf("  (paper: near-ideal over multiple orders of magnitude)\n\n");
+
+  std::printf("--- WarpX strong scaling (fixed problem, 9216-node size) ---\n");
+  {
+    const auto base_spec = apps::warpx();
+    const int n0 = 922;  // 1/10th of the weak-scaled run
+    double t0 = 0;
+    for (int nodes : {922, 1843, 4608, 9216}) {
+      // Fixed total work: shrink per-GPU units as nodes grow.
+      auto spec = base_spec;
+      spec.work_units_per_gpu = base_spec.work_units_per_gpu * n0 / nodes;
+      spec.comm.halo_bytes =
+          base_spec.comm.halo_bytes * std::pow(static_cast<double>(n0) / nodes, 2.0 / 3.0);
+      const auto r = apps::run_app(spec, m, &fabric, nodes);
+      if (t0 == 0) t0 = r.step_time * nodes;
+      std::printf("  %5d nodes: speedup %5.2fx of %4.1fx ideal (step %s)\n", nodes,
+                  t0 / (r.step_time * nodes) * nodes / n0,
+                  static_cast<double>(nodes) / n0,
+                  units::fmt_time(r.step_time).c_str());
+    }
+  }
+  std::printf("  (paper: realistic strong-scaling over an order of magnitude)\n\n");
+
+  std::printf("--- Shift (ExaSMR) weak scaling ---\n");
+  const double shift_eff = weak_eff(apps::exasmr_shift(), m, &fabric, 8192);
+  std::printf("  1 -> 8192 nodes: %.1f%% (paper: 97.8%%)\n\n", 100.0 * shift_eff);
+
+  std::printf("--- PIConGPU weak scaling ---\n");
+  std::printf("  1 -> 9216 nodes: %.1f%% (paper: 90%%)\n\n",
+              100.0 * weak_eff(apps::picongpu(), m, &fabric, 9216));
+
+  std::printf("--- HACC 4096 vs 8192 node consistency ---\n");
+  const auto h4 = apps::run_app(apps::hacc(), m, &fabric, 4096);
+  const auto h8 = apps::run_app(apps::hacc(), m, &fabric, 8192);
+  std::printf("  step time: %s vs %s (%.1f%% apart; paper: 'consistent timings')\n",
+              units::fmt_time(h4.step_time).c_str(),
+              units::fmt_time(h8.step_time).c_str(),
+              100.0 * std::abs(h8.step_time - h4.step_time) / h4.step_time);
+  return 0;
+}

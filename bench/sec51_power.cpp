@@ -1,0 +1,56 @@
+// Section 5.1 — Energy and Power: Frontier's 52 GF/W at 21.1 MW against the
+// 2008 exascale report's 20 MW/EF target and its 68-155 MW/EF straw men.
+#include <cstdio>
+
+#include "apps/hpl.hpp"
+#include "core/xscale.hpp"
+
+using namespace xscale;
+
+int main() {
+  std::printf("== Reproducing Section 5.1: Energy and Power ==\n\n");
+  power::SystemPowerModel model;
+
+  // Run the HPL proxy itself; its Rmax feeds the efficiency figure.
+  const auto hpl = apps::run_hpl(machines::frontier(), nullptr, 9408);
+  std::printf("HPL proxy: N=%.0f, Rmax %.3f EF (TOP500 June 2022: 1.102 EF),\n"
+              "time-to-solution %.1f h, %.0f%% of time in DGEMM\n\n",
+              hpl.n, hpl.rmax / 1e18, hpl.time_s / 3600.0,
+              100 * hpl.dgemm_fraction);
+
+  auto g = power::frontier_green500(model);
+  g.rmax_flops = hpl.rmax;
+  g.gf_per_watt = g.rmax_flops / 1e9 / g.power_w;
+  std::printf("HPL-like workload:\n");
+  std::printf("  system power        %6.2f MW   (paper: 21.1 MW)\n", g.power_w / 1e6);
+  std::printf("  Rmax (proxy)        %6.3f EF   (June 2022 TOP500: 1.102 EF)\n",
+              g.rmax_flops / 1e18);
+  std::printf("  efficiency          %6.1f GF/W (paper: 52 GF/W, report target 50)\n",
+              g.gf_per_watt);
+
+  std::printf("\nPer-node breakdown at HPL activity:\n");
+  const auto a = power::hpl_activity();
+  std::printf("  node power %.0f W  (CPU %.0f%%, GPUs %.0f%%, DDR %.0f%%, NICs %.0f%% active)\n",
+              model.node.node_power(a), 100 * a.cpu, 100 * a.gpu, 100 * a.memory,
+              100 * a.nic);
+
+  std::printf("\nWorkload sweep:\n");
+  const struct {
+    const char* name;
+    power::Activity act;
+  } pts[] = {{"idle", power::idle_activity()},
+             {"STREAM (memory-bound)", power::stream_activity()},
+             {"HPL (GPU-saturating)", power::hpl_activity()}};
+  for (const auto& p : pts)
+    std::printf("  %-22s %6.2f MW\n", p.name, model.system_power(p.act) / 1e6);
+
+  const auto c = power::strawman_comparison(model);
+  std::printf("\n2008 exascale report comparison (MW per EF):\n");
+  std::printf("  report straw men      %3.0f - %3.0f MW/EF\n", c.report_low_mw_per_ef,
+              c.report_high_mw_per_ef);
+  std::printf("  report target          %3.0f MW/EF\n", c.report_target_mw_per_ef);
+  std::printf("  Frontier (Rmax)        %4.1f MW/EF -> %0.1fx better than the best\n"
+              "  straw man, meeting the 'spirit' of the 20 MW target (Section 5.1).\n",
+              c.frontier_mw_per_ef, c.report_low_mw_per_ef / c.frontier_mw_per_ef);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Table 3 — CPU STREAM with temporal vs non-temporal stores.
+//
+// Prints (a) the Trento DDR model's prediction for the paper's table, (b)
+// the NPS-1 vs NPS-4 trade (§3.1.1/§4.1.1), and (c) a *real* STREAM run on
+// the host CPU demonstrating the same store-type effect.
+#include <cstdio>
+
+#include "core/xscale.hpp"
+
+using namespace xscale;
+using namespace xscale::units;
+
+int main() {
+  std::printf("== Reproducing Table 3: CPU STREAM, temporal vs non-temporal ==\n\n");
+  const auto cpu = hw::trento();
+
+  sim::Table t("Trento model (MB/s) vs paper");
+  t.header({"Function", "Temporal", "Non-Temporal", "Paper T", "Paper NT"});
+  const char* paper_t[] = {"176780.4", "107262.2", "125567.1", "120702.1"};
+  const char* paper_nt[] = {"179130.5", "172396.2", "178356.8", "178277.0"};
+  int i = 0;
+  for (const auto& k : hw::kCpuStreamKernels) {
+    const double bt = cpu.ddr.stream_bandwidth(k, true, hw::NpsMode::NPS4) / 1e6;
+    const double bnt = cpu.ddr.stream_bandwidth(k, false, hw::NpsMode::NPS4) / 1e6;
+    t.row({k.name, sim::Table::num(bt, 6), sim::Table::num(bnt, 6), paper_t[i],
+           paper_nt[i]});
+    ++i;
+  }
+  t.print();
+
+  std::printf("\nNPS mode trade (Section 4.1.1):\n");
+  for (auto m : {hw::NpsMode::NPS1, hw::NpsMode::NPS4}) {
+    std::printf("  %s: best STREAM %s, idle latency %s  %s\n",
+                hw::to_string(m).c_str(),
+                fmt_rate(cpu.ddr.peak_bandwidth() * cpu.ddr.stream_efficiency(m)).c_str(),
+                fmt_time(cpu.ddr.latency(m)).c_str(),
+                m == hw::NpsMode::NPS4 ? "(paper: ~180 GB/s; Frontier default)"
+                                       : "(paper: ~125 GB/s)");
+  }
+
+  std::printf("\nReal host STREAM (same effect on this machine):\n");
+  std::printf("  non-temporal stores available: %s\n",
+              perf::HostStream::has_nontemporal_stores() ? "yes (SSE2)" : "no");
+  perf::HostStream hs(1 << 22);  // 32 MiB/array: larger than LLC on most hosts
+  for (const auto& r : hs.run(3)) {
+    std::printf("  %-6s temporal %8.0f MB/s   non-temporal %8.0f MB/s   NT/T %.2fx\n",
+                r.kernel.c_str(), r.temporal_bw / 1e6, r.nontemporal_bw / 1e6,
+                r.nontemporal_bw / r.temporal_bw);
+  }
+  std::printf(
+      "\nThe paper's shape: Scale/Add/Triad gain ~1/3 to ~1/4 from non-temporal\n"
+      "stores (no read-for-ownership), Copy is nearly unaffected.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Table 6 — CAAR and INCITE application speedups vs Summit (KPP target 4x),
+// run on the simulated machines with the fabric-backed communication model.
+#include <cstdio>
+
+#include "core/xscale.hpp"
+
+using namespace xscale;
+
+int main() {
+  std::printf("== Reproducing Table 6: CAAR/INCITE application results ==\n\n");
+  const auto fm = machines::frontier();
+  const auto sm = machines::summit();
+  auto ff = fm.build_fabric();
+  auto sf = sm.build_fabric();
+
+  const auto results = apps::run_rows(apps::table6_rows(), &ff, &sf);
+
+  sim::Table t("CAAR/INCITE speedups over Summit");
+  t.header({"Application", "Baseline", "Target", "Paper", "Model", "KPP met"});
+  for (const auto& r : results) {
+    t.row({r.row.specs[0].name, r.row.baseline_machine,
+           sim::Table::num(r.row.target, 2) + "x",
+           sim::Table::num(r.row.paper_achieved, 3) + "x",
+           sim::Table::num(r.speedup, 3) + "x", r.meets_target() ? "yes" : "NO"});
+  }
+  t.print();
+
+  std::printf("\nPer-app detail (Frontier runs):\n");
+  for (const auto& r : results) {
+    const auto& fr = r.frontier_runs[0];
+    std::printf("  %-12s %5d nodes, %6d GCDs: FOM %.3e %s, step %s, "
+                "parallel eff %.0f%%\n",
+                fr.app.c_str(), fr.nodes, fr.gpus, fr.fom,
+                r.row.specs[0].fom_units.c_str(),
+                units::fmt_time(fr.step_time).c_str(),
+                100.0 * fr.parallel_efficiency);
+  }
+  std::printf("\nPaper anchors: CoMet 419.9e15 comparisons/s (6.71 EF mixed) on\n"
+              "9,074 nodes; LSMS FOM 1.027e16 on 8,192 nodes; PIConGPU 65.7e12\n"
+              "updates/s at 90%% weak-scaling; AthenaPK 96%% vs 48%% efficiency.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Table 7 — ECP application speedups vs pre-exascale baselines (KPP 50x).
+#include <cstdio>
+
+#include "core/xscale.hpp"
+
+using namespace xscale;
+
+int main() {
+  std::printf("== Reproducing Table 7: ECP application results ==\n\n");
+  const auto fm = machines::frontier();
+  auto ff = fm.build_fabric();
+
+  const auto results = apps::run_rows(apps::table7_rows(), &ff, nullptr);
+
+  sim::Table t("ECP speedups (KPP target 50x)");
+  t.header({"Application", "Baseline", "Target", "Paper", "Model", "KPP met"});
+  for (const auto& r : results) {
+    std::string name = r.row.specs[0].name;
+    if (r.row.specs.size() > 1) name = "ExaSMR (Shift+NekRS)";
+    t.row({name, r.row.baseline_machine, sim::Table::num(r.row.target, 2) + "x",
+           sim::Table::num(r.row.paper_achieved, 4) + "x",
+           sim::Table::num(r.speedup, 4) + "x", r.meets_target() ? "yes" : "NO"});
+  }
+  t.print();
+
+  std::printf("\nComponent detail:\n");
+  for (const auto& r : results) {
+    for (std::size_t i = 0; i < r.row.specs.size(); ++i) {
+      const auto& fr = r.frontier_runs[i];
+      const auto& br = r.baseline_runs[i];
+      std::printf("  %-15s Frontier %.3e %s on %d nodes | %s %.3e on %d nodes "
+                  "| ratio %.1fx\n",
+                  fr.app.c_str(), fr.fom, r.row.specs[i].fom_units.c_str(),
+                  fr.nodes, br.machine.c_str(), br.fom, br.nodes, fr.fom / br.fom);
+    }
+  }
+  std::printf("\nAnchors: EXAALT sustained 3.57e9 atom-steps/s on 7,000 nodes\n"
+              "(398.5x over Mira); ExaSMR combined FOM 70 = harmonic mean of\n"
+              "Shift (54x) and NekRS (99.6x); WarpX was first to its KPP.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Application-porting what-if: how does a code's speedup on Frontier decompose
+// into hardware vs software, and what would more (or less) optimization buy?
+//
+// Recreates the §4.4 narrative quantitatively for Cholla: its 20x over Summit
+// is ~4-5x algorithmic work times ~4x machine. Then sweeps the optimization
+// ("roofline fraction") axis for a user's hypothetical port.
+//
+//   ./examples/app_porting [frontier_nodes]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/xscale.hpp"
+
+using namespace xscale;
+
+int main(int argc, char** argv) {
+  const int nodes = argc > 1 ? std::atoi(argv[1]) : 9216;
+  const auto frontier = machines::frontier();
+  const auto summit = machines::summit();
+
+  std::printf("=== Porting study: where does a Frontier speedup come from? ===\n\n");
+
+  // Decompose Cholla's speedup: run the *unoptimized* code on both machines,
+  // then the optimized code on Frontier.
+  auto unopt = apps::cholla();
+  unopt.efficiency["Frontier"] = unopt.efficiency["Summit"];  // no CAAR work
+  const auto base_s = apps::run_app(apps::cholla(), summit, nullptr, 4600);
+  const auto unopt_f = apps::run_app(unopt, frontier, nullptr, nodes);
+  const auto opt_f = apps::run_app(apps::cholla(), frontier, nullptr, nodes);
+
+  std::printf("Cholla decomposition (vs Summit baseline, %d Frontier nodes):\n", nodes);
+  std::printf("  hardware-only speedup (same code)  : %5.1fx\n",
+              unopt_f.fom / base_s.fom);
+  std::printf("  + CAAR algorithmic work            : %5.1fx more\n",
+              opt_f.fom / unopt_f.fom);
+  std::printf("  total                              : %5.1fx  (paper: 20x, of "
+              "which 4-5x algorithmic)\n\n",
+              opt_f.fom / base_s.fom);
+
+  // Sweep the optimization axis for a hypothetical bandwidth-bound port.
+  std::printf("Your port: bandwidth-bound stencil on %d nodes.\n", nodes);
+  std::printf("%-26s %-14s %-10s\n", "roofline fraction reached", "FOM (cells/s)",
+              "vs 0.15");
+  double ref = 0;
+  for (double eff : {0.15, 0.30, 0.45, 0.60, 0.75, 0.90}) {
+    auto spec = apps::athenapk();
+    spec.name = "your-port";
+    spec.efficiency = {{"Frontier", eff}};
+    const auto r = apps::run_app(spec, frontier, nullptr, nodes);
+    if (ref == 0) ref = r.fom;
+    std::printf("  %.2f                     %.3e      %4.1fx%s\n", eff, r.fom,
+                r.fom / ref,
+                eff == 0.75 ? "   <- typical well-tuned HIP port" : "");
+  }
+
+  std::printf("\nMatrix-core leverage (compute-bound codes):\n");
+  const auto g = hw::mi250x_gcd();
+  std::printf("  FP64 vector peak %.1f TF vs matrix-core DGEMM %.1f TF: %.2fx for\n"
+              "  free if your kernels map to MFMA tiles (LSMS did; Figure 3).\n",
+              g.fp64_vector / 1e12, g.gemm_achieved(hw::Precision::FP64, 16384) / 1e12,
+              g.gemm_achieved(hw::Precision::FP64, 16384) / g.fp64_vector);
+
+  std::printf("\nData-movement advice the paper encodes (§3.1.2): HBM:DDR ratio is\n"
+              "%.0fx — keep data resident in HBM; a CPU round-trip costs ~%.1fx\n"
+              "the bandwidth of an HBM pass.\n",
+              frontier.node.hbm_to_ddr_ratio(),
+              frontier.node.hbm_bandwidth() / (frontier.node.fabric.cpu_gcd_single_core_bw() * 8));
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Capacity planning for a simulation campaign on the simulated Frontier:
+// how large a job, how often to checkpoint, what I/O costs, and what MTTI
+// means for expected progress. Ties together scheduler, storage, resiliency
+// and power — the operational questions Section 4.3/5.4 of the paper answer.
+//
+//   ./examples/capacity_planning [nodes] [hbm_fraction]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/xscale.hpp"
+
+using namespace xscale;
+using namespace xscale::units;
+
+int main(int argc, char** argv) {
+  const int nodes = argc > 1 ? std::atoi(argv[1]) : 4096;
+  const double hbm_fraction = argc > 2 ? std::atof(argv[2]) : 0.15;
+
+  const auto frontier = machines::frontier();
+  storage::Orion orion;
+  resil::ResiliencyModel resiliency;
+
+  std::printf("=== Campaign plan: %d-node job on simulated Frontier ===\n\n", nodes);
+
+  // Checkpoint footprint: the paper notes 90% of apps write <= 15% of GPU
+  // memory per hour.
+  const double ckpt_bytes =
+      hbm_fraction * static_cast<double>(nodes) * frontier.node.hbm_capacity();
+  std::printf("Checkpoint size: %s (%.0f%% of the job's HBM)\n",
+              fmt_bytes_si(ckpt_bytes).c_str(), 100 * hbm_fraction);
+
+  const auto plan = resiliency.plan_checkpoints(orion, ckpt_bytes, nodes);
+  std::printf("Write time through Orion : %s\n", fmt_time(plan.write_time_s).c_str());
+  std::printf("System MTTI              : %.1f h\n", resiliency.mtti_hours());
+  std::printf("Optimal interval (Young) : %s\n", fmt_time(plan.interval_s).c_str());
+  std::printf("Expected efficiency      : %.1f%%\n\n", 100 * plan.efficiency);
+
+  // Node-local burst alternative (§3.3: node-local is for write caching).
+  const storage::NodeLocalNvme nvme(frontier.node.nvme);
+  const double burst_t =
+      ckpt_bytes / static_cast<double>(nodes) / nvme.measured_write_bw();
+  std::printf("Alternative: burst to node-local NVMe first\n");
+  std::printf("  local write: %s (then drain to Orion asynchronously)\n",
+              fmt_time(burst_t).c_str());
+  resil::ResiliencyModel r2;
+  std::printf("  efficiency with burst checkpoints: %.1f%%\n\n",
+              100 * r2.checkpoint_efficiency(burst_t));
+
+  // Power/energy of the campaign: 24 h of bandwidth-bound running.
+  power::SystemPowerModel pm;
+  const double frac = static_cast<double>(nodes) / frontier.total_nodes;
+  const double watts = pm.system_power(power::stream_activity()) * frac;
+  std::printf("Power draw (memory-bound workload, %d nodes): %.2f MW\n", nodes,
+              watts / 1e6);
+  std::printf("24 h of runtime: %.1f MWh (~$%.0fk at the DOE's $1M/MW-yr rule)\n",
+              watts * 24 / 1e6, watts / 1e6 * 1e6 / 365.0 / 1e3);
+
+  // Queue simulation: where does this job land in a busy day?
+  sched::Scheduler slurm(frontier.compute_nodes, 128);
+  sim::Engine eng;
+  std::vector<sched::JobRequest> day;
+  sim::Rng rng(42);
+  for (int i = 0; i < 40; ++i)
+    day.push_back({static_cast<int>(rng.index(2000)) + 64,
+                   rng.uniform(600.0, 7200.0), sched::Placement::Auto});
+  day.push_back({nodes, 24 * 3600.0, sched::Placement::Auto});  // ours, last in queue
+  const auto rec = slurm.run_workload(eng, day);
+  std::printf("\nQueue simulation (41 jobs): our job waits %s, machine utilization %.0f%%\n",
+              fmt_time(rec.back().wait_time()).c_str(),
+              100 * slurm.last_utilization());
+  return 0;
+}

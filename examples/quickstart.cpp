@@ -1,0 +1,56 @@
+// Quickstart: build the simulated Frontier, inspect the node, submit a job
+// through the Slurm-like scheduler, measure the fabric the job actually got,
+// and run one proxy application on it.
+//
+//   ./examples/quickstart
+#include <cstdio>
+
+#include "core/xscale.hpp"
+
+using namespace xscale;
+using namespace xscale::units;
+
+int main() {
+  std::printf("xscale %s — %s\n\n", kVersion, kPaper);
+
+  // 1. The machine: 9,472 Bard Peak nodes + Slingshot dragonfly.
+  const auto frontier = machines::frontier();
+  std::printf("Machine: %s, %d nodes of '%s'\n", frontier.name.c_str(),
+              frontier.total_nodes, frontier.node.name.c_str());
+  std::printf("  per node: %d GCDs, %s HBM @ %s, %d NICs @ %s\n",
+              frontier.node.gpus, fmt_bytes_iec(frontier.node.hbm_capacity()).c_str(),
+              fmt_rate(frontier.node.hbm_bandwidth()).c_str(), frontier.node.nics,
+              fmt_rate(frontier.node.nic.rate).c_str());
+  std::printf("  peak FP64 DGEMM: %s\n\n", fmt_flops(frontier.fp64_dgemm_peak()).c_str());
+
+  // 2. The fabric (takes a moment: 2,464 switches, ~160k links).
+  auto fabric = frontier.build_fabric();
+  std::printf("Fabric: %d groups, %d switches, %d endpoints, %s routing\n\n",
+              fabric.topology().num_groups(), fabric.topology().num_switches(),
+              fabric.topology().num_endpoints(), net::to_string(fabric.config().routing));
+
+  // 3. Schedule a 512-node job (Auto placement spreads it across groups).
+  sched::Scheduler slurm(frontier.compute_nodes, 128);
+  const auto alloc = slurm.allocate(512).value();
+  std::printf("Job %d allocated %zu nodes, Slingshot VNI %u\n", alloc.job_id,
+              alloc.nodes.size(), alloc.vni);
+
+  // 4. What bandwidth and latency does this allocation actually see?
+  mpi::SimComm comm(frontier, &fabric, alloc.nodes, {.ppn = 8});
+  std::printf("  sustained per-rank bandwidth : %s\n",
+              fmt_rate(comm.sustained_per_rank_bw()).c_str());
+  std::printf("  average pt2pt latency        : %s\n",
+              fmt_time(comm.avg_latency()).c_str());
+  std::printf("  8 B allreduce across the job : %s\n\n",
+              fmt_time(comm.allreduce_time(8)).c_str());
+
+  // 5. Run a proxy app (Cholla, astrophysical hydro) on the allocation.
+  const auto run = apps::run_app(apps::cholla(), frontier, &fabric, alloc.nodes);
+  std::printf("Cholla on %d nodes: %.3e %s, step time %s, parallel eff %.0f%%\n",
+              run.nodes, run.fom, apps::cholla().fom_units.c_str(),
+              fmt_time(run.step_time).c_str(), 100.0 * run.parallel_efficiency);
+
+  slurm.release(alloc);
+  std::printf("\nDone. See bench/ for every table and figure of the paper.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Interconnect design study: what if Frontier had been built differently?
+//
+// Sweeps the dragonfly taper (bundle width between compute groups), compares
+// against a non-blocking fat-tree of the same endpoint count, and shows the
+// placement-policy interaction — the §3.2/§4.2.2 trade-offs made explorable.
+//
+//   ./examples/topology_study
+#include <cstdio>
+
+#include "core/xscale.hpp"
+
+using namespace xscale;
+using namespace xscale::units;
+
+namespace {
+
+// Average all-global per-NIC bandwidth for a shift permutation.
+double global_shift_bw(const net::Fabric& fabric, int nodes, int nics) {
+  net::PairList pairs;
+  for (int i = 0; i < nodes; ++i)
+    pairs.emplace_back(i * nics, ((i + nodes / 2) % nodes) * nics);
+  const auto rates = fabric.steady_rates(pairs);
+  double sum = 0;
+  for (double r : rates) sum += r;
+  return sum / static_cast<double>(rates.size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Interconnect design study ===\n\n");
+  const auto frontier = machines::frontier();
+
+  std::printf("--- Taper sweep: links per compute-group pair (Frontier ships 4) ---\n");
+  std::printf("%-8s %-12s %-14s %-16s\n", "links", "taper", "global TB/s",
+              "all-global GB/s/NIC");
+  for (int links : {2, 4, 8, 12}) {
+    machines::FrontierFabricSpec spec;
+    spec.compute_compute_links = links;
+    auto topo = machines::frontier_topology(spec);
+    double global = 0;
+    for (const auto& l : topo.links())
+      if (l.kind == topo::LinkKind::Global && topo.group_of_switch(l.src) < 74 &&
+          topo.group_of_switch(l.dst) < 74)
+        global += l.capacity;
+    global /= 2;
+    const double taper =
+        global / 74.0 * 2.0 / topo.injection_capacity_per_group(0);
+    net::Fabric fabric(std::move(topo), frontier.fabric_defaults);
+    const double bw = global_shift_bw(fabric, frontier.total_nodes, 4);
+    char taper_str[16];
+    std::snprintf(taper_str, sizeof(taper_str), "%.0f%%", 100 * taper);
+    std::printf("%-8d %-12s %-14.1f %-16.2f%s\n", links, taper_str, global / 1e12,
+                bw / 1e9, links == 4 ? "   <- as built (57% taper)" : "");
+  }
+
+  std::printf("\n--- Same endpoints as a non-blocking fat-tree (Summit-style) ---\n");
+  {
+    auto ft = topo::Topology::fat_tree(74 * 32, 16, Gbps(200), 250e-9);
+    net::FabricConfig cfg;
+    cfg.nic_efficiency = 0.70;
+    net::Fabric fabric(std::move(ft), cfg);
+    const double bw = global_shift_bw(fabric, frontier.total_nodes, 4);
+    std::printf("fat-tree all-global: %.2f GB/s/NIC — but needs ~2x the switches\n"
+                "and cables (the cost trade §4.2.2 explains).\n",
+                bw / 1e9);
+  }
+
+  std::printf("\n--- Placement interaction (512-node job, minimal routing) ---\n");
+  auto cfg = frontier.fabric_defaults;
+  cfg.routing = net::Routing::Minimal;
+  auto fabric = frontier.build_fabric(cfg);
+  sched::Scheduler slurm(frontier.compute_nodes, 128);
+  for (auto policy : {sched::Placement::Pack, sched::Placement::Spread,
+                      sched::Placement::Random}) {
+    const auto alloc = slurm.allocate(512, policy).value();
+    mpi::SimComm comm(frontier, &fabric, alloc.nodes, {.ppn = 8});
+    std::printf("  %-7s: sustained %6.2f GB/s/rank, latency %s\n",
+                sched::to_string(policy), comm.sustained_per_rank_bw() / 1e9,
+                fmt_time(comm.avg_latency()).c_str());
+    slurm.release(alloc);
+  }
+  std::printf("\nSlurm's policy (§3.4.2): pack below one group, spread above.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+#include "apps/app.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace xscale::apps {
+
+namespace {
+
+// Per-step device time for one rank owning `units` work units.
+double compute_time_per_step(const AppSpec& spec, const hw::GpuConfig& gpu,
+                             double units, double machine_eff) {
+  double t = 0;
+  for (auto k : spec.kernels_per_unit) {
+    k.flops *= units;
+    k.bytes *= units;
+    k.compute_efficiency *= machine_eff;
+    k.memory_efficiency *= machine_eff;
+    t += perf::kernel_time(k, gpu);
+  }
+  return t;
+}
+
+}  // namespace
+
+AppRun run_app(const AppSpec& spec, const machines::Machine& machine,
+               const net::Fabric* fabric, const std::vector<int>& nodes, int ppn) {
+  AppRun out;
+  out.app = spec.name;
+  out.machine = machine.name;
+  out.nodes = static_cast<int>(nodes.size());
+  const int gpus_per_node = std::max(1, machine.node.gpus);
+  if (ppn <= 0) ppn = gpus_per_node;  // one rank per device, the standard layout
+  out.gpus = out.nodes * gpus_per_node;
+
+  const double eff = spec.machine_efficiency(machine.name);
+  // Weak-scaled problem, clamped to what fits in device memory (GESTS'
+  // 32768^3 run fits only Frontier's HBM; smaller machines run smaller N).
+  const double mem_limit =
+      spec.bytes_per_unit > 0
+          ? 0.9 * machine.node.gpu.hbm.capacity_bytes / spec.bytes_per_unit
+          : spec.work_units_per_gpu;
+  const double units_per_gpu = std::min(spec.work_units_per_gpu, mem_limit);
+  out.fits_in_memory = spec.work_units_per_gpu <= mem_limit;
+
+  out.compute_time =
+      compute_time_per_step(spec, machine.node.gpu, units_per_gpu, eff);
+
+  // Communication per step, per rank.
+  double comm = 0;
+  if (out.nodes > 1) {
+    mpi::CommConfig ccfg;
+    ccfg.ppn = ppn;
+    mpi::SimComm comm_layer(machine, fabric, nodes, ccfg);
+    const auto& c = spec.comm;
+    // Volume-coupled traffic shrinks with a memory-clamped problem.
+    const double scale = units_per_gpu / spec.work_units_per_gpu;
+    if (c.halo_neighbors > 0)
+      comm += comm_layer.halo_exchange_time(c.halo_bytes * scale, c.halo_neighbors);
+    if (c.allreduce_bytes > 0) comm += comm_layer.allreduce_time(c.allreduce_bytes);
+    if (c.alltoall_bytes_per_pair > 0)
+      comm += comm_layer.alltoall_time(c.alltoall_bytes_per_pair * scale);
+    if (c.allgather_bytes > 0)
+      comm += comm_layer.allgather_time(c.allgather_bytes * scale);
+    comm *= (1.0 - std::clamp(spec.comm.machine_overlap(machine.name), 0.0, 1.0));
+  }
+  out.comm_time = comm;
+  out.step_time = out.compute_time + out.comm_time;
+
+  const double total_units =
+      static_cast<double>(out.gpus) * units_per_gpu;
+  out.fom = total_units * spec.fom_per_unit_step / out.step_time;
+  out.parallel_efficiency = out.compute_time / out.step_time;
+  return out;
+}
+
+AppRun run_app(const AppSpec& spec, const machines::Machine& machine,
+               const net::Fabric* fabric, int node_count) {
+  std::vector<int> nodes(static_cast<std::size_t>(node_count));
+  std::iota(nodes.begin(), nodes.end(), 0);
+  return run_app(spec, machine, fabric, nodes);
+}
+
+}  // namespace xscale::apps

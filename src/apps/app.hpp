@@ -1,0 +1,99 @@
+// Proxy-application framework for the paper's CAAR and ECP codes (§4.4).
+//
+// Each application is described declaratively (AppSpec): the GPU kernels one
+// work unit costs per step, the communication pattern per step, how work
+// units map to the figure of merit, and per-machine code-quality factors
+// (the CAAR/ECP optimization history the paper narrates — e.g. Cholla's
+// "4-5x from algorithmic optimizations", EXAALT's "~25x from the SNAP
+// kernel rewrite"). Running a spec on a machine produces an AppRun whose
+// step time combines the roofline compute model with the fabric-backed
+// communication model — so weak-scaling efficiency is an output, not an
+// input.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "machines/machine.hpp"
+#include "mpi/comm.hpp"
+#include "perf/roofline.hpp"
+
+namespace xscale::apps {
+
+// Communication cost of one step, per rank.
+struct CommSpec {
+  double halo_bytes = 0;       // bytes exchanged with each neighbour
+  int halo_neighbors = 0;
+  double allreduce_bytes = 0;  // global reduction payload
+  double alltoall_bytes_per_pair = 0;  // personalized all-to-all (FFT transpose)
+  double allgather_bytes = 0;
+  // Fraction of communication hidden behind compute (GPU-aware overlap).
+  double overlap = 0.0;
+  // Per-machine overlap override: e.g. AthenaPK hides most halo traffic on
+  // Frontier because each GCD owns a NIC (§4.4.1 attributes its 96%-vs-48%
+  // scaling gap to exactly this), while on Summit 6 GPUs share 2 NICs.
+  std::map<std::string, double> overlap_override;
+
+  double machine_overlap(const std::string& machine) const {
+    const auto it = overlap_override.find(machine);
+    return it == overlap_override.end() ? overlap : it->second;
+  }
+};
+
+struct AppSpec {
+  std::string name;
+  std::string fom_units;
+  std::string domain;  // science domain, for the report
+
+  // Resident work units per GPU/GCD (weak scaling: problem grows with the
+  // machine). A "work unit" is app-specific: a lattice site, a particle
+  // block, a mesh cell block...
+  double work_units_per_gpu = 1;
+  // Device cost of ONE work unit for ONE step.
+  std::vector<perf::KernelWork> kernels_per_unit;
+  CommSpec comm;
+  // FOM units produced by one work unit per step.
+  double fom_per_unit_step = 1;
+
+  // Code-quality factor per machine name: the fraction of the roofline bound
+  // this code reaches on that machine. Encodes the port/optimization history
+  // the paper describes. Machines not listed use `default_efficiency`.
+  std::map<std::string, double> efficiency;
+  double default_efficiency = 0.5;
+
+  // Memory footprint of one work unit (bytes) — used to check the problem
+  // fits (GESTS' 32768^3 "only Frontier has the memory" claim).
+  double bytes_per_unit = 0;
+
+  double machine_efficiency(const std::string& machine) const {
+    const auto it = efficiency.find(machine);
+    return it == efficiency.end() ? default_efficiency : it->second;
+  }
+};
+
+struct AppRun {
+  std::string app;
+  std::string machine;
+  int nodes = 0;
+  int gpus = 0;
+  double step_time = 0;     // seconds
+  double compute_time = 0;  // per step
+  double comm_time = 0;     // per step (after overlap)
+  double fom = 0;           // FOM units per second
+  double parallel_efficiency = 0;  // single-node rate / per-node rate at scale
+  bool fits_in_memory = true;
+};
+
+// Run `spec` on `machine` with an allocation of `nodes` node ids. The fabric
+// pointer may be null (analytic network model). `ppn` ranks per node; the
+// paper's standard is one rank per GCD.
+AppRun run_app(const AppSpec& spec, const machines::Machine& machine,
+               const net::Fabric* fabric, const std::vector<int>& nodes, int ppn = 0);
+
+// Convenience: allocate the first `node_count` nodes.
+AppRun run_app(const AppSpec& spec, const machines::Machine& machine,
+               const net::Fabric* fabric, int node_count);
+
+}  // namespace xscale::apps

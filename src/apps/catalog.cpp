@@ -1,0 +1,333 @@
+#include "apps/catalog.hpp"
+
+#include "sim/units.hpp"
+
+namespace xscale::apps {
+
+using hw::Precision;
+using namespace xscale::units;
+
+AppSpec comet() {
+  AppSpec s;
+  s.name = "CoMet";
+  s.domain = "comparative genomics";
+  s.fom_units = "comparisons/s";
+  // One work unit = one vector-element comparison of the 3-way CCC method,
+  // executed as mixed-precision (FP16-in / FP32-accumulate) GEMM.
+  s.work_units_per_gpu = 5e9;
+  s.kernels_per_unit = {{.flops = 16,  // ops per CCC comparison
+                         .bytes = 0.05,  // GEMM blocking reuses operands
+                         .precision = Precision::FP16,
+                         .uses_matrix_cores = true,
+                         .compute_efficiency = 1.0,
+                         .memory_efficiency = 1.0}};
+  s.comm.allreduce_bytes = 8;
+  s.fom_per_unit_step = 1.0;
+  s.bytes_per_unit = 4;
+  // Calibrated from the paper's measured rates: 6.71 EF mixed precision on
+  // 72,592 GCDs = 48.3% of the FP16 matrix peak; the Summit baseline's
+  // 81.2e15 comparisons/s = 37.7% of V100 tensor peak.
+  s.efficiency = {{"Frontier", 0.483}, {"Summit", 0.377}};
+  s.default_efficiency = 0.35;
+  return s;
+}
+
+AppSpec lsms() {
+  AppSpec s;
+  s.name = "LSMS";
+  s.domain = "first-principles materials";
+  s.fom_units = "FOM/s";
+  // One work unit = one atom's multiple-scattering solve: a dense double
+  // complex matrix inversion on the matrix-core path. 2.11e12 FLOP per atom
+  // per self-consistency step calibrated to the 8,192-node FOM of 1.027e16.
+  s.work_units_per_gpu = 16;  // 1,048,576 atoms / 65,536 GCDs
+  s.kernels_per_unit = {{.flops = 2.11e12,
+                         .bytes = 2e9,
+                         .precision = Precision::FP64,
+                         .uses_matrix_cores = true,
+                         .compute_efficiency = 1.0,
+                         .memory_efficiency = 1.0}};
+  s.comm.allreduce_bytes = KiB(64);  // Green's function moments
+  s.fom_per_unit_step = 9.79e9;
+  s.bytes_per_unit = GiB(1.5);
+  // Frontier reaches hipBLAS-grade matrix-core efficiency (Figure 3's 70.5%);
+  // the pre-CAAR Summit baseline ran cuSolver kernels at ~58% — together
+  // giving the paper's 7.5x per-GPU inversion speedup.
+  s.efficiency = {{"Frontier", 0.7056}, {"Summit", 0.578}};
+  s.default_efficiency = 0.5;
+  return s;
+}
+
+AppSpec picongpu() {
+  AppSpec s;
+  s.name = "PIConGPU";
+  s.domain = "laser-plasma physics";
+  s.fom_units = "weighted updates/s";
+  // One unit = one weighted update (0.9 particle + 0.1 cell); ~900 bytes of
+  // HBM traffic per update (push, current deposit, field interpolation).
+  s.work_units_per_gpu = 5e7;
+  s.kernels_per_unit = {{.flops = 250,
+                         .bytes = 908,
+                         .precision = Precision::FP32,
+                         .uses_matrix_cores = false,
+                         .compute_efficiency = 1.0,
+                         .memory_efficiency = 1.0}};
+  s.comm.halo_bytes = MiB(20);
+  s.comm.halo_neighbors = 6;
+  // Alpaka streams overlap guard exchanges; the per-GCD NIC on Frontier
+  // hides more of it than Summit's 3-GPUs-per-NIC layout.
+  s.comm.overlap = 0.3;
+  s.comm.overlap_override = {{"Frontier", 0.6}, {"Summit", 0.3}};
+  s.fom_per_unit_step = 1.0;
+  s.bytes_per_unit = 400;
+  // §4.4.1: 25% single-GCD speedup over V100 — the HIP/Alpaka port achieves
+  // a lower fraction of the GCD's higher bandwidth (0.55 x 1635 vs 0.8 x 900).
+  s.efficiency = {{"Frontier", 0.55}, {"Summit", 0.77}};
+  s.default_efficiency = 0.5;
+  return s;
+}
+
+AppSpec cholla() {
+  AppSpec s;
+  s.name = "Cholla";
+  s.domain = "astrophysical hydrodynamics";
+  s.fom_units = "cell-updates/s";
+  s.work_units_per_gpu = 3e7;
+  s.kernels_per_unit = {{.flops = 1200,
+                         .bytes = 600,  // PPM reconstruction + Riemann passes
+                         .precision = Precision::FP64,
+                         .uses_matrix_cores = false,
+                         .compute_efficiency = 1.0,
+                         .memory_efficiency = 1.0}};
+  s.comm.halo_bytes = MiB(6);
+  s.comm.halo_neighbors = 6;
+  s.comm.overlap = 0.4;
+  s.fom_per_unit_step = 1.0;
+  s.bytes_per_unit = 400;
+  // §4.4.1: "about 4-5x of these speedups can be attributed to the intensive
+  // algorithmic optimizations" done during CAAR — the baseline Summit run
+  // predates them (0.17 vs 0.75 of the bandwidth roofline).
+  s.efficiency = {{"Frontier", 0.78}, {"Summit", 0.17}};
+  s.default_efficiency = 0.3;
+  return s;
+}
+
+AppSpec gests(int decomposition_dims) {
+  AppSpec s;
+  s.name = decomposition_dims == 1 ? "GESTS (1D)" : "GESTS (2D)";
+  s.domain = "turbulence DNS";
+  s.fom_units = "grid-points/s (N^3/t)";
+  // One unit = one grid point per step: ~8 bandwidth passes over a
+  // double-complex field (forward+inverse 3D FFT stages plus nonlinear term).
+  s.work_units_per_gpu = 4.77e8;  // 32768^3 over 73,728 GCDs
+  s.kernels_per_unit = {{.flops = 480,  // ~5 N log N per 1D FFT pass
+                         .bytes = 128,
+                         .precision = Precision::FP64,
+                         .uses_matrix_cores = false,
+                         .compute_efficiency = 1.0,
+                         .memory_efficiency = 1.0}};
+  // Spectral transposes: every point crosses the machine twice per step.
+  // The 2D pencil decomposition performs two smaller transposes with an
+  // extra reshuffle pass (~15% more wire traffic) but scales to more ranks.
+  const double transpose_bytes = 4.77e8 * 16.0 * 2.0;
+  s.comm.alltoall_bytes_per_pair = 0;  // set at run time via allgather proxy
+  s.comm.allgather_bytes = 0;
+  s.comm.halo_bytes = transpose_bytes * (decomposition_dims == 1 ? 1.0 : 1.15);
+  s.comm.halo_neighbors = 1;  // modelled as one aggregate exchange
+  s.comm.overlap = 0.55;      // §4.4.1: asynchronous GPU-aware MPI pipelining
+  s.fom_per_unit_step = 1.0;
+  s.bytes_per_unit = 96;  // state + scratch per point (16 B x 6 arrays)
+  s.efficiency = {{"Frontier", 0.60}, {"Summit", 0.60}};
+  s.default_efficiency = 0.5;
+  return s;
+}
+
+AppSpec athenapk() {
+  AppSpec s;
+  s.name = "AthenaPK";
+  s.domain = "astrophysical MHD";
+  s.fom_units = "cell-updates/s";
+  s.work_units_per_gpu = 2e7;
+  s.kernels_per_unit = {{.flops = 1500,
+                         .bytes = 500,
+                         .precision = Precision::FP64,
+                         .uses_matrix_cores = false,
+                         .compute_efficiency = 1.0,
+                         .memory_efficiency = 1.0}};
+  s.comm.halo_bytes = MiB(8);
+  s.comm.halo_neighbors = 6;
+  // §4.4.1 attributes the 96% (Frontier) vs 48% (Summit) weak-scaling gap to
+  // each GCD owning a NIC: Parthenon's per-device communication streams
+  // overlap almost fully on Frontier and barely on Summit.
+  s.comm.overlap = 0.0;
+  s.comm.overlap_override = {{"Frontier", 0.85}, {"Summit", 0.1}};
+  s.fom_per_unit_step = 1.0;
+  s.bytes_per_unit = 450;
+  // Per-node ratio calibrated to the paper's single-node result: 1.2x more
+  // cell-updates/s on a Frontier node (8x larger problem): the fresh Kokkos
+  // MHD port reaches a lower roofline fraction than the mature CUDA path.
+  s.efficiency = {{"Frontier", 0.42}, {"Summit", 0.85}};
+  s.default_efficiency = 0.4;
+  return s;
+}
+
+AppSpec warpx() {
+  AppSpec s;
+  s.name = "WarpX";
+  s.domain = "plasma accelerators";
+  s.fom_units = "particle-updates/s";
+  s.work_units_per_gpu = 6e7;
+  s.kernels_per_unit = {{.flops = 400,
+                         .bytes = 700,
+                         .precision = Precision::FP64,
+                         .uses_matrix_cores = false,
+                         .compute_efficiency = 1.0,
+                         .memory_efficiency = 1.0}};
+  s.comm.halo_bytes = MiB(8);
+  s.comm.halo_neighbors = 6;
+  s.comm.overlap = 0.5;
+  s.fom_per_unit_step = 1.0;
+  s.bytes_per_unit = 350;
+  // Baseline is Warp — the original Fortran/Python CPU code — on Cori KNL,
+  // which reached only a few percent of the MCDRAM roofline; WarpX is a
+  // ground-up AMReX rewrite (Gordon Bell 2022). The 500x of Table 7 is
+  // mostly code, not hardware.
+  s.efficiency = {{"Frontier", 0.65}, {"Cori", 0.033}};
+  s.default_efficiency = 0.3;
+  return s;
+}
+
+AppSpec hacc() {
+  AppSpec s;
+  s.name = "ExaSky (HACC)";
+  s.domain = "cosmology";
+  s.fom_units = "particle-steps/s";
+  // Gravity + CRK-SPH kernels: FP32 particle interactions, compute-bound.
+  s.work_units_per_gpu = 2e8;
+  s.kernels_per_unit = {{.flops = 1500,  // P3M short-range + SPH neighbours
+                         .bytes = 120,
+                         .precision = Precision::FP32,
+                         .uses_matrix_cores = false,
+                         .compute_efficiency = 1.0,
+                         .memory_efficiency = 1.0}};
+  s.comm.halo_bytes = MiB(12);
+  s.comm.halo_neighbors = 6;
+  s.comm.allreduce_bytes = KiB(1);
+  s.comm.overlap = 0.5;
+  s.fom_per_unit_step = 1.0;
+  s.bytes_per_unit = 150;
+  // §4.4.2 expects "roughly a factor of two hardware single precision
+  // improvement between Summit and Frontier nodes"; the Theta/KNL baseline
+  // ran the pre-GPU code path at a modest fraction of peak.
+  s.efficiency = {{"Frontier", 0.56}, {"Summit", 0.60}, {"Theta", 0.11}};
+  s.default_efficiency = 0.3;
+  return s;
+}
+
+AppSpec exaalt() {
+  AppSpec s;
+  s.name = "EXAALT";
+  s.domain = "molecular dynamics (ParSplice)";
+  s.fom_units = "atom-steps/s";
+  // One unit = one atom for one MD step under the SNAP ML potential:
+  // ~1.7e8 FLOP (bispectrum components + quadratic model).
+  s.work_units_per_gpu = 1000;  // 4000-atom replica per 4 GCDs
+  s.kernels_per_unit = {{.flops = 1.69e8,
+                         .bytes = 2e5,
+                         .precision = Precision::FP64,
+                         .uses_matrix_cores = false,
+                         .compute_efficiency = 1.0,
+                         .memory_efficiency = 1.0}};
+  // Sub-lattice ParSplice: domains synchronize only on topological
+  // transitions, not every step (§4.4.2) — communication is negligible.
+  s.comm.allreduce_bytes = 8;
+  s.comm.overlap = 0.9;
+  s.fom_per_unit_step = 1.0;
+  s.bytes_per_unit = 1e4;
+  // The near-complete SNAP kernel rewrite (§4.4.2: "~25x performance
+  // increase on a single V100") is what separates the Frontier efficiency
+  // from the pre-ECP baseline that ran on Mira.
+  s.efficiency = {{"Frontier", 0.45}, {"Mira", 0.15}, {"Summit", 0.42}};
+  s.default_efficiency = 0.2;
+  return s;
+}
+
+AppSpec exasmr_shift() {
+  AppSpec s;
+  s.name = "ExaSMR (Shift)";
+  s.domain = "Monte Carlo neutronics";
+  s.fom_units = "particles/s";
+  // One unit = one particle history per "step": cross-section lookups are
+  // latency/bandwidth-bound with low arithmetic intensity.
+  s.work_units_per_gpu = 7e5;  // 51.2e9 particles per cycle over 65,536 GCDs
+  s.kernels_per_unit = {{.flops = 4e4,
+                         .bytes = 7e4,  // random-walk table traffic
+                         .precision = Precision::FP64,
+                         .uses_matrix_cores = false,
+                         .compute_efficiency = 1.0,
+                         .memory_efficiency = 1.0}};
+  s.comm.allreduce_bytes = MiB(1);  // tally reduction per cycle
+  s.comm.overlap = 0.2;
+  s.fom_per_unit_step = 1.0;
+  s.bytes_per_unit = 600;
+  // Titan baseline: K20X with the pre-ECP Shift, heavy divergence penalties.
+  s.efficiency = {{"Frontier", 0.64}, {"Titan", 0.212}, {"Summit", 0.55}};
+  s.default_efficiency = 0.3;
+  return s;
+}
+
+AppSpec exasmr_nekrs() {
+  AppSpec s;
+  s.name = "ExaSMR (NekRS)";
+  s.domain = "spectral-element CFD";
+  s.fom_units = "DOF-steps/s";
+  s.work_units_per_gpu = 5.7e6;  // 376e9 DOF over 65,536 GCDs
+  s.kernels_per_unit = {{.flops = 2000,  // high-order operator apply
+                         .bytes = 800,
+                         .precision = Precision::FP64,
+                         .uses_matrix_cores = false,
+                         .compute_efficiency = 1.0,
+                         .memory_efficiency = 1.0}};
+  s.comm.halo_bytes = MiB(1.5);
+  s.comm.halo_neighbors = 8;
+  s.comm.allreduce_bytes = 64;  // pressure-solve dot products
+  s.comm.overlap = 0.5;
+  s.fom_per_unit_step = 1.0;
+  s.bytes_per_unit = 900;
+  s.efficiency = {{"Frontier", 0.71}, {"Titan", 0.112}, {"Summit", 0.60}};
+  s.default_efficiency = 0.3;
+  return s;
+}
+
+AppSpec wdmapp() {
+  AppSpec s;
+  s.name = "WDMApp";
+  s.domain = "whole-device fusion modelling";
+  s.fom_units = "particle-steps/s";
+  s.work_units_per_gpu = 1e8;
+  s.kernels_per_unit = {{.flops = 600,
+                         .bytes = 300,  // gyrokinetic PIC scatter/gather
+                         .precision = Precision::FP64,
+                         .uses_matrix_cores = false,
+                         .compute_efficiency = 1.0,
+                         .memory_efficiency = 1.0}};
+  s.comm.halo_bytes = MiB(6);
+  s.comm.halo_neighbors = 4;  // field-line-following exchange
+  s.comm.allreduce_bytes = KiB(16);
+  s.comm.overlap = 0.4;
+  s.fom_per_unit_step = 1.0;
+  s.bytes_per_unit = 250;
+  // XGC/GENE GPU ports vs the CPU-era coupled code on Titan's host side.
+  s.efficiency = {{"Frontier", 0.75}, {"Titan", 0.077}, {"Summit", 0.60}};
+  s.default_efficiency = 0.3;
+  return s;
+}
+
+std::vector<AppSpec> all_apps() {
+  return {comet(),    lsms(),         picongpu(),      cholla(),
+          gests(1),   gests(2),       athenapk(),      warpx(),
+          hacc(),     exaalt(),       exasmr_shift(),  exasmr_nekrs(),
+          wdmapp()};
+}
+
+}  // namespace xscale::apps

@@ -1,0 +1,33 @@
+// The application catalog: one AppSpec per CAAR/INCITE code (Table 6) and
+// per ECP code (Table 7).
+//
+// Every efficiency constant is a *code-quality* factor calibrated against the
+// paper's own narrative and measured FOMs; the hardware side (peaks,
+// bandwidths, fabric) comes from the machine models. See each function's
+// comment for the calibration source.
+#pragma once
+
+#include "apps/app.hpp"
+
+namespace xscale::apps {
+
+// --- CAAR / INCITE (Table 6, baseline Summit, target 4x) ---------------------
+AppSpec comet();       // combinatorial metrics, mixed-precision GEMM
+AppSpec lsms();        // dense complex FP64 multiple scattering
+AppSpec picongpu();    // particle-in-cell, bandwidth-bound
+AppSpec cholla();      // astrophysical hydrodynamics
+AppSpec gests(int decomposition_dims = 1);  // pseudo-spectral DNS (3D FFT)
+AppSpec athenapk();    // AMR magnetohydrodynamics (Kokkos/Parthenon)
+
+// --- ECP (Table 7, 50x targets vs pre-exascale baselines) ---------------------
+AppSpec warpx();        // electromagnetic PIC (baseline: Warp on Cori)
+AppSpec hacc();         // ExaSky cosmology (baseline: Theta)
+AppSpec exaalt();       // ParSplice/LAMMPS SNAP MD (baseline: Mira)
+AppSpec exasmr_shift(); // Monte Carlo neutronics (baseline: Titan)
+AppSpec exasmr_nekrs(); // spectral-element CFD (baseline: Titan)
+AppSpec wdmapp();       // coupled whole-device fusion model (baseline: Titan)
+
+// All CAAR + ECP specs (Shift and NekRS listed separately).
+std::vector<AppSpec> all_apps();
+
+}  // namespace xscale::apps

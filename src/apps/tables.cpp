@@ -1,0 +1,58 @@
+#include "apps/tables.hpp"
+
+#include <cmath>
+
+namespace xscale::apps {
+
+std::vector<SpeedupRow> table6_rows() {
+  // CAAR/INCITE, baseline Summit (4,600 compute nodes), KPP target 4x.
+  return {
+      {{comet()}, "Summit", 9074, 4600, 4.0, 5.2, false},
+      {{lsms()}, "Summit", 8192, 4500, 4.0, 7.5, true},
+      {{picongpu()}, "Summit", 9216, 4600, 4.0, 4.7, false},
+      {{cholla()}, "Summit", 9216, 4600, 4.0, 20.0, false},
+      {{gests(1)}, "Summit", 8192, 4600, 4.0, 5.9, false},
+      {{athenapk()}, "Summit", 9200, 4600, 4.0, 4.6, false},
+  };
+}
+
+std::vector<SpeedupRow> table7_rows() {
+  // ECP, KPP target 50x over ~10-20 PF baselines.
+  return {
+      {{warpx()}, "Cori", 9216, 9688, 50.0, 500.0, false},
+      {{hacc()}, "Theta", 8192, 4392, 50.0, 234.0, false},
+      {{exaalt()}, "Mira", 7000, 49152, 50.0, 398.5, false},
+      {{exasmr_shift(), exasmr_nekrs()}, "Titan", 6400, 18688, 50.0, 70.0, false},
+      {{wdmapp()}, "Titan", 6000, 18688, 50.0, 150.0, false},
+  };
+}
+
+std::vector<SpeedupResult> run_rows(const std::vector<SpeedupRow>& rows,
+                                    const net::Fabric* frontier_fabric,
+                                    const net::Fabric* summit_fabric) {
+  const auto frontier = machines::frontier();
+  std::vector<SpeedupResult> out;
+  for (const auto& row : rows) {
+    SpeedupResult r;
+    r.row = row;
+    const auto baseline = machines::by_name(row.baseline_machine).value();
+    const net::Fabric* base_fabric =
+        row.baseline_machine == "Summit" ? summit_fabric : nullptr;
+
+    double harmonic_sum = 0;
+    for (const auto& spec : row.specs) {
+      const auto fr = run_app(spec, frontier, frontier_fabric, row.frontier_nodes);
+      const auto br = run_app(spec, baseline, base_fabric, row.baseline_nodes);
+      double s = fr.fom / br.fom;
+      if (row.per_gpu) s = (fr.fom / fr.gpus) / (br.fom / br.gpus);
+      harmonic_sum += 1.0 / s;
+      r.frontier_runs.push_back(fr);
+      r.baseline_runs.push_back(br);
+    }
+    r.speedup = static_cast<double>(row.specs.size()) / harmonic_sum;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace xscale::apps

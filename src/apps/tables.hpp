@@ -1,0 +1,43 @@
+// Reproduction harness for Table 6 (CAAR/INCITE) and Table 7 (ECP):
+// run each proxy app on the simulated Frontier and on its paper baseline
+// machine, and report the figure-of-merit speedup against the KPP target.
+#pragma once
+
+#include <vector>
+
+#include "apps/catalog.hpp"
+#include "machines/machine.hpp"
+#include "net/fabric.hpp"
+
+namespace xscale::apps {
+
+struct SpeedupRow {
+  // Several specs are combined by harmonic mean (ExaSMR's coupled FOM).
+  std::vector<AppSpec> specs;
+  std::string baseline_machine;
+  int frontier_nodes = 0;
+  int baseline_nodes = 0;
+  double target = 0;          // KPP target (4x CAAR, 50x ECP)
+  double paper_achieved = 0;  // the paper's measured speedup
+  // LSMS reports a per-GPU kernel speedup rather than a whole-machine one.
+  bool per_gpu = false;
+};
+
+struct SpeedupResult {
+  SpeedupRow row;
+  std::vector<AppRun> frontier_runs;
+  std::vector<AppRun> baseline_runs;
+  double speedup = 0;
+  bool meets_target() const { return speedup >= row.target; }
+};
+
+std::vector<SpeedupRow> table6_rows();
+std::vector<SpeedupRow> table7_rows();
+
+// Fabric pointers may be shared across rows (building them is the expensive
+// part); pass null to fall back to the analytic network model.
+std::vector<SpeedupResult> run_rows(const std::vector<SpeedupRow>& rows,
+                                    const net::Fabric* frontier_fabric,
+                                    const net::Fabric* summit_fabric);
+
+}  // namespace xscale::apps

@@ -1,0 +1,47 @@
+// xscale — umbrella header for the Frontier system-architecture simulator.
+//
+// The library reproduces, in simulation, every system and experiment of
+// "Frontier: Exploring Exascale" (Atchley et al., SC'23). Typical entry
+// points:
+//
+//   auto frontier = xscale::machines::frontier();   // the machine
+//   auto fabric   = frontier.build_fabric();        // Slingshot dragonfly
+//   auto rates    = fabric.steady_rates(pairs);     // bandwidth model
+//   auto run      = xscale::apps::run_app(xscale::apps::cholla(),
+//                                         frontier, &fabric, 9216);
+//
+// See DESIGN.md for the per-experiment index and bench/ for the binaries
+// that regenerate each table and figure of the paper.
+#pragma once
+
+#include "apps/catalog.hpp"
+#include "apps/tables.hpp"
+#include "hw/node.hpp"
+#include "machines/machine.hpp"
+#include "mpi/comm.hpp"
+#include "mpi/gpcnet.hpp"
+#include "net/fabric.hpp"
+#include "net/flowsim.hpp"
+#include "net/patterns.hpp"
+#include "perf/host_stream.hpp"
+#include "perf/roofline.hpp"
+#include "power/power.hpp"
+#include "resil/resiliency.hpp"
+#include "sched/slurm.hpp"
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+#include "sim/table.hpp"
+#include "sim/units.hpp"
+#include "storage/campaign.hpp"
+#include "storage/nvme.hpp"
+#include "storage/orion.hpp"
+#include "topo/topology.hpp"
+
+namespace xscale {
+
+inline constexpr const char* kVersion = "1.0.0";
+inline constexpr const char* kPaper =
+    "Frontier: Exploring Exascale — The System Architecture of the First "
+    "Exascale Supercomputer (Atchley et al., SC'23)";
+
+}  // namespace xscale

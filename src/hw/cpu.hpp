@@ -1,0 +1,53 @@
+// CPU socket models.
+//
+// `CpuConfig` is generic enough to describe every host CPU in the paper's
+// machine set (Trento, POWER9, Opteron, BG/Q, KNL, Haswell); `trento()`
+// builds the EPYC 7A53 of §3.1.1.
+#pragma once
+
+#include <string>
+
+#include "hw/memory.hpp"
+#include "sim/units.hpp"
+
+namespace xscale::hw {
+
+struct CpuConfig {
+  std::string name;
+  int ccds = 1;              // core complex dies (chiplets)
+  int cores = 1;             // total cores
+  double clock_hz = 1e9;
+  double fp64_per_cycle_per_core = 2;  // sustained FMA width
+  DdrConfig ddr;
+  NpsMode nps = NpsMode::NPS4;
+
+  double fp64_peak() const {
+    return static_cast<double>(cores) * clock_hz * fp64_per_cycle_per_core;
+  }
+  int cores_per_ccd() const { return cores / ccds; }
+
+  // Best-case single-socket STREAM rate (non-temporal, configured NPS mode).
+  double stream_peak() const {
+    return ddr.peak_bandwidth() * ddr.stream_efficiency(nps);
+  }
+};
+
+// AMD EPYC 7A53 "Trento": 64 Zen3 cores over 8 CCDs, custom I/O die with
+// InfinityFabric to the GCDs, 8x 64 GiB DDR4-3200 (§3.1.1).
+inline CpuConfig trento() {
+  CpuConfig c;
+  c.name = "AMD EPYC 7A53 (Trento)";
+  c.ccds = 8;
+  c.cores = 64;
+  c.clock_hz = 2.0e9;
+  // Zen3: 2x 256-bit FMA pipes -> 16 FP64 FLOP/cycle/core.
+  c.fp64_per_cycle_per_core = 16;
+  c.ddr.channels = 8;
+  c.ddr.mts = 3200;
+  c.ddr.dimms = 8;
+  c.ddr.dimm_capacity_bytes = units::GiB(64);
+  c.nps = NpsMode::NPS4;  // Frontier runs NPS-4 (§3.1.1)
+  return c;
+}
+
+}  // namespace xscale::hw

@@ -1,0 +1,126 @@
+#include "hw/gpu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xscale::hw {
+
+const char* to_string(Precision p) {
+  switch (p) {
+    case Precision::FP64: return "FP64";
+    case Precision::FP32: return "FP32";
+    case Precision::FP16: return "FP16";
+  }
+  return "FP??";
+}
+
+double GpuConfig::vector_peak(Precision p) const {
+  switch (p) {
+    case Precision::FP64: return fp64_vector;
+    case Precision::FP32: return fp32_vector;
+    case Precision::FP16: return fp16_vector;
+  }
+  return 0;
+}
+
+double GpuConfig::matrix_peak(Precision p) const {
+  switch (p) {
+    case Precision::FP64: return fp64_matrix;
+    case Precision::FP32: return fp32_matrix;
+    case Precision::FP16: return fp16_matrix;
+  }
+  return 0;
+}
+
+double GpuConfig::gemm_asymptotic_eff(Precision p) const {
+  switch (p) {
+    case Precision::FP64: return gemm_eff_fp64;
+    case Precision::FP32: return gemm_eff_fp32;
+    case Precision::FP16: return gemm_eff_fp16;
+  }
+  return 0;
+}
+
+double GpuConfig::gemm_achieved(Precision p, int n) const {
+  if (n <= 0) return 0.0;
+  const double peak = matrix_peak(p);
+  // Saturation with problem size: O(N^2) memory/launch overheads amortize
+  // against O(N^3) arithmetic, so efficiency approaches the asymptote
+  // quadratically in N.
+  const double nn = static_cast<double>(n);
+  const double saturation = nn * nn / (nn * nn + gemm_n_half * gemm_n_half);
+  // Tile quantization: work is dispatched in gemm_tile x gemm_tile blocks;
+  // the ragged edge computes padded tiles at full cost.
+  const double nt = std::ceil(static_cast<double>(n) / gemm_tile) * gemm_tile;
+  const double quant = std::pow(static_cast<double>(n) / nt, 3);
+  return peak * gemm_asymptotic_eff(p) * saturation * quant;
+}
+
+double GpuConfig::kernel_time(double flops, double bytes, double eff) const {
+  const double compute = flops / (fp64_vector * eff);
+  const double memory = bytes / (hbm.peak_bandwidth * 0.8 * eff);
+  return launch_latency_s + std::max(compute, memory);
+}
+
+GpuConfig mi250x_gcd() {
+  GpuConfig g;
+  g.name = "AMD Instinct MI250X (one GCD)";
+  g.compute_units = 110;
+  g.simd_lanes_per_cu = 64;
+  g.clock_hz = 1.7e9;
+  // 110 CU * 64 lanes * 2 FLOP (FMA) * 1.7 GHz = 23.95 TF vector FP64;
+  // MFMA doubles FP64/FP32 and gives 8x for FP16 (191.5 TF per GCD).
+  g.fp64_vector = units::TFLOPS(23.95);
+  g.fp64_matrix = units::TFLOPS(47.9);
+  g.fp32_vector = units::TFLOPS(23.95);
+  g.fp32_matrix = units::TFLOPS(47.9);
+  g.fp16_vector = units::TFLOPS(23.95);
+  g.fp16_matrix = units::TFLOPS(191.5);
+  g.hbm.stacks = 4;
+  g.hbm.capacity_bytes = units::GiB(64);
+  g.hbm.peak_bandwidth = units::GBs(1635.0);  // Table 4 header: 1.635 TB/s
+  return g;
+}
+
+GpuConfig v100() {
+  GpuConfig g;
+  g.name = "NVIDIA V100";
+  g.compute_units = 80;  // SMs
+  g.simd_lanes_per_cu = 64;
+  g.clock_hz = 1.53e9;
+  g.fp64_vector = units::TFLOPS(7.8);
+  g.fp64_matrix = units::TFLOPS(7.8);  // no FP64 tensor cores on Volta
+  g.fp32_vector = units::TFLOPS(15.7);
+  g.fp32_matrix = units::TFLOPS(15.7);
+  g.fp16_vector = units::TFLOPS(31.4);
+  g.fp16_matrix = units::TFLOPS(125.0);  // tensor cores
+  g.hbm.capacity_bytes = units::GiB(16);
+  g.hbm.peak_bandwidth = units::GBs(900.0);
+  g.gemm_eff_fp64 = 0.90;  // cuBLAS DGEMM on V100 is near-peak
+  g.gemm_eff_fp32 = 0.90;
+  g.gemm_eff_fp16 = 0.70;
+  return g;
+}
+
+GpuConfig k20x() {
+  GpuConfig g;
+  g.name = "NVIDIA K20X";
+  g.compute_units = 14;  // SMX
+  g.simd_lanes_per_cu = 192;
+  g.clock_hz = 0.732e9;
+  g.fp64_vector = units::TFLOPS(1.31);
+  g.fp64_matrix = units::TFLOPS(1.31);
+  g.fp32_vector = units::TFLOPS(3.93);
+  g.fp32_matrix = units::TFLOPS(3.93);
+  g.fp16_vector = units::TFLOPS(3.93);
+  g.fp16_matrix = units::TFLOPS(3.93);
+  g.hbm.capacity_bytes = units::GiB(6);
+  g.hbm.peak_bandwidth = units::GBs(250.0);
+  g.hbm.efficiency_scale = 0.85;  // GDDR5 streams worse than HBM
+  g.gemm_eff_fp64 = 0.85;
+  g.gemm_eff_fp32 = 0.85;
+  g.gemm_eff_fp16 = 0.85;
+  return g;
+}
+
+}  // namespace xscale::hw

@@ -1,0 +1,72 @@
+// GPU (GCD) models and the GEMM execution model behind Figure 3.
+//
+// The MI250X package holds two Graphics Compute Dies; each GCD presents as a
+// separate GPU (the paper's "sort of" 1:4 CPU:GPU ratio, §3.1.2). All
+// per-device quantities in this file are per *GCD*; a full MI250X doubles
+// them.
+#pragma once
+
+#include <string>
+
+#include "hw/memory.hpp"
+#include "sim/units.hpp"
+
+namespace xscale::hw {
+
+enum class Precision { FP64, FP32, FP16 };
+
+const char* to_string(Precision p);
+
+struct GpuConfig {
+  std::string name;
+  int compute_units = 110;
+  int simd_lanes_per_cu = 64;
+  double clock_hz = 1.7e9;
+
+  // Peak rates (FLOP/s). `vector` uses the SIMD pipes; `matrix` engages the
+  // matrix-core (MFMA) units where present. Devices without matrix cores set
+  // matrix == vector.
+  double fp64_vector = 0, fp64_matrix = 0;
+  double fp32_vector = 0, fp32_matrix = 0;
+  double fp16_vector = 0, fp16_matrix = 0;
+
+  HbmConfig hbm;
+
+  // Asymptotic fraction of the matrix peak a tuned GEMM sustains at large N.
+  // Calibrated from Figure 3: FP64 33.8/47.9 = 0.705, FP32 24.1/47.9 = 0.503,
+  // FP16 111.2/191.5 = 0.581 (hipBLAS heuristics do not pin FP32/FP16 to the
+  // MFMA units as effectively as FP64).
+  double gemm_eff_fp64 = 0.705;
+  double gemm_eff_fp32 = 0.503;
+  double gemm_eff_fp16 = 0.581;
+  // Matrix size at which half the asymptotic efficiency is reached
+  // (launch/tile-drain overheads dominate below it).
+  double gemm_n_half = 700.0;
+  // MFMA tile granularity; ragged edges waste compute on partial tiles.
+  int gemm_tile = 128;
+
+  double vector_peak(Precision p) const;
+  double matrix_peak(Precision p) const;
+  double gemm_asymptotic_eff(Precision p) const;
+
+  // Achieved GEMM rate (FLOP/s) for an NxN problem at precision `p`,
+  // following the Figure 3 model: matrix-core peak, scaled by the asymptotic
+  // efficiency, a saturation curve in N, and tile quantization.
+  double gemm_achieved(Precision p, int n) const;
+
+  // Time to run a kernel with `flops` arithmetic and `bytes` of HBM traffic:
+  // the roofline max of compute and memory time plus a fixed launch latency.
+  double kernel_time(double flops, double bytes, double eff = 1.0) const;
+  double launch_latency_s = 4e-6;
+};
+
+// One MI250X GCD (§3.1.2): 110 CUs, 64 GiB HBM2e at 1.6375 TB/s,
+// 23.95 TFLOP/s FP64 vector, doubled via matrix cores; FP64 atomics in hw.
+GpuConfig mi250x_gcd();
+
+// NVIDIA V100 (Summit, for per-GCD comparisons in Table 6 apps).
+GpuConfig v100();
+// NVIDIA K20X (Titan).
+GpuConfig k20x();
+
+}  // namespace xscale::hw

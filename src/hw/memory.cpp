@@ -1,0 +1,33 @@
+#include "hw/memory.hpp"
+
+namespace xscale::hw {
+
+std::string to_string(NpsMode m) {
+  switch (m) {
+    case NpsMode::NPS1: return "NPS-1";
+    case NpsMode::NPS2: return "NPS-2";
+    case NpsMode::NPS4: return "NPS-4";
+  }
+  return "NPS-?";
+}
+
+double DdrConfig::stream_bandwidth(const StreamKernel& k, bool temporal,
+                                   NpsMode m) const {
+  const double wire = peak_bandwidth() * stream_efficiency(m);
+  const int counted = k.counted_reads + k.counted_writes;
+  // Actual bus transactions per element: every counted access plus, for
+  // temporal stores, one read-for-ownership per written line (unless the
+  // hardware elides it for recognized copy streams).
+  int actual = counted;
+  if (temporal && !k.rfo_elided_when_temporal) actual += k.counted_writes;
+  return wire * static_cast<double>(counted) / static_cast<double>(actual);
+}
+
+double HbmConfig::stream_bandwidth(const StreamKernel& k) const {
+  // Kernels without a calibrated efficiency (CPU kernel descriptors reused on
+  // a GPU) default to the Copy value.
+  const double eff = k.hbm_efficiency > 0.0 ? k.hbm_efficiency : 0.8175;
+  return peak_bandwidth * eff * efficiency_scale;
+}
+
+}  // namespace xscale::hw

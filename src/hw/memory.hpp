@@ -1,0 +1,112 @@
+// DRAM and HBM models.
+//
+// The DDR model reproduces the behaviours §3.1.1 and §4.1.1 of the paper
+// describe for the Trento socket:
+//   * eight DDR4-3200 channels -> 204.8 GB/s wire peak,
+//   * NUMA-per-socket (NPS) modes trading single-stream bandwidth against
+//     aggregate bandwidth and latency,
+//   * temporal stores paying read-for-ownership (write-allocate) traffic that
+//     non-temporal stores avoid (Table 3's Scale/Add/Triad gap).
+//
+// The HBM model covers the MI250X GCD stacks (§3.1.2, Table 4).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace xscale::hw {
+
+// NUMA-per-socket mode of an EPYC socket (§3.1.1).
+enum class NpsMode { NPS1, NPS2, NPS4 };
+
+std::string to_string(NpsMode m);
+
+// A STREAM-style kernel described by its algorithmic traffic. `counted_*` is
+// what the benchmark *credits* (bytes it reports moving); a temporal store
+// additionally reads the destination line before writing it (write-allocate).
+struct StreamKernel {
+  const char* name;
+  int counted_reads;   // arrays read per element
+  int counted_writes;  // arrays written per element
+  // Pure copies can be recognized by hardware/compilers (rep-movsb fast
+  // strings, streaming detection) and skip the RFO even with temporal stores;
+  // Table 3 shows Copy nearly unaffected by store type.
+  bool rfo_elided_when_temporal = false;
+  // Fraction of HBM wire peak this kernel sustains on a GCD. Calibrated from
+  // Table 4 (79-84% band). Three-array kernels (Add/Triad) sit lower than
+  // two-array ones because of extra row-buffer conflicts; the read-only Dot
+  // tops the table since HBM reads stream better than writes.
+  double hbm_efficiency = 0.0;
+};
+
+// The four canonical CPU STREAM kernels.
+inline constexpr std::array<StreamKernel, 4> kCpuStreamKernels{{
+    {"Copy", 1, 1, true},
+    {"Scale", 1, 1, false},
+    {"Add", 2, 1, false},
+    {"Triad", 2, 1, false},
+}};
+
+// The five GPU STREAM kernels of Table 4 (BabelStream naming).
+inline constexpr std::array<StreamKernel, 5> kGpuStreamKernels{{
+    {"Copy", 1, 1, false, 0.8175},
+    {"Mul", 1, 1, false, 0.8185},
+    {"Add", 2, 1, false, 0.7879},
+    {"Triad", 2, 1, false, 0.7861},
+    {"Dot", 2, 0, false, 0.8405},
+}};
+
+struct DdrConfig {
+  int channels = 8;
+  double mts = 3200.0;            // mega-transfers/s
+  double bytes_per_transfer = 8;  // 64-bit channel
+  double dimm_capacity_bytes = 0; // per DIMM
+  int dimms = 8;
+
+  // Fraction of wire peak a well-tuned non-temporal STREAM achieves in the
+  // socket's best NPS mode (calibrated: 179.1 GB/s / 204.8 GB/s, Table 3).
+  double stream_efficiency_nps4 = 0.875;
+  // NPS-1 interleaves all channels for one stream; the paper measures
+  // ~125 GB/s (§4.1.1) -> 0.61 of wire peak.
+  double stream_efficiency_nps1 = 0.61;
+  // Idle load-to-use latencies (approximate Zen3 values; §3.1.1 notes NPS-4
+  // local access is "slightly lower latency").
+  double latency_nps4_s = 96e-9;
+  double latency_nps1_s = 105e-9;
+
+  double peak_bandwidth() const {
+    return static_cast<double>(channels) * mts * 1e6 * bytes_per_transfer;
+  }
+  double capacity_bytes() const {
+    return dimm_capacity_bytes * static_cast<double>(dimms);
+  }
+  double stream_efficiency(NpsMode m) const {
+    switch (m) {
+      case NpsMode::NPS1: return stream_efficiency_nps1;
+      case NpsMode::NPS2: return 0.5 * (stream_efficiency_nps1 + stream_efficiency_nps4);
+      case NpsMode::NPS4: return stream_efficiency_nps4;
+    }
+    return stream_efficiency_nps4;
+  }
+  double latency(NpsMode m) const {
+    return m == NpsMode::NPS4 ? latency_nps4_s : latency_nps1_s;
+  }
+
+  // Achievable STREAM bandwidth (counted bytes per second) for `k`.
+  // `temporal` selects regular (cache-allocating) stores.
+  double stream_bandwidth(const StreamKernel& k, bool temporal, NpsMode m) const;
+};
+
+struct HbmConfig {
+  int stacks = 4;
+  double capacity_bytes = 0;  // per device (GCD)
+  double peak_bandwidth = 0;  // B/s per device
+  // Scales the per-kernel calibrated efficiencies; 1.0 models HBM2e on a
+  // MI250X GCD. Baseline machines with different memory systems override it.
+  double efficiency_scale = 1.0;
+
+  double stream_bandwidth(const StreamKernel& k) const;
+};
+
+}  // namespace xscale::hw

@@ -1,0 +1,43 @@
+// Network interface models (§3.1.4).
+#pragma once
+
+#include <string>
+
+#include "sim/units.hpp"
+
+namespace xscale::hw {
+
+struct NicConfig {
+  std::string name;
+  double rate = 0;           // B/s per direction
+  double sw_overhead_s = 0;  // software send/recv overhead (OS-bypass path)
+  double wire_latency_s = 0; // NIC-to-switch serialization/propagation
+  // Fraction of wire rate achievable by a single stream (protocol overhead,
+  // headers). Summit's EDR measured 8.5/12.5 = 0.68; Slingshot's intra-group
+  // best of 17.5/25 = 0.70 (Figure 6 discussion).
+  double efficiency = 0.70;
+};
+
+// HPE Slingshot "Cassini": 200 Gb/s Ethernet with HPC-Ethernet OS-bypass.
+inline NicConfig cassini() {
+  return {
+      .name = "HPE Slingshot Cassini (200G)",
+      .rate = units::Gbps(200),
+      .sw_overhead_s = units::usec(0.80),
+      .wire_latency_s = units::usec(0.30),
+      .efficiency = 0.70,
+  };
+}
+
+// Mellanox EDR InfiniBand (Summit).
+inline NicConfig edr_ib() {
+  return {
+      .name = "Mellanox EDR InfiniBand (100G)",
+      .rate = units::Gbps(100),
+      .sw_overhead_s = units::usec(0.75),
+      .wire_latency_s = units::usec(0.35),
+      .efficiency = 0.68,
+  };
+}
+
+}  // namespace xscale::hw

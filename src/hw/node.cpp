@@ -1,0 +1,86 @@
+#include "hw/node.hpp"
+
+namespace xscale::hw {
+
+NodeConfig bard_peak() {
+  NodeConfig n;
+  n.name = "Cray EX 235a (Bard Peak)";
+  n.cpu = trento();
+  n.cpu_sockets = 1;
+  n.gpu = mi250x_gcd();
+  n.gpus = 8;  // each GCD presents as a GPU (§3.1.2)
+  n.nic = cassini();
+  n.nics = 4;  // one per OAM package (§3.1.4)
+  n.fabric = IntraNodeFabric::bard_peak();
+  // §3.3: two M.2 drives, RAID-0; ~3.5 TB, 8/4 GB/s, up to 2.2M IOPS
+  // contracted (1.6M), 1.58M measured.
+  n.nvme.drives = 2;
+  n.nvme.capacity_bytes = units::TB(3.5);
+  n.nvme.read_bw = units::GBs(8.0);
+  n.nvme.write_bw = units::GBs(4.0);
+  n.nvme.iops_4k = 2.2e6;
+  n.gpu_fp64_dgemm_sustained = units::TFLOPS(26.4);
+  return n;
+}
+
+NodeConfig summit_node() {
+  NodeConfig n;
+  n.name = "IBM AC922 (Summit)";
+  CpuConfig p9;
+  p9.name = "IBM POWER9";
+  p9.ccds = 1;
+  p9.cores = 22;
+  p9.clock_hz = 3.07e9;
+  p9.fp64_per_cycle_per_core = 8;
+  p9.ddr.channels = 8;
+  p9.ddr.mts = 2666;
+  p9.ddr.dimms = 8;
+  p9.ddr.dimm_capacity_bytes = units::GiB(32);  // 256 GiB/socket, 512/node
+  p9.ddr.stream_efficiency_nps4 = 0.80;
+  p9.ddr.stream_efficiency_nps1 = 0.80;
+  p9.nps = NpsMode::NPS1;
+  n.cpu = p9;
+  n.cpu_sockets = 2;
+  n.gpu = v100();
+  n.gpus = 6;
+  n.nic = edr_ib();
+  n.nics = 2;
+  n.nvme.drives = 1;
+  n.nvme.capacity_bytes = units::TB(1.6);
+  n.nvme.read_bw = units::GBs(5.5);
+  n.nvme.write_bw = units::GBs(2.1);
+  n.nvme.iops_4k = 0.8e6;
+  n.gpu_fp64_dgemm_sustained = units::TFLOPS(7.0);
+  return n;
+}
+
+NodeConfig titan_node() {
+  NodeConfig n;
+  n.name = "Cray XK7 (Titan)";
+  CpuConfig opteron;
+  opteron.name = "AMD Opteron 6274";
+  opteron.ccds = 2;
+  opteron.cores = 16;
+  opteron.clock_hz = 2.2e9;
+  opteron.fp64_per_cycle_per_core = 4;
+  opteron.ddr.channels = 4;
+  opteron.ddr.mts = 1600;
+  opteron.ddr.dimms = 4;
+  opteron.ddr.dimm_capacity_bytes = units::GiB(8);
+  opteron.ddr.stream_efficiency_nps4 = 0.70;
+  opteron.ddr.stream_efficiency_nps1 = 0.70;
+  n.cpu = opteron;
+  n.cpu_sockets = 1;
+  n.gpu = k20x();
+  n.gpus = 1;
+  n.nic = NicConfig{.name = "Cray Gemini",
+                    .rate = units::GBs(5.8),
+                    .sw_overhead_s = units::usec(1.2),
+                    .wire_latency_s = units::usec(0.5),
+                    .efficiency = 0.60};
+  n.nics = 1;
+  n.gpu_fp64_dgemm_sustained = units::TFLOPS(1.2);
+  return n;
+}
+
+}  // namespace xscale::hw

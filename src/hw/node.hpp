@@ -1,0 +1,78 @@
+// Node assemblies.
+//
+// `NodeConfig` describes one node of any machine in the paper's comparison
+// set; `bard_peak()` builds Frontier's Cray EX 235a (§3.1). Aggregate,
+// machine-level numbers (Table 1) are *derived* from this description in
+// `machines/`.
+#pragma once
+
+#include <string>
+
+#include "hw/cpu.hpp"
+#include "hw/gpu.hpp"
+#include "hw/nic.hpp"
+#include "hw/xgmi.hpp"
+
+namespace xscale::hw {
+
+struct NodeLocalNvme {
+  int drives = 0;               // RAID-0 striped
+  double capacity_bytes = 0;    // usable mount capacity
+  double read_bw = 0;           // B/s (aggregate of the stripe)
+  double write_bw = 0;
+  double iops_4k = 0;           // random-read 4 KiB IOPS
+};
+
+struct NodeConfig {
+  std::string name;
+  CpuConfig cpu;
+  int cpu_sockets = 1;
+  GpuConfig gpu;
+  int gpus = 0;  // devices as seen by the OS (GCDs on Frontier)
+  NicConfig nic;
+  int nics = 1;
+  IntraNodeFabric fabric = IntraNodeFabric::bard_peak();
+  NodeLocalNvme nvme;
+
+  // Per-GPU sustained DGEMM rate used for the machine's headline FP64 DGEMM
+  // figure. For the MI250X GCD this is 26.4 TF: the value consistent with
+  // Table 1's 2.0 EF aggregate (between the 23.95 TF vector peak and the
+  // 33.8 TF hipBLAS measurement of Figure 3).
+  double gpu_fp64_dgemm_sustained = 0;
+
+  double fp64_dgemm_peak() const {
+    return static_cast<double>(gpus) * gpu_fp64_dgemm_sustained;
+  }
+  double ddr_capacity() const {
+    return static_cast<double>(cpu_sockets) * cpu.ddr.capacity_bytes();
+  }
+  double ddr_bandwidth() const {
+    return static_cast<double>(cpu_sockets) * cpu.ddr.peak_bandwidth();
+  }
+  double hbm_capacity() const {
+    return static_cast<double>(gpus) * gpu.hbm.capacity_bytes;
+  }
+  double hbm_bandwidth() const {
+    return static_cast<double>(gpus) * gpu.hbm.peak_bandwidth;
+  }
+  double injection_bandwidth() const {
+    return static_cast<double>(nics) * nic.rate;
+  }
+  // HBM : DDR bandwidth ratio the paper tracks across Titan/Summit/Frontier
+  // (§3.1.2: 64x on Frontier).
+  double hbm_to_ddr_ratio() const {
+    return hbm_bandwidth() / ddr_bandwidth();
+  }
+};
+
+// Frontier's Bard Peak node: 1x Trento + 4x MI250X (8 GCDs), 4 Cassini NICs
+// each attached to one OAM package, 2x NVMe M.2 in RAID-0 (§3.1, §3.3).
+NodeConfig bard_peak();
+
+// Summit node: 2x POWER9 + 6x V100, 2 shared EDR NICs, node-local NVMe.
+NodeConfig summit_node();
+
+// Titan node: 1x Opteron 6274 + 1x K20X, Gemini interconnect.
+NodeConfig titan_node();
+
+}  // namespace xscale::hw

@@ -1,0 +1,82 @@
+#include "hw/xgmi.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace xscale::hw {
+
+IntraNodeFabric IntraNodeFabric::bard_peak(XgmiSpec spec) {
+  IntraNodeFabric f(spec);
+  auto connect = [&f](int a, int b, int links) {
+    f.edges_.push_back({a, b, links});
+    f.links_[a][b] = links;
+    f.links_[b][a] = links;
+  };
+  // Four-link rungs inside each OAM package (200+200 GB/s).
+  connect(0, 1, 4);
+  connect(2, 3, 4);
+  connect(4, 5, 4);
+  connect(6, 7, 4);
+  // Two-link north/south bundles between OAM pairs (100+100 GB/s).
+  connect(0, 2, 2);
+  connect(1, 3, 2);
+  connect(4, 6, 2);
+  connect(5, 7, 2);
+  // Single east/west links closing the twisted ladder (50+50 GB/s); the
+  // crossing (6->1, 7->0) is the "twist" of Figure 2.
+  connect(2, 4, 1);
+  connect(3, 5, 1);
+  connect(6, 1, 1);
+  connect(7, 0, 1);
+  return f;
+}
+
+int IntraNodeFabric::links_between(int a, int b) const { return links_[a][b]; }
+
+int IntraNodeFabric::hops(int a, int b) const {
+  if (a == b) return 0;
+  std::array<int, kGcdsPerNode> dist{};
+  dist.fill(-1);
+  dist[a] = 0;
+  std::queue<int> q;
+  q.push(a);
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    for (int v = 0; v < kGcdsPerNode; ++v) {
+      if (links_[u][v] > 0 && dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        if (v == b) return dist[v];
+        q.push(v);
+      }
+    }
+  }
+  return dist[b];
+}
+
+double IntraNodeFabric::cu_transfer_bw(int a, int b) const {
+  const int links = links_[a][b];
+  if (links == 0) return 0.0;  // non-adjacent: caller should route via peers
+  const double eff =
+      spec_.cu_base_eff - spec_.cu_eff_decay_per_link * static_cast<double>(links - 1);
+  return static_cast<double>(links) * spec_.xgmi3_link_bw * eff;
+}
+
+double IntraNodeFabric::sdma_transfer_bw(int a, int b) const {
+  if (links_[a][b] == 0) return 0.0;
+  return spec_.xgmi3_link_bw * spec_.sdma_eff;  // one link, no striping
+}
+
+double IntraNodeFabric::cpu_gcd_single_core_bw() const {
+  return spec_.xgmi2_link_bw * spec_.cpu_single_core_eff;
+}
+
+double IntraNodeFabric::cpu_gcd_aggregate_bw(int ranks, const CpuConfig& cpu) const {
+  ranks = std::clamp(ranks, 0, kGcdsPerNode);
+  const double per_rank = cpu_gcd_single_core_bw();
+  // The data ultimately streams out of (or into) DDR: the socket's STREAM
+  // rate is the aggregate ceiling (Figure 4 saturates at ~180 GB/s).
+  return std::min(static_cast<double>(ranks) * per_rank, cpu.stream_peak());
+}
+
+}  // namespace xscale::hw

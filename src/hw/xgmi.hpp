@@ -1,0 +1,79 @@
+// InfinityFabric (xGMI) intra-node fabric of the Bard Peak node (§3.1.3).
+//
+// Eight GCDs are connected in a "twisted ladder": four links between the two
+// GCDs of one OAM package, two-link bundles north/south between OAM pairs,
+// and single links east/west. Each Trento CCD pairs with one GCD over an
+// xGMI 2.0 connection. This module answers the bandwidth questions behind
+// Figures 4 and 5:
+//   * CU copy kernels stripe across every link of a pair,
+//   * SDMA engines cannot stripe and are capped at one link (~50 GB/s),
+//   * a single CPU core reaches ~71% of the 36 GB/s xGMI2 peak, and eight
+//     concurrent ranks saturate at the DDR STREAM rate instead.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "hw/cpu.hpp"
+#include "sim/units.hpp"
+
+namespace xscale::hw {
+
+inline constexpr int kGcdsPerNode = 8;
+
+struct XgmiSpec {
+  // Per-direction theoretical link rates (§3.1.3).
+  double xgmi2_link_bw = units::GBs(36.0);  // CPU <-> GCD
+  double xgmi3_link_bw = units::GBs(50.0);  // GCD <-> GCD
+
+  // Achieved fractions, calibrated from §4.2.1:
+  double cpu_single_core_eff = 0.71;  // 25.5 / 36
+  // CU copy kernels: 37.5 GB/s on one link (0.75), with a small per-extra-link
+  // striping penalty (74.9 on two, 145.5 on four).
+  double cu_base_eff = 0.75;
+  double cu_eff_decay_per_link = 0.0075;
+  // SDMA engines transfer at nearly the full single-link rate but cannot
+  // stripe (Figure 5, bottom).
+  double sdma_eff = 0.997;
+};
+
+class IntraNodeFabric {
+ public:
+  // Builds the Bard Peak twisted ladder (Figure 2). OAM packages pair GCDs
+  // (0,1), (2,3), (4,5), (6,7).
+  static IntraNodeFabric bard_peak(XgmiSpec spec = {});
+
+  // Number of xGMI3 links directly connecting two GCDs (0 if not adjacent).
+  int links_between(int gcd_a, int gcd_b) const;
+  // Minimum hop count between GCDs over the ladder.
+  int hops(int gcd_a, int gcd_b) const;
+  // OAM package index of a GCD.
+  static int oam_of(int gcd) { return gcd / 2; }
+
+  // Achieved one-direction bandwidth for a GCD->GCD transfer written by a
+  // copy kernel running on the destination/ source CUs (stripes over links).
+  double cu_transfer_bw(int gcd_a, int gcd_b) const;
+  // Achieved bandwidth when the transfer is offloaded to an SDMA engine
+  // (hipMemcpy without a kernel): one link only, regardless of bundle width.
+  double sdma_transfer_bw(int gcd_a, int gcd_b) const;
+
+  // CPU->GCD bandwidth for a single core over xGMI2 (§4.2.1: ~25.5 GB/s).
+  double cpu_gcd_single_core_bw() const;
+  // Aggregate CPU->GCD bandwidth with `ranks` processes, each pinned to its
+  // own CCD and targeting its paired GCD (Figure 4): per-rank xGMI2 rates
+  // accumulate until the socket's DDR streaming limit is hit.
+  double cpu_gcd_aggregate_bw(int ranks, const CpuConfig& cpu) const;
+
+  const XgmiSpec& spec() const { return spec_; }
+  // All (a, b, links) triples, a < b.
+  const std::vector<std::array<int, 3>>& edges() const { return edges_; }
+
+ private:
+  explicit IntraNodeFabric(XgmiSpec spec) : spec_(spec) {}
+
+  XgmiSpec spec_;
+  std::vector<std::array<int, 3>> edges_;
+  std::array<std::array<int, kGcdsPerNode>, kGcdsPerNode> links_{};
+};
+
+}  // namespace xscale::hw

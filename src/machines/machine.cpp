@@ -1,0 +1,206 @@
+#include "machines/machine.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace xscale::machines {
+
+using namespace xscale::units;
+
+topo::Topology frontier_topology(const FrontierFabricSpec& spec) {
+  std::vector<topo::GroupSpec> groups;
+  for (int g = 0; g < spec.compute_groups; ++g)
+    groups.push_back({spec.switches_per_compute_group, spec.endpoints_per_switch});
+  for (int g = 0; g < spec.storage_groups; ++g)
+    groups.push_back({spec.switches_per_service_group, spec.endpoints_per_switch});
+  for (int g = 0; g < spec.management_groups; ++g)
+    groups.push_back({spec.switches_per_service_group, spec.endpoints_per_switch});
+
+  const int nc = spec.compute_groups;
+  const int ns = spec.storage_groups;
+  auto kind = [nc, ns](int g) {
+    return g < nc ? 0 : (g < nc + ns ? 1 : 2);  // compute/storage/mgmt
+  };
+  auto bundle = [spec, kind](int g, int h) {
+    const int a = kind(g), b = kind(h);
+    if (a == 0 && b == 0) return spec.compute_compute_links;
+    if (a == 1 && b == 1) return spec.storage_storage_links;
+    if ((a == 1 && b == 2) || (a == 2 && b == 1)) return spec.storage_management_links;
+    return spec.compute_service_links;  // compute<->storage, compute<->mgmt
+  };
+  return topo::Topology::dragonfly(groups, bundle, spec.link_bw, spec.hop_latency);
+}
+
+Machine frontier() {
+  Machine m;
+  m.name = "Frontier";
+  m.year = 2022;
+  m.node = hw::bard_peak();
+  m.total_nodes = 9472;
+  m.compute_nodes = 9408;
+  m.topology_factory = [] { return frontier_topology(); };
+  m.fabric_defaults.routing = net::Routing::Adaptive;
+  m.fabric_defaults.congestion_control = true;
+  m.fabric_defaults.nic_efficiency = 0.70;  // 17.5/25 best case (Fig. 6)
+  return m;
+}
+
+Machine summit() {
+  Machine m;
+  m.name = "Summit";
+  m.year = 2018;
+  m.node = hw::summit_node();
+  m.total_nodes = 4608;
+  m.compute_nodes = 4600;
+  // Non-blocking EDR fat-tree; one logical endpoint per NIC port
+  // (2x 12.5 GB/s per node).
+  m.topology_factory = [] {
+    return topo::Topology::fat_tree(/*leaves=*/512, /*eps_per_leaf=*/18,
+                                    units::Gbps(100), 250e-9);
+  };
+  m.fabric_defaults.routing = net::Routing::Minimal;
+  m.fabric_defaults.congestion_control = false;  // EDR lacks Slingshot-class CC
+  m.fabric_defaults.nic_efficiency = 0.68;       // 8.5/12.5 (Fig. 6)
+  return m;
+}
+
+Machine titan() {
+  Machine m;
+  m.name = "Titan";
+  m.year = 2012;
+  m.node = hw::titan_node();
+  m.total_nodes = 18688;
+  m.compute_nodes = 18688;
+  m.fabric_defaults.nic_efficiency = 0.60;
+  return m;
+}
+
+Machine mira() {
+  Machine m;
+  m.name = "Mira";
+  m.year = 2012;
+  hw::NodeConfig n;
+  n.name = "IBM BG/Q";
+  n.cpu.name = "PowerPC A2";
+  n.cpu.ccds = 1;
+  n.cpu.cores = 16;
+  n.cpu.clock_hz = 1.6e9;
+  n.cpu.fp64_per_cycle_per_core = 8;  // 4-wide QPX FMA -> 204.8 GF/node
+  n.cpu.ddr.channels = 2;
+  n.cpu.ddr.mts = 1333;
+  n.cpu.ddr.dimms = 2;
+  n.cpu.ddr.dimm_capacity_bytes = GiB(8);
+  n.cpu.ddr.stream_efficiency_nps4 = 0.65;
+  n.cpu.ddr.stream_efficiency_nps1 = 0.65;
+  // Self-hosted "device": apps treat the BG/Q node itself as the compute
+  // engine (204.8 GF QPX, ~28 GB/s streamed DDR3).
+  n.gpus = 1;
+  n.gpu.name = "BG/Q node (self-hosted)";
+  n.gpu.fp64_vector = GFLOPS(204.8);
+  n.gpu.fp64_matrix = GFLOPS(204.8);
+  n.gpu.fp32_vector = GFLOPS(204.8);
+  n.gpu.fp32_matrix = GFLOPS(204.8);
+  n.gpu.fp16_vector = GFLOPS(204.8);
+  n.gpu.fp16_matrix = GFLOPS(204.8);
+  n.gpu.hbm.capacity_bytes = GiB(16);
+  n.gpu.hbm.peak_bandwidth = n.cpu.ddr.peak_bandwidth();
+  n.gpu.hbm.efficiency_scale = 0.8;
+  n.gpu.launch_latency_s = 0;
+  n.gpu_fp64_dgemm_sustained = GFLOPS(170);
+  n.nic = hw::NicConfig{.name = "BG/Q 5D torus",
+                        .rate = GBs(2.0),
+                        .sw_overhead_s = usec(1.0),
+                        .wire_latency_s = usec(0.5),
+                        .efficiency = 0.9};
+  n.nics = 1;
+  m.node = n;
+  m.total_nodes = 49152;
+  m.compute_nodes = 49152;
+  return m;
+}
+
+namespace {
+
+hw::NodeConfig knl_node(const char* cpu_name) {
+  hw::NodeConfig n;
+  n.name = "Cray XC40 (KNL)";
+  n.cpu.name = cpu_name;
+  n.cpu.ccds = 1;
+  n.cpu.cores = 68;
+  n.cpu.clock_hz = 1.4e9;
+  n.cpu.fp64_per_cycle_per_core = 32;  // 2x AVX-512 FMA -> ~3 TF/node
+  n.cpu.ddr.channels = 6;
+  n.cpu.ddr.mts = 2400;
+  n.cpu.ddr.dimms = 6;
+  n.cpu.ddr.dimm_capacity_bytes = GiB(16);
+  n.cpu.ddr.stream_efficiency_nps4 = 0.85;
+  n.cpu.ddr.stream_efficiency_nps1 = 0.85;
+  // Model MCDRAM as a GPU-less "HBM" attached to the CPU node: 16 GiB at
+  // ~450 GB/s streams; apps treat KNL as a self-hosted accelerator.
+  n.gpus = 1;
+  n.gpu.name = "KNL MCDRAM+AVX512 (self-hosted)";
+  n.gpu.fp64_vector = TFLOPS(3.0);
+  n.gpu.fp64_matrix = TFLOPS(3.0);
+  n.gpu.fp32_vector = TFLOPS(6.0);
+  n.gpu.fp32_matrix = TFLOPS(6.0);
+  n.gpu.fp16_vector = TFLOPS(6.0);
+  n.gpu.fp16_matrix = TFLOPS(6.0);
+  n.gpu.hbm.capacity_bytes = GiB(16);
+  n.gpu.hbm.peak_bandwidth = GBs(450);
+  n.gpu.hbm.efficiency_scale = 0.90;
+  n.gpu.gemm_eff_fp64 = 0.70;
+  n.gpu.gemm_eff_fp32 = 0.70;
+  n.gpu.gemm_eff_fp16 = 0.70;
+  n.gpu.launch_latency_s = 0;  // no offload boundary
+  n.nic = hw::NicConfig{.name = "Cray Aries",
+                        .rate = GBs(10.5),
+                        .sw_overhead_s = usec(0.9),
+                        .wire_latency_s = usec(0.4),
+                        .efficiency = 0.8};
+  n.nics = 1;
+  n.gpu_fp64_dgemm_sustained = TFLOPS(2.1);
+  return n;
+}
+
+}  // namespace
+
+Machine theta() {
+  Machine m;
+  m.name = "Theta";
+  m.year = 2017;
+  m.node = knl_node("Intel Xeon Phi 7230 (KNL)");
+  m.total_nodes = 4392;
+  m.compute_nodes = 4392;
+  return m;
+}
+
+Machine cori() {
+  Machine m;
+  m.name = "Cori";
+  m.year = 2016;
+  m.node = knl_node("Intel Xeon Phi 7250 (KNL)");
+  m.total_nodes = 9688;
+  m.compute_nodes = 9688;
+  return m;
+}
+
+std::optional<Machine> by_name(const std::string& name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "frontier") return frontier();
+  if (lower == "summit") return summit();
+  if (lower == "titan") return titan();
+  if (lower == "mira") return mira();
+  if (lower == "theta") return theta();
+  if (lower == "cori") return cori();
+  return std::nullopt;
+}
+
+int endpoints_per_node(const Machine& m) { return m.node.nics; }
+
+int node_endpoint(const Machine& m, int node, int nic) {
+  return node * m.node.nics + nic;
+}
+
+}  // namespace xscale::machines

@@ -1,0 +1,101 @@
+// Machine assemblies: a node model, a node count, and a fabric factory.
+//
+// `frontier()` derives every Table 1 row from first principles (node model x
+// node count, topology-derived injection/global bandwidth). The baseline
+// machines are the comparison systems of §4.4: Summit and Titan (CAAR
+// baselines, GPU machines) and Mira/Theta/Cori (ECP baselines, ~10-20 PF
+// CPU/KNL machines).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "hw/node.hpp"
+#include "net/fabric.hpp"
+#include "topo/topology.hpp"
+
+namespace xscale::machines {
+
+struct Machine {
+  std::string name;
+  int year = 0;
+  hw::NodeConfig node;
+  int total_nodes = 0;
+  // Nodes available to jobs (Frontier schedules 9,408 of 9,472 for compute;
+  // the paper's app runs top out around 9,2xx).
+  int compute_nodes = 0;
+  // Builds the interconnect; null for machines modelled at node level only.
+  std::function<topo::Topology()> topology_factory;
+  // Default fabric configuration for this machine's network technology.
+  net::FabricConfig fabric_defaults;
+
+  // --- derived aggregates (Table 1) ------------------------------------------
+  double fp64_dgemm_peak() const {
+    return static_cast<double>(total_nodes) * node.fp64_dgemm_peak();
+  }
+  double ddr_capacity() const {
+    return static_cast<double>(total_nodes) * node.ddr_capacity();
+  }
+  double ddr_bandwidth() const {
+    return static_cast<double>(total_nodes) * node.ddr_bandwidth();
+  }
+  double hbm_capacity() const {
+    return static_cast<double>(total_nodes) * node.hbm_capacity();
+  }
+  double hbm_bandwidth() const {
+    return static_cast<double>(total_nodes) * node.hbm_bandwidth();
+  }
+  double injection_bandwidth_per_node() const { return node.injection_bandwidth(); }
+
+  bool has_fabric() const { return static_cast<bool>(topology_factory); }
+  net::Fabric build_fabric() const { return build_fabric(fabric_defaults); }
+  net::Fabric build_fabric(net::FabricConfig cfg) const {
+    return net::Fabric(topology_factory(), cfg);
+  }
+
+  // Node-level FP64 peak including CPU (GPU-only machines dominated by GPU).
+  double node_fp64_peak() const {
+    return static_cast<double>(node.gpus) * node.gpu.fp64_vector +
+           static_cast<double>(node.cpu_sockets) * node.cpu.fp64_peak();
+  }
+};
+
+// Frontier dragonfly parameters (§3.2).
+struct FrontierFabricSpec {
+  int compute_groups = 74;
+  int storage_groups = 5;
+  int management_groups = 1;
+  int switches_per_compute_group = 32;
+  int switches_per_service_group = 16;
+  int endpoints_per_switch = 16;
+  // Physical 200G links per bundle pair (a "bundle" is a QSFP-DD cable with
+  // two links; compute-compute uses bundle size two -> 4 links).
+  int compute_compute_links = 4;
+  int compute_service_links = 2;   // one bundle
+  int storage_storage_links = 10;  // five bundles
+  int storage_management_links = 6;
+  double link_bw = units::Gbps(200);
+  // Calibrated so GPCNeT's 8 B RR latency lands at Table 5's 2.6 us over a
+  // 5-hop minimal inter-group path plus two software overheads.
+  double hop_latency = 150e-9;
+};
+
+topo::Topology frontier_topology(const FrontierFabricSpec& spec = {});
+
+Machine frontier();
+Machine summit();
+Machine titan();
+Machine mira();    // IBM BG/Q, ~10 PF (EXAALT baseline)
+Machine theta();   // Cray XC40 KNL (ExaSky baseline)
+Machine cori();    // Cray XC40 KNL (WarpX baseline)
+
+// Look up by (case-insensitive) name; returns nullopt if unknown.
+std::optional<Machine> by_name(const std::string& name);
+
+// NIC endpoints of a node in the machine's topology. On Frontier each node
+// owns 4 consecutive endpoints (one per Cassini NIC).
+int endpoints_per_node(const Machine& m);
+int node_endpoint(const Machine& m, int node, int nic);
+
+}  // namespace xscale::machines

@@ -1,0 +1,273 @@
+#include "mpi/collective_sim.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace xscale::mpi {
+
+const char* to_string(AllreduceAlgo a) {
+  switch (a) {
+    case AllreduceAlgo::RecursiveDoubling: return "recursive-doubling";
+    case AllreduceAlgo::Ring: return "ring";
+  }
+  return "?";
+}
+
+// Shared per-collective bookkeeping: ranks advance through numbered phases;
+// a phase completes when its send has drained AND its expected message has
+// arrived. The subclass-free design keeps all three algorithms in one state
+// machine parameterized by a "plan" of (peer, bytes) per phase per rank.
+struct CollectiveSim::Op {
+  struct Phase {
+    int send_to = -1;    // -1: no send this phase
+    int recv_from = -1;  // -1: no receive expected
+    double bytes = 0;
+  };
+  // plan[rank] = phases in order.
+  std::vector<std::vector<Phase>> plan;
+  std::vector<int> phase;               // current phase per rank
+  std::vector<std::vector<char>> sent;  // send completion flags
+  std::vector<std::vector<char>> recvd;
+  int done_ranks = 0;
+  double start_time = 0;
+  std::function<void(double)> cb;
+};
+
+void CollectiveSim::send_msg(const std::shared_ptr<Op>& op, int from, int to,
+                             double bytes, std::function<void()> on_recv) {
+  const auto& nic = comm_.machine().node.nic;
+  const double overhead = nic.sw_overhead_s;
+  if (comm_.node_of_rank(from) == comm_.node_of_rank(to)) {
+    // Shared-memory path: latency + copy through DDR.
+    const double t =
+        0.5e-6 + bytes / comm_.machine().node.cpu.stream_peak();
+    eng_.schedule_in(t, std::move(on_recv));
+    (void)op;
+    return;
+  }
+  const double wire = comm_.fabric() != nullptr
+                          ? comm_.fabric()->base_latency(comm_.endpoint_of_rank(from),
+                                                         comm_.endpoint_of_rank(to))
+                          : 2.0 * nic.wire_latency_s;
+  eng_.schedule_in(overhead, [this, from, to, bytes, wire,
+                              cb = std::move(on_recv)]() mutable {
+    if (comm_.fabric() != nullptr) {
+      flows_.start(comm_.endpoint_of_rank(from), comm_.endpoint_of_rank(to),
+                   bytes, [this, wire, cb = std::move(cb)]() mutable {
+                     eng_.schedule_in(wire, std::move(cb));
+                   });
+    } else {
+      const auto& n = comm_.machine().node.nic;
+      eng_.schedule_in(wire + bytes / (n.rate * n.efficiency), std::move(cb));
+    }
+  });
+}
+
+namespace {
+
+// Advance `rank` through completed phases; initiate the next send.
+void advance(CollectiveSim* cs, const std::shared_ptr<CollectiveSim::Op>& op,
+             int rank, sim::Engine& eng,
+             const std::function<void(const std::shared_ptr<CollectiveSim::Op>&, int)>&
+                 start_phase) {
+  auto& ph = op->phase[static_cast<std::size_t>(rank)];
+  const auto& phases = op->plan[static_cast<std::size_t>(rank)];
+  while (ph < static_cast<int>(phases.size())) {
+    const auto& p = phases[static_cast<std::size_t>(ph)];
+    const bool send_ok =
+        p.send_to < 0 || op->sent[static_cast<std::size_t>(rank)][static_cast<std::size_t>(ph)];
+    const bool recv_ok =
+        p.recv_from < 0 ||
+        op->recvd[static_cast<std::size_t>(rank)][static_cast<std::size_t>(ph)];
+    if (!send_ok || !recv_ok) return;
+    ++ph;
+    if (ph < static_cast<int>(phases.size())) start_phase(op, rank);
+  }
+  if (++op->done_ranks == static_cast<int>(op->plan.size())) {
+    op->cb(eng.now() - op->start_time);
+  }
+  (void)cs;
+}
+
+}  // namespace
+
+void CollectiveSim::allreduce(double bytes, AllreduceAlgo algo,
+                              std::function<void(double)> done) {
+  const int p = comm_.size();
+  auto op = std::make_shared<Op>();
+  op->cb = std::move(done);
+  op->start_time = eng_.now();
+  op->plan.resize(static_cast<std::size_t>(p));
+
+  if (algo == AllreduceAlgo::RecursiveDoubling) {
+    // Power-of-two core with fold-in/fold-out for the remainder ranks.
+    const int rounds = static_cast<int>(std::floor(std::log2(std::max(1, p))));
+    const int core = 1 << rounds;
+    const int extras = p - core;
+    for (int r = 0; r < p; ++r) {
+      auto& phases = op->plan[static_cast<std::size_t>(r)];
+      if (r >= core) {
+        // Fold in: send everything to the partner, then wait for the result.
+        phases.push_back({r - core, -1, bytes});
+        phases.push_back({-1, r - core, bytes});
+        continue;
+      }
+      if (r < extras) phases.push_back({-1, core + r, bytes});
+      for (int k = 0; k < rounds; ++k) {
+        const int peer = r ^ (1 << k);
+        phases.push_back({peer, peer, bytes});
+      }
+      if (r < extras) phases.push_back({core + r, -1, bytes});
+    }
+  } else {  // Ring: reduce-scatter + allgather, 2(p-1) chunk steps.
+    const double chunk = bytes / std::max(1, p);
+    for (int r = 0; r < p; ++r) {
+      auto& phases = op->plan[static_cast<std::size_t>(r)];
+      for (int s = 0; s < 2 * (p - 1); ++s)
+        phases.push_back({(r + 1) % p, (r + p - 1) % p, chunk});
+    }
+  }
+
+  op->phase.assign(static_cast<std::size_t>(p), 0);
+  op->sent.resize(static_cast<std::size_t>(p));
+  op->recvd.resize(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    op->sent[static_cast<std::size_t>(r)].assign(op->plan[static_cast<std::size_t>(r)].size(), 0);
+    op->recvd[static_cast<std::size_t>(r)].assign(op->plan[static_cast<std::size_t>(r)].size(), 0);
+  }
+
+  // start_phase initiates the sends of rank's current phase.
+  auto start_phase = std::make_shared<
+      std::function<void(const std::shared_ptr<Op>&, int)>>();
+  *start_phase = [this, start_phase](const std::shared_ptr<Op>& o, int rank) {
+    const int ph = o->phase[static_cast<std::size_t>(rank)];
+    const auto& phase = o->plan[static_cast<std::size_t>(rank)][static_cast<std::size_t>(ph)];
+    if (phase.send_to < 0) {
+      advance(this, o, rank, eng_, *start_phase);
+      return;
+    }
+    // Find the matching phase index at the receiver: the first phase at the
+    // receiver expecting a message from `rank` that has not yet arrived.
+    send_msg(o, rank, phase.send_to, phase.bytes,
+             [this, o, start_phase, from = rank, to = phase.send_to] {
+               auto& rv = o->recvd[static_cast<std::size_t>(to)];
+               const auto& plan_to = o->plan[static_cast<std::size_t>(to)];
+               for (std::size_t i = 0; i < plan_to.size(); ++i) {
+                 if (plan_to[i].recv_from == from && !rv[i]) {
+                   rv[i] = 1;
+                   break;
+                 }
+               }
+               advance(this, o, to, eng_, *start_phase);
+             });
+    // Sends are non-blocking (buffered): the sender may start its next phase
+    // immediately; phase gating comes from the receive dependencies.
+    o->sent[static_cast<std::size_t>(rank)][static_cast<std::size_t>(ph)] = 1;
+    advance(this, o, rank, eng_, *start_phase);
+  };
+
+  for (int r = 0; r < p; ++r) (*start_phase)(op, r);
+}
+
+void CollectiveSim::broadcast(double bytes, int root,
+                              std::function<void(double)> done) {
+  const int p = comm_.size();
+  auto op = std::make_shared<Op>();
+  op->cb = std::move(done);
+  op->start_time = eng_.now();
+  op->plan.resize(static_cast<std::size_t>(p));
+  // Binomial tree in "virtual rank" space (rotated so root is 0). Captured
+  // by value: these lambdas outlive this frame inside the engine callbacks.
+  auto actual = [p, root](int v) { return (v + root) % p; };
+  int rounds = 0;
+  while ((1 << rounds) < p) ++rounds;
+  for (int v = 0; v < p; ++v) {
+    auto& phases = op->plan[static_cast<std::size_t>(v)];
+    // Receive phase (non-root): from v - highest set bit.
+    if (v != 0) {
+      int bit = 1;
+      while (bit * 2 <= v) bit *= 2;
+      phases.push_back({-1, actual(v - bit), bytes});
+    }
+    // Send phases: to v + 2^k for k starting after our own arrival bit.
+    int start_k = 0;
+    if (v != 0) {
+      int bit = 1, k = 0;
+      while (bit * 2 <= v) {
+        bit *= 2;
+        ++k;
+      }
+      start_k = k + 1;
+    }
+    for (int k = start_k; k < rounds; ++k) {
+      const int peer = v + (1 << k);
+      if (peer < p) phases.push_back({actual(peer), -1, bytes});
+    }
+  }
+
+  op->phase.assign(static_cast<std::size_t>(p), 0);
+  op->sent.resize(static_cast<std::size_t>(p));
+  op->recvd.resize(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    op->sent[static_cast<std::size_t>(r)].assign(op->plan[static_cast<std::size_t>(r)].size(), 0);
+    op->recvd[static_cast<std::size_t>(r)].assign(op->plan[static_cast<std::size_t>(r)].size(), 0);
+  }
+  auto start_phase = std::make_shared<
+      std::function<void(const std::shared_ptr<Op>&, int)>>();
+  *start_phase = [this, start_phase, actual](const std::shared_ptr<Op>& o, int v) {
+    const int ph = o->phase[static_cast<std::size_t>(v)];
+    const auto& phase = o->plan[static_cast<std::size_t>(v)][static_cast<std::size_t>(ph)];
+    if (phase.send_to < 0) {
+      advance(this, o, v, eng_, *start_phase);
+      return;
+    }
+    send_msg(o, actual(v), phase.send_to, phase.bytes,
+             [this, o, start_phase, from = actual(v), to = phase.send_to] {
+               // Receiver is identified by actual rank; find its virtual id.
+               for (std::size_t tv = 0; tv < o->plan.size(); ++tv) {
+                 const auto& plan_to = o->plan[tv];
+                 const int phx = o->phase[tv];
+                 if (phx < static_cast<int>(plan_to.size()) &&
+                     plan_to[static_cast<std::size_t>(phx)].recv_from == from &&
+                     plan_to[static_cast<std::size_t>(phx)].send_to == -1) {
+                   // Check the destination matches this virtual rank.
+                   o->recvd[tv][static_cast<std::size_t>(phx)] = 1;
+                   advance(this, o, static_cast<int>(tv), eng_, *start_phase);
+                   break;
+                 }
+               }
+               (void)to;
+             });
+    o->sent[static_cast<std::size_t>(v)][static_cast<std::size_t>(ph)] = 1;
+    advance(this, o, v, eng_, *start_phase);
+  };
+  for (int v = 0; v < p; ++v) (*start_phase)(op, v);
+}
+
+void CollectiveSim::barrier(std::function<void(double)> done) {
+  allreduce(8, AllreduceAlgo::RecursiveDoubling, std::move(done));
+}
+
+double CollectiveSim::run_allreduce(double bytes, AllreduceAlgo algo) {
+  double elapsed = -1;
+  allreduce(bytes, algo, [&](double t) { elapsed = t; });
+  eng_.run();
+  return elapsed;
+}
+
+double CollectiveSim::run_broadcast(double bytes, int root) {
+  double elapsed = -1;
+  broadcast(bytes, root, [&](double t) { elapsed = t; });
+  eng_.run();
+  return elapsed;
+}
+
+double CollectiveSim::run_barrier() {
+  double elapsed = -1;
+  barrier([&](double t) { elapsed = t; });
+  eng_.run();
+  return elapsed;
+}
+
+}  // namespace xscale::mpi

@@ -1,0 +1,278 @@
+#include "net/fabric.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace xscale::net {
+
+const char* to_string(Routing r) {
+  switch (r) {
+    case Routing::Minimal: return "minimal";
+    case Routing::Valiant: return "valiant";
+    case Routing::Adaptive: return "adaptive";
+  }
+  return "?";
+}
+
+Fabric::Fabric(topo::Topology topology, FabricConfig cfg)
+    : topo_(std::move(topology)), cfg_(cfg) {
+  failed_.assign(topo_.links().size(), 0);
+  eff_cap_.reserve(topo_.links().size());
+  for (const auto& l : topo_.links()) {
+    const bool terminal = l.kind == topo::LinkKind::Injection ||
+                          l.kind == topo::LinkKind::Ejection;
+    eff_cap_.push_back(terminal ? l.capacity * cfg_.nic_efficiency : l.capacity);
+  }
+}
+
+std::vector<int> Fabric::minimal_path(int src_ep, int dst_ep) const {
+  assert(src_ep != dst_ep);
+  std::vector<int> path;
+  path.push_back(topo_.injection_link(src_ep));
+  const int sa = topo_.endpoint_switch(src_ep);
+  const int sb = topo_.endpoint_switch(dst_ep);
+  if (sa != sb) {
+    if (topo_.is_fat_tree()) {
+      const int core = topo_.num_switches() - 1;
+      path.push_back(topo_.switch_link(sa, core));
+      path.push_back(topo_.switch_link(core, sb));
+    } else {
+      const int ga = topo_.group_of_switch(sa);
+      const int gb = topo_.group_of_switch(sb);
+      if (ga == gb) {
+        path.push_back(topo_.switch_link(sa, sb));
+      } else {
+        const int gl = topo_.global_link(ga, gb);
+        if (gl < 0) throw std::runtime_error("groups not connected");
+        if (failed_[static_cast<std::size_t>(gl)]) {
+          // Fabric-manager reroute: the direct bundle is down; take the
+          // first live one-intermediate-group detour (deterministic sweep).
+          for (int gi = 0; gi < topo_.num_groups(); ++gi) {
+            if (gi == ga || gi == gb) continue;
+            const int l1 = topo_.global_link(ga, gi);
+            const int l2 = topo_.global_link(gi, gb);
+            if (l1 < 0 || l2 < 0) continue;
+            if (failed_[static_cast<std::size_t>(l1)] ||
+                failed_[static_cast<std::size_t>(l2)])
+              continue;
+            const int gw_a = topo_.gateway_switch(ga, gi);
+            if (sa != gw_a) path.push_back(topo_.switch_link(sa, gw_a));
+            path.push_back(l1);
+            const int in_i = topo_.gateway_switch(gi, ga);
+            const int out_i = topo_.gateway_switch(gi, gb);
+            if (in_i != out_i) path.push_back(topo_.switch_link(in_i, out_i));
+            path.push_back(l2);
+            const int gw_b = topo_.gateway_switch(gb, gi);
+            if (gw_b != sb) path.push_back(topo_.switch_link(gw_b, sb));
+            path.push_back(topo_.ejection_link(dst_ep));
+            return path;
+          }
+          throw std::runtime_error("no live route between groups");
+        }
+        const int gwa = topo_.gateway_switch(ga, gb);
+        const int gwb = topo_.gateway_switch(gb, ga);
+        if (sa != gwa) path.push_back(topo_.switch_link(sa, gwa));
+        path.push_back(gl);
+        if (gwb != sb) path.push_back(topo_.switch_link(gwb, sb));
+      }
+    }
+  }
+  path.push_back(topo_.ejection_link(dst_ep));
+  return path;
+}
+
+std::vector<int> Fabric::valiant_path(int src_ep, int dst_ep, sim::Rng& rng) const {
+  const int sa = topo_.endpoint_switch(src_ep);
+  const int sb = topo_.endpoint_switch(dst_ep);
+  const int ga = topo_.group_of_switch(sa);
+  const int gb = topo_.group_of_switch(sb);
+  if (topo_.is_fat_tree()) return minimal_path(src_ep, dst_ep);
+
+  if (ga == gb) {
+    // Intra-group non-minimal: detour through a random intermediate switch,
+    // spreading a hot switch pair over the group's full connectivity.
+    if (sa == sb) return minimal_path(src_ep, dst_ep);
+    const auto [base, n] = topo_.group_switch_range(ga);
+    int si = -1;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const int cand = base + static_cast<int>(rng.index(static_cast<std::uint64_t>(n)));
+      if (cand != sa && cand != sb) {
+        si = cand;
+        break;
+      }
+    }
+    if (si < 0) return minimal_path(src_ep, dst_ep);
+    return {topo_.injection_link(src_ep), topo_.switch_link(sa, si),
+            topo_.switch_link(si, sb), topo_.ejection_link(dst_ep)};
+  }
+
+  // Pick a random intermediate group reachable from both sides.
+  const int ng = topo_.num_groups();
+  int gi = -1;
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const int cand = static_cast<int>(rng.index(static_cast<std::uint64_t>(ng)));
+    const int l1 = topo_.global_link(ga, cand);
+    const int l2 = topo_.global_link(cand, gb);
+    if (cand != ga && cand != gb && l1 >= 0 && l2 >= 0 &&
+        !failed_[static_cast<std::size_t>(l1)] &&
+        !failed_[static_cast<std::size_t>(l2)]) {
+      gi = cand;
+      break;
+    }
+  }
+  if (gi < 0) return minimal_path(src_ep, dst_ep);
+
+  std::vector<int> path;
+  path.push_back(topo_.injection_link(src_ep));
+  const int gw_a = topo_.gateway_switch(ga, gi);
+  if (sa != gw_a) path.push_back(topo_.switch_link(sa, gw_a));
+  path.push_back(topo_.global_link(ga, gi));
+  const int in_i = topo_.gateway_switch(gi, ga);   // arrival switch in gi
+  const int out_i = topo_.gateway_switch(gi, gb);  // departure switch in gi
+  if (in_i != out_i) path.push_back(topo_.switch_link(in_i, out_i));
+  path.push_back(topo_.global_link(gi, gb));
+  const int gw_b = topo_.gateway_switch(gb, gi);
+  if (gw_b != sb) path.push_back(topo_.switch_link(gw_b, sb));
+  path.push_back(topo_.ejection_link(dst_ep));
+  return path;
+}
+
+std::vector<int> Fabric::route(int src_ep, int dst_ep, sim::Rng& rng,
+                               const std::vector<int>* global_load) const {
+  switch (cfg_.routing) {
+    case Routing::Minimal:
+      return minimal_path(src_ep, dst_ep);
+    case Routing::Valiant:
+      return valiant_path(src_ep, dst_ep, rng);
+    case Routing::Adaptive: {
+      auto min_p = minimal_path(src_ep, dst_ep);
+      if (topo_.is_fat_tree() || global_load == nullptr) return min_p;
+      auto val_p = valiant_path(src_ep, dst_ep, rng);
+      if (val_p.size() == min_p.size()) return min_p;  // intra-group or fallback
+      // UGAL: compare queue-depth proxies (flow counts) on the switch-switch
+      // links; the detour uses more hops, so it must look at least
+      // `ugal_threshold` times emptier to win.
+      auto load_of = [&](const std::vector<int>& p) {
+        int worst = 0;
+        for (int l : p) {
+          const auto kind = topo_.link(l).kind;
+          if (kind == topo::LinkKind::Global || kind == topo::LinkKind::Local)
+            worst = std::max(worst, (*global_load)[static_cast<std::size_t>(l)]);
+        }
+        return worst;
+      };
+      const int lm = load_of(min_p);
+      const int lv = load_of(val_p);
+      return static_cast<double>(lm) >
+                     cfg_.ugal_threshold * static_cast<double>(lv + 1)
+                 ? val_p
+                 : min_p;
+    }
+  }
+  return minimal_path(src_ep, dst_ep);
+}
+
+std::vector<double> Fabric::steady_rates(const std::vector<std::pair<int, int>>& pairs,
+                                         const std::vector<double>* weights,
+                                         std::vector<std::vector<int>>* paths_out,
+                                         const std::vector<double>* rate_caps) const {
+  sim::Rng rng(cfg_.seed);
+  std::vector<std::vector<int>> paths;
+  paths.reserve(pairs.size());
+  std::vector<int> load(topo_.links().size(), 0);
+  for (const auto& [s, d] : pairs) {
+    auto p = route(s, d, rng, &load);
+    for (int l : p) ++load[static_cast<std::size_t>(l)];
+    paths.push_back(std::move(p));
+  }
+  std::vector<double> rates;
+  if (rate_caps != nullptr) {
+    // Realize caps as private virtual links appended to the capped flow.
+    std::vector<double> cap = eff_cap_;
+    auto capped_paths = paths;
+    for (std::size_t f = 0; f < capped_paths.size(); ++f) {
+      const double c = (*rate_caps)[f];
+      if (c <= 0) continue;
+      capped_paths[f].push_back(static_cast<int>(cap.size()));
+      cap.push_back(c);  // bounds the flow's total rate
+    }
+    rates = max_min_rates(cap, capped_paths, weights);
+  } else {
+    rates = max_min_rates(eff_cap_, paths, weights);
+  }
+  if (!cfg_.congestion_control) apply_hol_blocking(paths, rates);
+  if (paths_out) *paths_out = std::move(paths);
+  return rates;
+}
+
+void Fabric::apply_hol_blocking(const std::vector<std::vector<int>>& paths,
+                                std::vector<double>& rates) const {
+  // Without hardware congestion control, a saturated (typically ejection)
+  // link backs frames up into the switch, and every flow crossing that
+  // switch slows to the oversubscribed link's drain ratio. We compute, per
+  // switch, the worst oversubscription of any link it sources, then scale
+  // each flow by the worst factor along its path.
+  // Unthrottled desire per flow: its share of the injection link it enters
+  // through (ranks sharing a NIC cannot each offer the full NIC rate).
+  std::vector<int> inj_count(topo_.links().size(), 0);
+  for (const auto& p : paths) ++inj_count[static_cast<std::size_t>(p.front())];
+  std::vector<double> demand(topo_.links().size(), 0.0);
+  for (std::size_t f = 0; f < paths.size(); ++f) {
+    const auto inj = static_cast<std::size_t>(paths[f].front());
+    const double desire = eff_cap_[inj] / std::max(1, inj_count[inj]);
+    for (int l : paths[f]) demand[static_cast<std::size_t>(l)] += desire;
+  }
+  std::vector<double> switch_factor(static_cast<std::size_t>(topo_.num_switches()), 1.0);
+  for (const auto& l : topo_.links()) {
+    if (l.src >= topo_.num_switches()) continue;  // injection links: src is an endpoint
+    const double d = demand[static_cast<std::size_t>(l.id)];
+    if (d > eff_cap_[static_cast<std::size_t>(l.id)]) {
+      const double factor = eff_cap_[static_cast<std::size_t>(l.id)] / d;
+      auto& sf = switch_factor[static_cast<std::size_t>(l.src)];
+      sf = std::min(sf, factor);
+    }
+  }
+  for (std::size_t f = 0; f < paths.size(); ++f) {
+    double factor = 1.0;
+    for (int l : paths[f]) {
+      const auto& lk = topo_.link(l);
+      if (lk.src < topo_.num_switches())
+        factor = std::min(factor, switch_factor[static_cast<std::size_t>(lk.src)]);
+    }
+    rates[f] *= factor;
+  }
+}
+
+void Fabric::fail_link(int link_id) {
+  failed_[static_cast<std::size_t>(link_id)] = 1;
+  eff_cap_[static_cast<std::size_t>(link_id)] = 0.0;
+}
+
+void Fabric::restore_link(int link_id) {
+  failed_[static_cast<std::size_t>(link_id)] = 0;
+  const auto& l = topo_.link(link_id);
+  const bool terminal =
+      l.kind == topo::LinkKind::Injection || l.kind == topo::LinkKind::Ejection;
+  eff_cap_[static_cast<std::size_t>(link_id)] =
+      terminal ? l.capacity * cfg_.nic_efficiency : l.capacity;
+}
+
+int Fabric::failed_links() const {
+  int n = 0;
+  for (char f : failed_)
+    if (f) ++n;
+  return n;
+}
+
+double Fabric::base_latency(int src_ep, int dst_ep) const {
+  double lat = 0;
+  for (int l : minimal_path(src_ep, dst_ep)) lat += topo_.link(l).latency_s;
+  return lat;
+}
+
+int Fabric::minimal_hops(int src_ep, int dst_ep) const {
+  return static_cast<int>(minimal_path(src_ep, dst_ep).size());
+}
+
+}  // namespace xscale::net

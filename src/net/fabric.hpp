@@ -1,0 +1,97 @@
+// The fabric: topology + routing + bandwidth sharing + congestion control.
+//
+// This is the model behind Figure 6 (mpiGraph histograms), Table 5 (GPCNeT)
+// and every application communication estimate. It computes *steady-state*
+// max-min fair rates for a set of concurrent flows; the event-driven
+// `FlowSim` (flowsim.hpp) layers byte-counted dynamics on top for I/O and
+// app traces.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "net/solver.hpp"
+#include "sim/rng.hpp"
+#include "topo/topology.hpp"
+
+namespace xscale::net {
+
+enum class Routing {
+  Minimal,   // shortest path only
+  Valiant,   // always detour via a random intermediate group
+  Adaptive,  // UGAL-style per-flow choice between the two
+};
+
+const char* to_string(Routing r);
+
+struct FabricConfig {
+  Routing routing = Routing::Adaptive;
+  // Slingshot hardware congestion control (§4.2.2). When on, flows receive
+  // their max-min fair share regardless of other traffic (victim isolation).
+  // When off, head-of-line blocking couples flows that share a switch with an
+  // oversubscribed link.
+  bool congestion_control = true;
+  // Fraction of wire rate a NIC sustains end-to-end (protocol/header
+  // overheads); applied to terminal link capacities.
+  double nic_efficiency = 0.70;
+  // UGAL bias: take the non-minimal path when the minimal global link already
+  // carries more than `ugal_threshold` times the flows of the detour path.
+  double ugal_threshold = 2.0;
+  std::uint64_t seed = 0xF2011EA5;
+};
+
+class Fabric {
+ public:
+  Fabric(topo::Topology topology, FabricConfig cfg);
+
+  const topo::Topology& topology() const { return topo_; }
+  const FabricConfig& config() const { return cfg_; }
+
+  // Route one flow. Adaptive routing consults `global_load` (flows currently
+  // assigned per link) when provided.
+  std::vector<int> route(int src_ep, int dst_ep, sim::Rng& rng,
+                         const std::vector<int>* global_load = nullptr) const;
+
+  // Routes every pair (adaptive decisions see earlier flows' load) and
+  // solves for steady-state max-min rates (B/s per flow). Optional `weights`
+  // let one flow stand in for several ranks sharing a NIC (weighted
+  // fairness); optional `paths_out` returns the chosen paths (for ablation).
+  // `rate_caps` (optional, 0 = uncapped) bound a flow's offered load — e.g.
+  // message-rate-limited congestors that cannot saturate their NIC. Caps are
+  // realized as per-flow virtual links, so capped flows still take part in
+  // max-min fairness.
+  std::vector<double> steady_rates(const std::vector<std::pair<int, int>>& pairs,
+                                   const std::vector<double>* weights = nullptr,
+                                   std::vector<std::vector<int>>* paths_out = nullptr,
+                                   const std::vector<double>* rate_caps = nullptr) const;
+
+  // One-way zero-load latency over the minimal path.
+  double base_latency(int src_ep, int dst_ep) const;
+  int minimal_hops(int src_ep, int dst_ep) const;
+
+  // Effective link capacities after NIC efficiency (indexed by link id).
+  const std::vector<double>& effective_capacities() const { return eff_cap_; }
+
+  // --- fabric manager (§3.4.2) -------------------------------------------------
+  // The Slingshot Fabric Manager sweeps for failures and pushes new routing
+  // tables. Failing a global bundle makes minimal routing between its two
+  // groups fall back to a one-intermediate-group detour; failing a local or
+  // terminal link degrades its capacity to zero.
+  void fail_link(int link_id);
+  void restore_link(int link_id);
+  bool is_failed(int link_id) const { return failed_[static_cast<std::size_t>(link_id)] != 0; }
+  int failed_links() const;
+
+ private:
+  std::vector<int> minimal_path(int src_ep, int dst_ep) const;
+  std::vector<int> valiant_path(int src_ep, int dst_ep, sim::Rng& rng) const;
+  void apply_hol_blocking(const std::vector<std::vector<int>>& paths,
+                          std::vector<double>& rates) const;
+
+  topo::Topology topo_;
+  FabricConfig cfg_;
+  std::vector<double> eff_cap_;
+  std::vector<char> failed_;
+};
+
+}  // namespace xscale::net

@@ -1,0 +1,82 @@
+#include "net/flowsim.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace xscale::net {
+
+std::uint64_t FlowSim::start(int src, int dst, double bytes, Done on_done) {
+  if (link_load_.empty()) link_load_.assign(fabric_.topology().links().size(), 0);
+  auto path = fabric_.route(src, dst, rng_, &link_load_);
+  return start_on_path(std::move(path), bytes, std::move(on_done));
+}
+
+std::uint64_t FlowSim::start_on_path(std::vector<int> path, double bytes,
+                                     Done on_done) {
+  assert(!path.empty());
+  if (link_load_.empty()) link_load_.assign(fabric_.topology().links().size(), 0);
+  advance_to_now();
+  const std::uint64_t id = next_id_++;
+  for (int l : path) ++link_load_[static_cast<std::size_t>(l)];
+  flows_.emplace(id, Flow{std::move(path), std::max(bytes, 1.0), 0.0,
+                          std::move(on_done)});
+  resolve_and_schedule();
+  return id;
+}
+
+void FlowSim::advance_to_now() {
+  const double dt = eng_.now() - last_update_;
+  if (dt > 0) {
+    for (auto& [id, f] : flows_) f.remaining -= f.rate * dt;
+  }
+  last_update_ = eng_.now();
+}
+
+void FlowSim::resolve_and_schedule() {
+  if (has_pending_event_) {
+    eng_.cancel(pending_event_);
+    has_pending_event_ = false;
+  }
+  if (flows_.empty()) return;
+
+  // Re-solve rates for the active set (deterministic order by id).
+  std::vector<std::uint64_t> ids;
+  ids.reserve(flows_.size());
+  for (const auto& [id, f] : flows_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  std::vector<std::vector<int>> paths;
+  paths.reserve(ids.size());
+  for (auto id : ids) paths.push_back(flows_.at(id).path);
+  const auto rates = max_min_rates(fabric_.effective_capacities(), paths);
+
+  double next_done = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    auto& f = flows_.at(ids[i]);
+    f.rate = std::max(rates[i], 1.0);  // guard against zero-rate stalls
+    next_done = std::min(next_done, f.remaining / f.rate);
+  }
+
+  pending_event_ = eng_.schedule_in(std::max(next_done, 0.0), [this] {
+    has_pending_event_ = false;
+    advance_to_now();
+    // Complete every flow that has drained (ties finish together).
+    std::vector<std::uint64_t> done;
+    for (auto& [id, f] : flows_)
+      if (f.remaining <= 1e-6 * std::max(1.0, f.rate)) done.push_back(id);
+    std::sort(done.begin(), done.end());
+    std::vector<Done> callbacks;
+    for (auto id : done) {
+      auto& f = flows_.at(id);
+      for (int l : f.path) --link_load_[static_cast<std::size_t>(l)];
+      callbacks.push_back(std::move(f.on_done));
+      flows_.erase(id);
+    }
+    resolve_and_schedule();
+    for (auto& cb : callbacks)
+      if (cb) cb();
+  });
+  has_pending_event_ = true;
+}
+
+}  // namespace xscale::net

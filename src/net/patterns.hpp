@@ -1,0 +1,61 @@
+// Traffic pattern generators (mpiGraph shifts, GPCNeT congestor patterns).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace xscale::net {
+
+using PairList = std::vector<std::pair<int, int>>;
+
+// mpiGraph's schedule: at step `shift`, endpoint i sends to (i + shift) % n.
+inline PairList shift_pattern(int n, int shift, int first = 0) {
+  PairList p;
+  p.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    p.emplace_back(first + i, first + (i + shift) % n);
+  return p;
+}
+
+// Random permutation: every endpoint sends to a distinct random peer.
+inline PairList random_permutation(int n, sim::Rng& rng, int first = 0) {
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+  // Fisher-Yates, then remove fixed points by swapping with a neighbour so
+  // the result stays a permutation (no duplicate destinations).
+  for (int i = n - 1; i > 0; --i)
+    std::swap(perm[static_cast<std::size_t>(i)],
+              perm[rng.index(static_cast<std::uint64_t>(i + 1))]);
+  for (int i = 0; i < n; ++i)
+    if (perm[static_cast<std::size_t>(i)] == i)
+      std::swap(perm[static_cast<std::size_t>(i)],
+                perm[static_cast<std::size_t>((i + 1) % n)]);
+  PairList p;
+  p.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    if (perm[static_cast<std::size_t>(i)] != i)
+      p.emplace_back(first + i, first + perm[static_cast<std::size_t>(i)]);
+  return p;
+}
+
+// Incast: `sources` endpoints all target one destination.
+inline PairList incast(const std::vector<int>& sources, int target) {
+  PairList p;
+  p.reserve(sources.size());
+  for (int s : sources)
+    if (s != target) p.emplace_back(s, target);
+  return p;
+}
+
+// Broadcast: one source fans out to all destinations.
+inline PairList broadcast(int source, const std::vector<int>& dests) {
+  PairList p;
+  p.reserve(dests.size());
+  for (int d : dests)
+    if (d != source) p.emplace_back(source, d);
+  return p;
+}
+
+}  // namespace xscale::net

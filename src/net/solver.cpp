@@ -1,0 +1,85 @@
+#include "net/solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace xscale::net {
+
+std::vector<double> max_min_rates(const std::vector<double>& capacities,
+                                  const std::vector<std::vector<int>>& paths,
+                                  const std::vector<double>* weights,
+                                  SolveStats* stats) {
+  const std::size_t nf = paths.size();
+  std::vector<double> rate(nf, 0.0);
+  if (nf == 0) return rate;
+
+  // Per-link: residual capacity, total unfrozen weight, flows crossing it.
+  std::vector<double> residual = capacities;
+  std::vector<double> active_w(capacities.size(), 0.0);
+  std::vector<std::vector<int>> flows_on(capacities.size());
+  std::vector<char> frozen(nf, 0);
+
+  auto w_of = [&](std::size_t f) { return weights ? (*weights)[f] : 1.0; };
+
+  std::vector<int> active_links;
+  for (std::size_t f = 0; f < nf; ++f) {
+    assert(!paths[f].empty());
+    for (int l : paths[f]) {
+      if (active_w[static_cast<std::size_t>(l)] == 0.0)
+        active_links.push_back(l);
+      active_w[static_cast<std::size_t>(l)] += w_of(f);
+      flows_on[static_cast<std::size_t>(l)].push_back(static_cast<int>(f));
+    }
+  }
+
+  std::size_t remaining = nf;
+  int iterations = 0;
+  int bottlenecks = 0;
+  while (remaining > 0) {
+    ++iterations;
+    // Find the smallest per-weight share among links with unfrozen flows.
+    double min_share = std::numeric_limits<double>::infinity();
+    for (int l : active_links) {
+      const auto lu = static_cast<std::size_t>(l);
+      if (active_w[lu] <= 0.0) continue;
+      min_share = std::min(min_share, std::max(0.0, residual[lu]) / active_w[lu]);
+    }
+    assert(std::isfinite(min_share));
+
+    // Freeze every flow crossing any link whose share ties the minimum
+    // (within a relative tolerance); symmetric traffic patterns produce
+    // massive ties and this collapses them into one iteration.
+    const double cutoff = min_share * (1.0 + 1e-9);
+    for (int l : active_links) {
+      const auto lu = static_cast<std::size_t>(l);
+      if (active_w[lu] <= 0.0) continue;
+      if (std::max(0.0, residual[lu]) / active_w[lu] > cutoff) continue;
+      ++bottlenecks;
+      for (int fi : flows_on[lu]) {
+        const auto fu = static_cast<std::size_t>(fi);
+        if (frozen[fu]) continue;
+        frozen[fu] = 1;
+        rate[fu] = min_share * w_of(fu);
+        --remaining;
+        for (int pl : paths[fu]) {
+          const auto plu = static_cast<std::size_t>(pl);
+          residual[plu] -= rate[fu];
+          active_w[plu] -= w_of(fu);
+        }
+      }
+    }
+    // Drop links with no remaining unfrozen flows.
+    std::erase_if(active_links,
+                  [&](int l) { return active_w[static_cast<std::size_t>(l)] <= 1e-12; });
+  }
+
+  if (stats) {
+    stats->iterations = iterations;
+    stats->bottleneck_links = bottlenecks;
+  }
+  return rate;
+}
+
+}  // namespace xscale::net

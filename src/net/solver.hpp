@@ -1,0 +1,27 @@
+// Max-min fair bandwidth allocation (progressive water-filling).
+//
+// Given link capacities and one path (list of link ids) per flow, computes
+// the unique max-min fair rate vector: repeatedly find the most constrained
+// link, freeze every flow crossing it at the link's equal share, remove that
+// bandwidth, and continue. This is the steady-state a credit-based,
+// congestion-managed fabric like Slingshot converges to for long flows.
+#pragma once
+
+#include <vector>
+
+namespace xscale::net {
+
+struct SolveStats {
+  int iterations = 0;
+  int bottleneck_links = 0;
+};
+
+// `capacities[l]` is the capacity of link l; `paths[f]` lists the links of
+// flow f (must be non-empty, without duplicates). Optional `weights` give
+// weighted fairness (a flow counting as w concurrent streams); default 1.
+std::vector<double> max_min_rates(const std::vector<double>& capacities,
+                                  const std::vector<std::vector<int>>& paths,
+                                  const std::vector<double>* weights = nullptr,
+                                  SolveStats* stats = nullptr);
+
+}  // namespace xscale::net

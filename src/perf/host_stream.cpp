@@ -1,0 +1,149 @@
+#include "perf/host_stream.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <new>
+#include <thread>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#define XSCALE_HAS_NT_STORES 1
+#else
+#define XSCALE_HAS_NT_STORES 0
+#endif
+
+namespace xscale::perf {
+namespace {
+
+enum Kernel { kCopy = 0, kScale = 1, kAdd = 2, kTriad = 3 };
+constexpr double kScalar = 3.0;
+
+void run_range_temporal(int kernel, double* a, const double* b, const double* c,
+                        std::size_t lo, std::size_t hi) {
+  switch (kernel) {
+    case kCopy:
+      for (std::size_t i = lo; i < hi; ++i) a[i] = b[i];
+      break;
+    case kScale:
+      for (std::size_t i = lo; i < hi; ++i) a[i] = kScalar * b[i];
+      break;
+    case kAdd:
+      for (std::size_t i = lo; i < hi; ++i) a[i] = b[i] + c[i];
+      break;
+    case kTriad:
+      for (std::size_t i = lo; i < hi; ++i) a[i] = b[i] + kScalar * c[i];
+      break;
+  }
+}
+
+#if XSCALE_HAS_NT_STORES
+void run_range_nontemporal(int kernel, double* a, const double* b,
+                           const double* c, std::size_t lo, std::size_t hi) {
+  // Arrays are 64-byte aligned and ranges are multiples of 2 doubles, so the
+  // 16-byte streaming stores below are always aligned.
+  switch (kernel) {
+    case kCopy:
+      for (std::size_t i = lo; i < hi; i += 2)
+        _mm_stream_pd(a + i, _mm_loadu_pd(b + i));
+      break;
+    case kScale: {
+      const __m128d s = _mm_set1_pd(kScalar);
+      for (std::size_t i = lo; i < hi; i += 2)
+        _mm_stream_pd(a + i, _mm_mul_pd(s, _mm_loadu_pd(b + i)));
+      break;
+    }
+    case kAdd:
+      for (std::size_t i = lo; i < hi; i += 2)
+        _mm_stream_pd(a + i, _mm_add_pd(_mm_loadu_pd(b + i), _mm_loadu_pd(c + i)));
+      break;
+    case kTriad: {
+      const __m128d s = _mm_set1_pd(kScalar);
+      for (std::size_t i = lo; i < hi; i += 2)
+        _mm_stream_pd(a + i, _mm_add_pd(_mm_loadu_pd(b + i),
+                                        _mm_mul_pd(s, _mm_loadu_pd(c + i))));
+      break;
+    }
+  }
+  _mm_sfence();
+}
+#endif
+
+}  // namespace
+
+bool HostStream::has_nontemporal_stores() { return XSCALE_HAS_NT_STORES != 0; }
+
+HostStream::HostStream(std::size_t elements, int threads)
+    : elements_((elements + 1) & ~std::size_t{1}),  // even, for paired stores
+      threads_(threads > 0
+                   ? threads
+                   : static_cast<int>(std::max(1u, std::thread::hardware_concurrency()))) {
+  const std::size_t bytes = elements_ * sizeof(double);
+  a_ = static_cast<double*>(::operator new(bytes, std::align_val_t{64}));
+  b_ = static_cast<double*>(::operator new(bytes, std::align_val_t{64}));
+  c_ = static_cast<double*>(::operator new(bytes, std::align_val_t{64}));
+  for (std::size_t i = 0; i < elements_; ++i) {
+    a_[i] = 1.0;
+    b_[i] = 2.0;
+    c_[i] = 0.5;
+  }
+}
+
+HostStream::~HostStream() {
+  ::operator delete(a_, std::align_val_t{64});
+  ::operator delete(b_, std::align_val_t{64});
+  ::operator delete(c_, std::align_val_t{64});
+}
+
+double HostStream::time_kernel(int kernel, bool temporal) {
+  auto body = [&](std::size_t lo, std::size_t hi) {
+#if XSCALE_HAS_NT_STORES
+    if (!temporal) {
+      run_range_nontemporal(kernel, a_, b_, c_, lo, hi);
+      return;
+    }
+#else
+    (void)temporal;
+#endif
+    run_range_temporal(kernel, a_, b_, c_, lo, hi);
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  if (threads_ <= 1) {
+    body(0, elements_);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(threads_));
+    const std::size_t chunk = (elements_ / static_cast<std::size_t>(threads_) + 1) & ~std::size_t{1};
+    for (int t = 0; t < threads_; ++t) {
+      const std::size_t lo = std::min(elements_, static_cast<std::size_t>(t) * chunk);
+      const std::size_t hi = std::min(elements_, lo + chunk);
+      workers.emplace_back(body, lo, hi);
+    }
+    for (auto& w : workers) w.join();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+std::vector<HostStreamResult> HostStream::run(int reps) {
+  // Counted bytes per kernel, STREAM convention.
+  const double counted[4] = {2.0, 2.0, 3.0, 3.0};
+  std::vector<HostStreamResult> out(4);
+  static const char* names[4] = {"Copy", "Scale", "Add", "Triad"};
+  for (int k = 0; k < 4; ++k) {
+    out[static_cast<std::size_t>(k)].kernel = names[k];
+    double best_t = 1e300, best_nt = 1e300;
+    time_kernel(k, true);  // warm-up
+    for (int r = 0; r < reps; ++r) {
+      best_t = std::min(best_t, time_kernel(k, true));
+      best_nt = std::min(best_nt, time_kernel(k, false));
+    }
+    const double bytes = counted[k] * static_cast<double>(elements_) * sizeof(double);
+    out[static_cast<std::size_t>(k)].temporal_bw = bytes / best_t;
+    out[static_cast<std::size_t>(k)].nontemporal_bw = bytes / best_nt;
+  }
+  return out;
+}
+
+}  // namespace xscale::perf

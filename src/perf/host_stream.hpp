@@ -1,0 +1,50 @@
+// A real, runnable STREAM implementation for the host CPU.
+//
+// Table 3's point is qualitative: with temporal (cache-allocating) stores the
+// Scale/Add/Triad kernels lose ~1/3 of their bandwidth to read-for-ownership
+// traffic, while non-temporal stores avoid it and Copy is nearly unaffected.
+// This module lets that effect be measured on whatever hardware hosts the
+// repository, alongside the analytic Trento model in `hw::DdrConfig`.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace xscale::perf {
+
+struct HostStreamResult {
+  std::string kernel;          // Copy/Scale/Add/Triad
+  double temporal_bw = 0;      // counted B/s, regular stores
+  double nontemporal_bw = 0;   // counted B/s, streaming stores (if supported)
+};
+
+class HostStream {
+ public:
+  // `elements` per array; three arrays of doubles are allocated.
+  // `threads` <= hardware concurrency; 0 picks hardware concurrency.
+  explicit HostStream(std::size_t elements, int threads = 0);
+  ~HostStream();
+  HostStream(const HostStream&) = delete;
+  HostStream& operator=(const HostStream&) = delete;
+
+  // Best-of-`reps` bandwidth for every kernel, both store flavours.
+  std::vector<HostStreamResult> run(int reps = 5);
+
+  // True when the build/ISA provides genuine non-temporal stores; otherwise
+  // the non-temporal numbers fall back to temporal stores.
+  static bool has_nontemporal_stores();
+
+  std::size_t bytes_per_array() const { return elements_ * sizeof(double); }
+
+ private:
+  double time_kernel(int kernel, bool temporal);
+
+  std::size_t elements_;
+  int threads_;
+  double* a_ = nullptr;
+  double* b_ = nullptr;
+  double* c_ = nullptr;
+};
+
+}  // namespace xscale::perf

@@ -1,0 +1,21 @@
+#include "perf/roofline.hpp"
+
+#include <algorithm>
+
+namespace xscale::perf {
+
+double kernel_time(const KernelWork& k, const hw::GpuConfig& g) {
+  const double peak =
+      k.uses_matrix_cores ? g.matrix_peak(k.precision) : g.vector_peak(k.precision);
+  const double t_compute = peak > 0 ? k.flops / (peak * k.compute_efficiency) : 0.0;
+  const double t_memory =
+      g.hbm.peak_bandwidth > 0 ? k.bytes / (g.hbm.peak_bandwidth * k.memory_efficiency) : 0.0;
+  return g.launch_latency_s + std::max(t_compute, t_memory);
+}
+
+double ridge_point(const hw::GpuConfig& g, hw::Precision p, bool matrix_cores) {
+  const double peak = matrix_cores ? g.matrix_peak(p) : g.vector_peak(p);
+  return peak / g.hbm.peak_bandwidth;
+}
+
+}  // namespace xscale::perf

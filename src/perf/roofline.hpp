@@ -1,0 +1,32 @@
+// Roofline kernel-time model.
+//
+// Proxy applications describe each GPU kernel by its arithmetic and HBM
+// traffic; the model charges the max of compute time and memory time on the
+// target device. This is the standard roofline abstraction the paper's
+// application sections implicitly argue in (e.g. §4.4: bandwidth-bound codes
+// scale with HBM improvements, GEMM-heavy codes with matrix-core FLOPs).
+#pragma once
+
+#include "hw/gpu.hpp"
+
+namespace xscale::perf {
+
+struct KernelWork {
+  double flops = 0;            // arithmetic operations
+  double bytes = 0;            // HBM traffic
+  hw::Precision precision = hw::Precision::FP64;
+  bool uses_matrix_cores = false;
+  // Fraction of the relevant peak this kernel sustains when that resource is
+  // the bottleneck (code quality factor).
+  double compute_efficiency = 0.80;
+  double memory_efficiency = 0.80;
+};
+
+// Time for one launch of `k` on device `g` (seconds).
+double kernel_time(const KernelWork& k, const hw::GpuConfig& g);
+
+// Arithmetic intensity (FLOP/byte) at which `g` transitions from memory- to
+// compute-bound for precision `p`.
+double ridge_point(const hw::GpuConfig& g, hw::Precision p, bool matrix_cores);
+
+}  // namespace xscale::perf

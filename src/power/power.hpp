@@ -1,0 +1,76 @@
+// Power and energy model (§5.1, and the 2008 exascale report's 20 MW/EF
+// target the paper frames itself against).
+//
+// The node model sums per-component draw under workload activity factors;
+// the system model adds switches, storage, and facility overhead (Frontier
+// is warm-water cooled; PUE is close to 1). Calibrated so an HPL-like run
+// lands at the paper's headline: 1.102 EF at 21.1 MW -> 52.2 GF/W.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "machines/machine.hpp"
+
+namespace xscale::power {
+
+struct Activity {
+  // 0..1 utilization of each subsystem during the workload.
+  double gpu = 1.0;
+  double cpu = 0.2;
+  double memory = 0.8;
+  double nic = 0.3;
+};
+
+// Canonical workload activity points.
+Activity hpl_activity();     // GPU-saturating dense solve
+Activity stream_activity();  // memory-bound
+Activity idle_activity();
+
+struct NodePowerModel {
+  // Watts per component at idle and full activity.
+  double cpu_idle = 90, cpu_peak = 280;
+  double gpu_module_idle = 90, gpu_module_peak = 560;  // per MI250X OAM
+  int gpu_modules = 4;
+  double dimm_idle = 3, dimm_peak = 8;  // per DIMM
+  int dimms = 8;
+  double nic_idle = 15, nic_peak = 25;  // per Cassini
+  int nics = 4;
+  double node_overhead = 120;  // VRs, fans, board, node-local NVMe
+
+  double node_power(const Activity& a) const;
+};
+
+struct SystemPowerModel {
+  NodePowerModel node;
+  int nodes = 9472;
+  int switches = 74 * 32 + 6 * 16;
+  double switch_power = 250;     // W per 64-port Rosetta blade switch
+  double storage_power = 800e3;  // Orion + service nodes
+  double cooling_overhead = 0.02;  // warm-water loop pumps (PUE ~ 1.02)
+
+  double system_power(const Activity& a) const;
+
+  // GF/W for a workload achieving `sustained_flops` under activity `a`.
+  double gflops_per_watt(double sustained_flops, const Activity& a) const;
+};
+
+// Frontier's headline numbers (§5.1) — HPL Rmax from the June 2022 TOP500.
+struct Green500Entry {
+  double rmax_flops = 1.102e18;
+  double power_w = 0;
+  double gf_per_watt = 0;
+};
+Green500Entry frontier_green500(const SystemPowerModel& model = {});
+
+// The 2008 report's straw-man designs landed at 68-155 MW/EF; Frontier's
+// achieved MW per EF(Rmax) for comparison.
+struct StrawmanComparison {
+  double report_low_mw_per_ef = 68;
+  double report_high_mw_per_ef = 155;
+  double report_target_mw_per_ef = 20;
+  double frontier_mw_per_ef = 0;
+};
+StrawmanComparison strawman_comparison(const SystemPowerModel& model = {});
+
+}  // namespace xscale::power

@@ -1,0 +1,73 @@
+#include "resil/jobsim.hpp"
+
+#include <algorithm>
+
+#include "sim/stats.hpp"
+
+namespace xscale::resil {
+
+JobSimResult replay_job(const ResiliencyModel& model, sim::Rng& rng,
+                        JobSimConfig cfg) {
+  if (cfg.checkpoint_interval_s <= 0)
+    cfg.checkpoint_interval_s =
+        model.optimal_checkpoint_interval_s(cfg.checkpoint_write_s);
+
+  const double rate_per_s = model.interrupts_per_hour() / 3600.0;
+  JobSimResult out;
+  const double work_needed_s = cfg.work_hours * 3600.0;
+
+  double wall = 0;  // elapsed wall clock
+  double done = 0;  // committed (checkpointed) work
+  double next_failure = rng.exponential(rate_per_s);
+
+  while (done < work_needed_s) {
+    // Attempt one segment of work followed by a checkpoint commit.
+    const double segment = std::min(cfg.checkpoint_interval_s, work_needed_s - done);
+    const double ckpt_at = wall + segment + cfg.checkpoint_write_s;
+    if (next_failure < ckpt_at) {
+      // Failure before the checkpoint commits: the whole segment is lost.
+      const double progressed = std::max(0.0, next_failure - wall);
+      out.lost_work_hours += (std::min(progressed, segment) + cfg.restart_s) / 3600.0;
+      wall = next_failure + cfg.restart_s;
+      ++out.failures;
+      next_failure = wall + rng.exponential(rate_per_s);
+      continue;
+    }
+    wall = ckpt_at;
+    done += segment;
+    ++out.checkpoints;
+    out.lost_work_hours += cfg.checkpoint_write_s / 3600.0;
+  }
+
+  out.wall_hours = wall / 3600.0;
+  out.efficiency = cfg.work_hours / out.wall_hours;
+  return out;
+}
+
+JobSimSummary replay_jobs(const ResiliencyModel& model, std::uint64_t seed,
+                          int trials, JobSimConfig cfg) {
+  JobSimSummary s;
+  sim::SampleSet eff;
+  double wall = 0, lost = 0;
+  int fails = 0, ckpts = 0;
+  for (int t = 0; t < trials; ++t) {
+    sim::Rng rng(sim::splitmix64(seed ^ static_cast<std::uint64_t>(t)));
+    const auto r = replay_job(model, rng, cfg);
+    eff.add(r.efficiency);
+    wall += r.wall_hours;
+    lost += r.lost_work_hours;
+    fails += r.failures;
+    ckpts += r.checkpoints;
+  }
+  const double n = std::max(1, trials);
+  s.mean.wall_hours = wall / n;
+  s.mean.lost_work_hours = lost / n;
+  s.mean.failures = static_cast<int>(fails / n);
+  s.mean.checkpoints = static_cast<int>(ckpts / n);
+  s.mean.efficiency = eff.mean();
+  s.efficiency_p5 = eff.percentile(5);
+  s.efficiency_p95 = eff.percentile(95);
+  return s;
+}
+
+}  // namespace xscale::resil

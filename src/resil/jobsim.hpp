@@ -1,0 +1,45 @@
+// Event-driven failure replay for a long-running job with checkpoint/restart.
+//
+// Young/Daly gives the *expected* efficiency; this simulator actually plays
+// failures (exponential inter-arrival at the machine MTTI) against a job
+// that checkpoints every `interval`, losing the work since the last
+// checkpoint plus a restart penalty on each hit — so the distribution of
+// outcomes, not just the mean, is observable. Used to validate the planner
+// and by the failure_replay example.
+#pragma once
+
+#include "resil/resiliency.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace xscale::resil {
+
+struct JobSimConfig {
+  double work_hours = 24.0;        // useful compute needed
+  double checkpoint_write_s = 180; // cost of writing one checkpoint
+  double checkpoint_interval_s = 0;  // 0 = use Young's optimum
+  double restart_s = 600;          // reboot/requeue/reload after a failure
+};
+
+struct JobSimResult {
+  double wall_hours = 0;
+  int failures = 0;
+  int checkpoints = 0;
+  double lost_work_hours = 0;      // recomputed work + restart time
+  double efficiency = 0;           // work_hours / wall_hours
+};
+
+// Replay one job instance; deterministic given `rng` state.
+JobSimResult replay_job(const ResiliencyModel& model, sim::Rng& rng,
+                        JobSimConfig cfg);
+
+// Replay `trials` jobs and average; also reports the spread.
+struct JobSimSummary {
+  JobSimResult mean;
+  double efficiency_p5 = 0;
+  double efficiency_p95 = 0;
+};
+JobSimSummary replay_jobs(const ResiliencyModel& model, std::uint64_t seed,
+                          int trials, JobSimConfig cfg);
+
+}  // namespace xscale::resil

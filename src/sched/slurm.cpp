@@ -1,0 +1,190 @@
+#include "sched/slurm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <numeric>
+
+#include "sim/rng.hpp"
+
+namespace xscale::sched {
+
+const char* to_string(Placement p) {
+  switch (p) {
+    case Placement::Auto: return "auto";
+    case Placement::Pack: return "pack";
+    case Placement::Spread: return "spread";
+    case Placement::Random: return "random";
+  }
+  return "?";
+}
+
+Scheduler::Scheduler(int total_nodes, int nodes_per_group, std::uint64_t seed)
+    : total_nodes_(total_nodes),
+      nodes_per_group_(nodes_per_group),
+      groups_((total_nodes + nodes_per_group - 1) / nodes_per_group),
+      healthy_(static_cast<std::size_t>(total_nodes), 1),
+      allocated_(static_cast<std::size_t>(total_nodes), 0),
+      seed_(seed) {}
+
+void Scheduler::set_healthy(int node, bool healthy) {
+  healthy_[static_cast<std::size_t>(node)] = healthy ? 1 : 0;
+}
+
+int Scheduler::healthy_nodes() const {
+  return static_cast<int>(std::count(healthy_.begin(), healthy_.end(), 1));
+}
+
+int Scheduler::free_nodes() const {
+  int n = 0;
+  for (int i = 0; i < total_nodes_; ++i)
+    if (healthy_[static_cast<std::size_t>(i)] && !allocated_[static_cast<std::size_t>(i)])
+      ++n;
+  return n;
+}
+
+std::vector<int> Scheduler::pick_nodes(int count, Placement p) {
+  if (p == Placement::Auto)
+    p = count <= pack_threshold() ? Placement::Pack : Placement::Spread;
+
+  auto available = [&](int node) {
+    return healthy_[static_cast<std::size_t>(node)] &&
+           !allocated_[static_cast<std::size_t>(node)];
+  };
+
+  std::vector<int> picked;
+  picked.reserve(static_cast<std::size_t>(count));
+
+  if (p == Placement::Pack) {
+    // Fill the group with the fewest (but sufficient) free nodes first —
+    // tight packing keeps large contiguous blocks free for big jobs.
+    std::vector<std::pair<int, int>> group_free;  // (free count, group)
+    for (int g = 0; g < groups_; ++g) {
+      int free = 0;
+      const int lo = g * nodes_per_group_;
+      const int hi = std::min(total_nodes_, lo + nodes_per_group_);
+      for (int n = lo; n < hi; ++n)
+        if (available(n)) ++free;
+      if (free > 0) group_free.emplace_back(free, g);
+    }
+    // Best fit: groups that can hold the whole remainder, smallest first.
+    std::sort(group_free.begin(), group_free.end());
+    while (static_cast<int>(picked.size()) < count && !group_free.empty()) {
+      const int need = count - static_cast<int>(picked.size());
+      auto it = std::find_if(group_free.begin(), group_free.end(),
+                             [need](const auto& gf) { return gf.first >= need; });
+      if (it == group_free.end()) it = std::prev(group_free.end());  // biggest
+      const int g = it->second;
+      const int lo = g * nodes_per_group_;
+      const int hi = std::min(total_nodes_, lo + nodes_per_group_);
+      for (int n = lo; n < hi && static_cast<int>(picked.size()) < count; ++n)
+        if (available(n)) picked.push_back(n);
+      group_free.erase(it);
+    }
+  } else if (p == Placement::Spread) {
+    // Round-robin across groups so the job touches as many groups as
+    // possible (maximizing global links reachable by minimal routing).
+    std::vector<int> cursor(static_cast<std::size_t>(groups_), 0);
+    bool progressed = true;
+    while (static_cast<int>(picked.size()) < count && progressed) {
+      progressed = false;
+      for (int g = 0; g < groups_ && static_cast<int>(picked.size()) < count; ++g) {
+        const int lo = g * nodes_per_group_;
+        const int hi = std::min(total_nodes_, lo + nodes_per_group_);
+        int& c = cursor[static_cast<std::size_t>(g)];
+        while (lo + c < hi && !available(lo + c)) ++c;
+        if (lo + c < hi) {
+          picked.push_back(lo + c);
+          ++c;
+          progressed = true;
+        }
+      }
+    }
+  } else {  // Random
+    std::vector<int> free_list;
+    for (int n = 0; n < total_nodes_; ++n)
+      if (available(n)) free_list.push_back(n);
+    sim::Rng rng(seed_ ^ static_cast<std::uint64_t>(next_job_id_));
+    for (std::size_t i = free_list.size(); i > 1; --i)
+      std::swap(free_list[i - 1], free_list[rng.index(i)]);
+    for (int i = 0; i < count && i < static_cast<int>(free_list.size()); ++i)
+      picked.push_back(free_list[static_cast<std::size_t>(i)]);
+  }
+
+  if (static_cast<int>(picked.size()) < count) return {};
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+
+std::optional<Allocation> Scheduler::allocate(int nodes, Placement p) {
+  auto picked = pick_nodes(nodes, p);
+  if (picked.empty()) return std::nullopt;
+  for (int n : picked) allocated_[static_cast<std::size_t>(n)] = 1;
+  Allocation a;
+  a.job_id = next_job_id_++;
+  a.nodes = std::move(picked);
+  a.vni = next_vni_++;
+  if (next_vni_ == 0) next_vni_ = 1;  // VNI 0 is reserved
+  return a;
+}
+
+void Scheduler::release(const Allocation& alloc) {
+  // checknode runs between jobs; in this model it simply returns the node to
+  // the free pool (health faults are injected via set_healthy).
+  for (int n : alloc.nodes) allocated_[static_cast<std::size_t>(n)] = 0;
+}
+
+std::vector<JobRecord> Scheduler::run_workload(sim::Engine& eng,
+                                               const std::vector<JobRequest>& jobs) {
+  std::vector<JobRecord> records(jobs.size());
+  std::deque<std::size_t> queue;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    records[i].request = jobs[i];
+    records[i].submit_time = eng.now();
+    queue.push_back(i);
+  }
+
+  double busy_node_seconds = 0;
+  const double t0 = eng.now();
+
+  // try_start is re-run whenever a job completes. FCFS with conservative
+  // backfill: the head is tried first; followers start only if they fit in
+  // the residual free set right now.
+  auto try_start = std::make_shared<std::function<void()>>();
+  *try_start = [&, try_start] {
+    for (auto it = queue.begin(); it != queue.end();) {
+      const std::size_t j = *it;
+      auto alloc = allocate(records[j].request.nodes, records[j].request.placement);
+      if (alloc.has_value()) {
+        records[j].job_id = alloc->job_id;
+        records[j].nodes = alloc->nodes;
+        records[j].start_time = eng.now();
+        const double dur = records[j].request.duration_s;
+        busy_node_seconds += dur * static_cast<double>(alloc->nodes.size());
+        eng.schedule_in(dur, [this, &eng, &records, try_start, j, a = *alloc] {
+          records[j].end_time = eng.now();
+          release(a);
+          (*try_start)();
+        });
+        it = queue.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  (void)t0;
+  (*try_start)();
+  eng.run();
+  for (auto& r : records)
+    if (r.end_time < 0 && r.start_time >= 0)
+      r.end_time = r.start_time + r.request.duration_s;
+
+  double makespan = 0;
+  for (const auto& r : records) makespan = std::max(makespan, r.end_time);
+  last_utilization_ =
+      makespan > 0 ? busy_node_seconds / (makespan * static_cast<double>(total_nodes_))
+                   : 0;
+  return records;
+}
+
+}  // namespace xscale::sched

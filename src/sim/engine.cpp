@@ -1,0 +1,52 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+namespace xscale::sim {
+
+std::uint64_t Engine::schedule_at(Time t, Callback fn) {
+  if (t < now_) t = now_;
+  const std::uint64_t id = next_seq_++;
+  heap_.push(Event{t, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool Engine::cancel(std::uint64_t id) {
+  return callbacks_.erase(id) > 0;  // stale heap entry is skipped on pop
+}
+
+bool Engine::step() {
+  while (!heap_.empty()) {
+    const Event ev = heap_.top();
+    heap_.pop();
+    auto it = callbacks_.find(ev.seq);
+    if (it == callbacks_.end()) continue;  // cancelled
+    Callback fn = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = ev.t;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+Time Engine::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+  return now_;
+}
+
+Time Engine::run_until(Time t_end) {
+  stopped_ = false;
+  while (!stopped_ && !heap_.empty()) {
+    if (heap_.top().t > t_end) break;
+    step();
+  }
+  if (now_ < t_end) now_ = t_end;
+  return now_;
+}
+
+}  // namespace xscale::sim

@@ -1,0 +1,73 @@
+// Discrete-event simulation engine.
+//
+// The engine owns a priority queue of timestamped events. Events scheduled at
+// equal times fire in insertion order (a monotone sequence number breaks
+// ties), which keeps every simulation in this repository deterministic.
+//
+// The engine is deliberately single-threaded: xscale simulates a parallel
+// machine, it does not need to *be* one, and determinism is worth more than
+// wall-clock speed for reproducing the paper's tables.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace xscale::sim {
+
+using Time = double;  // seconds of simulated time
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  // Current simulated time. Starts at 0.
+  Time now() const { return now_; }
+
+  // Schedule `fn` to run at absolute time `t` (clamped to now() if earlier).
+  // Returns an id usable with `cancel`.
+  std::uint64_t schedule_at(Time t, Callback fn);
+
+  // Schedule `fn` to run `dt` seconds from now.
+  std::uint64_t schedule_in(Time dt, Callback fn) {
+    return schedule_at(now_ + dt, std::move(fn));
+  }
+
+  // Cancel a pending event. Returns false if it already ran or never existed.
+  bool cancel(std::uint64_t id);
+
+  // Run until the event queue drains or stop() is called.
+  // Returns final simulated time.
+  Time run();
+
+  // Run until simulated time reaches `t_end` (events at exactly t_end run).
+  Time run_until(Time t_end);
+
+  // Stop a `run()` in progress after the current event returns.
+  void stop() { stopped_ = true; }
+
+  std::size_t pending_events() const { return callbacks_.size(); }
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    bool operator>(const Event& o) const {
+      return t > o.t || (t == o.t && seq > o.seq);
+    }
+  };
+
+  bool step();  // execute one event; false when queue empty
+
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+};
+
+}  // namespace xscale::sim

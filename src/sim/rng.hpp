@@ -1,0 +1,59 @@
+// Deterministic random-number utilities.
+//
+// Every stochastic component in xscale draws from an explicitly seeded Rng so
+// that each bench/test run reproduces bit-identical results. Sub-streams are
+// derived with SplitMix64 so components can be given independent streams from
+// one master seed without correlation.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace xscale::sim {
+
+// SplitMix64: used for seed derivation (Steele et al., "Fast splittable
+// pseudorandom number generators").
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97f4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5EEDULL)
+      : base_seed_(seed), gen_(splitmix64(seed)) {}
+
+  // Independent sub-stream for component `tag` (e.g. per node, per flow).
+  Rng substream(std::uint64_t tag) const {
+    return Rng(splitmix64(base_seed_ ^ splitmix64(tag)));
+  }
+
+  double uniform() { return dist_(gen_); }                       // [0,1)
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+  // Integer in [0, n).
+  std::uint64_t index(std::uint64_t n) {
+    return std::uniform_int_distribution<std::uint64_t>(0, n - 1)(gen_);
+  }
+  double exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(gen_);
+  }
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(gen_);
+  }
+  // Log-normal parameterized by the *target* median and sigma of log.
+  double lognormal_median(double median, double sigma) {
+    return std::lognormal_distribution<double>(std::log(median), sigma)(gen_);
+  }
+  bool bernoulli(double p) { return uniform() < p; }
+
+  std::mt19937_64& raw() { return gen_; }
+
+ private:
+  std::uint64_t base_seed_ = 0;
+  std::mt19937_64 gen_;
+  std::uniform_real_distribution<double> dist_{0.0, 1.0};
+};
+
+}  // namespace xscale::sim

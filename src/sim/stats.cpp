@@ -1,0 +1,47 @@
+#include "sim/stats.hpp"
+
+#include <cstdio>
+
+namespace xscale::sim {
+
+double SampleSet::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(samples_.size())));
+  return samples_[rank == 0 ? 0 : rank - 1];
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0.0) {}
+
+void Histogram::add(double x, double weight) {
+  auto idx = static_cast<long long>(std::floor((x - lo_) / width_));
+  idx = std::clamp<long long>(idx, 0, static_cast<long long>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+std::string Histogram::ascii(std::size_t max_width, const std::string& unit) const {
+  double peak = 0.0;
+  for (double c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar_len = peak > 0.0
+        ? static_cast<std::size_t>(counts_[i] / peak * static_cast<double>(max_width))
+        : 0;
+    std::snprintf(line, sizeof(line), "  [%8.2f, %8.2f) %s %9.0f |", bin_lo(i),
+                  bin_hi(i), unit.c_str(), counts_[i]);
+    out += line;
+    out.append(bar_len, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace xscale::sim

@@ -1,0 +1,96 @@
+// Streaming statistics, percentile samples, and fixed-bin histograms.
+//
+// These back every "Average / 99%" column and every histogram figure in the
+// reproduced tables.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace xscale::sim {
+
+// Welford online mean/variance plus min/max.
+class OnlineStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Retains all samples; supports exact percentiles. Fine for the sample counts
+// used in the benches (<= millions).
+class SampleSet {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    stats_.add(x);
+    sorted_ = false;
+  }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const { return stats_.mean(); }
+  double stddev() const { return stats_.stddev(); }
+  double min() const { return stats_.min(); }
+  double max() const { return stats_.max(); }
+
+  // Exact percentile by nearest-rank; p in [0,100].
+  double percentile(double p) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  OnlineStats stats_;
+};
+
+// Fixed-width-bin histogram over [lo, hi); out-of-range values clamp to the
+// edge bins, matching how mpiGraph-style plots bucket outliers.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+  double bin_hi(std::size_t i) const { return bin_lo(i) + width_; }
+  double bin_center(std::size_t i) const { return bin_lo(i) + width_ / 2.0; }
+  double count(std::size_t i) const { return counts_[i]; }
+  double total() const { return total_; }
+
+  // Multi-line ASCII rendering (one row per bin with a proportional bar),
+  // used by the figure benches.
+  std::string ascii(std::size_t max_width = 60, const std::string& unit = "") const;
+
+ private:
+  double lo_, width_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+}  // namespace xscale::sim

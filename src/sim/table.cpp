@@ -1,0 +1,69 @@
+#include "sim/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace xscale::sim {
+
+Table& Table::header(std::vector<std::string> cols) {
+  header_ = std::move(cols);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cols) {
+  rows_.push_back({std::move(cols), false});
+  return *this;
+}
+
+Table& Table::rule() {
+  rows_.push_back({{}, true});
+  return *this;
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+  return buf;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths;
+  auto widen = [&](const std::vector<std::string>& cols) {
+    if (widths.size() < cols.size()) widths.resize(cols.size(), 0);
+    for (std::size_t i = 0; i < cols.size(); ++i)
+      widths[i] = std::max(widths[i], cols[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_)
+    if (!r.is_rule) widen(r.cols);
+
+  auto fmt_row = [&](const std::vector<std::string>& cols) {
+    std::string line = "| ";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      std::string c = i < cols.size() ? cols[i] : "";
+      c.resize(widths[i], ' ');
+      line += c + " | ";
+    }
+    line.pop_back();
+    return line + "\n";
+  };
+  auto rule_row = [&] {
+    std::string line = "+";
+    for (auto w : widths) line += std::string(w + 2, '-') + "+";
+    return line + "\n";
+  };
+
+  std::string out = "== " + title_ + " ==\n";
+  out += rule_row();
+  if (!header_.empty()) {
+    out += fmt_row(header_);
+    out += rule_row();
+  }
+  for (const auto& r : rows_) out += r.is_rule ? rule_row() : fmt_row(r.cols);
+  out += rule_row();
+  return out;
+}
+
+void Table::print() const { std::fputs(render().c_str(), stdout); }
+
+}  // namespace xscale::sim

@@ -1,0 +1,37 @@
+// Minimal fixed-width table renderer for bench output.
+//
+// Every bench binary prints the paper's table/figure as rows; this helper
+// keeps the formatting consistent and column-aligned.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xscale::sim {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  Table& header(std::vector<std::string> cols);
+  Table& row(std::vector<std::string> cols);
+  // Horizontal separator row.
+  Table& rule();
+
+  std::string render() const;
+  // Render to stdout.
+  void print() const;
+
+  static std::string num(double v, int precision = 4);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  struct Row {
+    std::vector<std::string> cols;
+    bool is_rule = false;
+  };
+  std::vector<Row> rows_;
+};
+
+}  // namespace xscale::sim

@@ -1,0 +1,70 @@
+#include "sim/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace xscale::units {
+namespace {
+
+std::string scaled(double v, double base, const char* const* suffixes, int n,
+                   const char* tail) {
+  int i = 0;
+  double a = std::fabs(v);
+  while (a >= base && i + 1 < n) {
+    v /= base;
+    a /= base;
+    ++i;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4g %s%s", v, suffixes[i], tail);
+  return buf;
+}
+
+}  // namespace
+
+std::string fmt_bytes_si(double bytes) {
+  static const char* s[] = {"", "K", "M", "G", "T", "P", "E"};
+  return scaled(bytes, 1e3, s, 7, "B");
+}
+
+std::string fmt_bytes_iec(double bytes) {
+  static const char* s[] = {"", "Ki", "Mi", "Gi", "Ti", "Pi", "Ei"};
+  return scaled(bytes, 1024.0, s, 7, "B");
+}
+
+std::string fmt_rate(double bps) {
+  static const char* s[] = {"", "K", "M", "G", "T", "P", "E"};
+  return scaled(bps, 1e3, s, 7, "B/s");
+}
+
+std::string fmt_flops(double fps) {
+  static const char* s[] = {"", "K", "M", "G", "T", "P", "E"};
+  return scaled(fps, 1e3, s, 7, "FLOP/s");
+}
+
+std::string fmt_time(double seconds) {
+  char buf[64];
+  double a = std::fabs(seconds);
+  if (a >= 3600.0) {
+    std::snprintf(buf, sizeof(buf), "%.4g h", seconds / 3600.0);
+  } else if (a >= 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.4g min", seconds / 60.0);
+  } else if (a >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.4g s", seconds);
+  } else if (a >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.4g ms", seconds * 1e3);
+  } else if (a >= 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.4g us", seconds * 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4g ns", seconds * 1e9);
+  }
+  return buf;
+}
+
+std::string fmt_count(double n) {
+  static const char* s[] = {"", "K", "M", "B", "T", "Q"};
+  return scaled(n, 1e3, s, 6, "");
+}
+
+}  // namespace xscale::units

@@ -1,0 +1,66 @@
+// Unit helpers and formatting for the xscale simulator.
+//
+// All simulator quantities use SI base units internally:
+//   time        -> seconds   (double)
+//   data        -> bytes     (double; byte counts may exceed 2^53 only in
+//                             aggregate *rates*, never in addressable sizes)
+//   bandwidth   -> bytes/s
+//   compute     -> FLOP, FLOP/s
+//   power       -> watts; energy -> joules
+//
+// The helpers below exist so that configuration code reads like the paper:
+// `GiB(64)`, `GBs(50)`, `TFLOPS(23.95)`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace xscale::units {
+
+// --- binary sizes (IEC) ----------------------------------------------------
+constexpr double KiB(double v) { return v * 1024.0; }
+constexpr double MiB(double v) { return v * 1024.0 * 1024.0; }
+constexpr double GiB(double v) { return v * 1024.0 * 1024.0 * 1024.0; }
+constexpr double TiB(double v) { return v * 1024.0 * 1024.0 * 1024.0 * 1024.0; }
+constexpr double PiB(double v) { return TiB(v) * 1024.0; }
+
+// --- decimal sizes (SI, as used for storage/network capacities) ------------
+constexpr double KB(double v) { return v * 1e3; }
+constexpr double MB(double v) { return v * 1e6; }
+constexpr double GB(double v) { return v * 1e9; }
+constexpr double TB(double v) { return v * 1e12; }
+constexpr double PB(double v) { return v * 1e15; }
+
+// --- rates ------------------------------------------------------------------
+constexpr double GBs(double v) { return v * 1e9; }    // GB/s -> B/s
+constexpr double TBs(double v) { return v * 1e12; }   // TB/s -> B/s
+constexpr double MiBs(double v) { return MiB(v); }    // MiB/s -> B/s
+constexpr double GiBs(double v) { return GiB(v); }    // GiB/s -> B/s
+constexpr double Gbps(double v) { return v * 1e9 / 8.0; }  // Gbit/s -> B/s
+
+constexpr double GFLOPS(double v) { return v * 1e9; }
+constexpr double TFLOPS(double v) { return v * 1e12; }
+constexpr double PFLOPS(double v) { return v * 1e15; }
+constexpr double EFLOPS(double v) { return v * 1e18; }
+
+// --- time --------------------------------------------------------------------
+constexpr double usec(double v) { return v * 1e-6; }
+constexpr double msec(double v) { return v * 1e-3; }
+constexpr double nsec(double v) { return v * 1e-9; }
+constexpr double minutes(double v) { return v * 60.0; }
+constexpr double hours(double v) { return v * 3600.0; }
+
+// --- power -------------------------------------------------------------------
+constexpr double kW(double v) { return v * 1e3; }
+constexpr double MW(double v) { return v * 1e6; }
+
+// --- formatting ---------------------------------------------------------------
+// Human-readable strings for report output ("13.08 TB/s", "4.6 PiB", ...).
+std::string fmt_bytes_si(double bytes);     // decimal multiple (storage/net)
+std::string fmt_bytes_iec(double bytes);    // binary multiple (memory)
+std::string fmt_rate(double bytes_per_s);   // decimal B/s
+std::string fmt_flops(double flop_per_s);
+std::string fmt_time(double seconds);
+std::string fmt_count(double n);            // 1.2K / 3.4M / 5.6B
+
+}  // namespace xscale::units

@@ -1,0 +1,71 @@
+#include "storage/campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/solver.hpp"
+#include "sim/rng.hpp"
+
+namespace xscale::storage {
+
+FabricCampaignResult fabric_campaign(const machines::Machine& frontier,
+                                     const net::Fabric& fabric, const Orion& orion,
+                                     int client_nodes, Tier tier, bool read) {
+  const auto& topo = fabric.topology();
+  const auto& cfg = orion.config();
+
+  // Storage endpoints: everything beyond the compute groups' endpoints.
+  const int compute_eps = frontier.total_nodes * frontier.node.nics;
+  const int service_eps = topo.num_endpoints() - compute_eps;
+  const int n_oss = cfg.ssus * cfg.oss_per_ssu;
+  const int oss_eps = std::min(service_eps, n_oss * cfg.nics_per_oss);
+
+  // Per-OSS backend drain for the chosen tier.
+  const double tier_bw =
+      read ? orion.measured_read_bw(tier) : orion.measured_write_bw(tier);
+  const double per_oss_drain = tier_bw / static_cast<double>(n_oss);
+
+  // Build flows: client NIC k -> OSS endpoint, round-robin over OSS NICs.
+  std::vector<double> cap = fabric.effective_capacities();
+  std::vector<std::vector<int>> paths;
+  sim::Rng rng(0x10CA);
+  std::vector<int> load(topo.links().size(), 0);
+  // Virtual drain link per OSS, shared by flows to both of its endpoints.
+  const int first_drain = static_cast<int>(cap.size());
+  for (int i = 0; i < n_oss; ++i) cap.push_back(per_oss_drain);
+
+  for (int c = 0; c < client_nodes; ++c) {
+    const int nic = c % frontier.node.nics;
+    const int src = machines::node_endpoint(frontier, c, nic);
+    const int target_ep_idx = c % oss_eps;  // round-robin over OSS NICs
+    const int dst = compute_eps + target_ep_idx;
+    const int oss = target_ep_idx / cfg.nics_per_oss;
+    auto path = read ? fabric.route(dst, src, rng, &load)
+                     : fabric.route(src, dst, rng, &load);
+    for (int l : path) ++load[static_cast<std::size_t>(l)];
+    path.push_back(first_drain + oss);
+    paths.push_back(std::move(path));
+  }
+
+  const auto rates = net::max_min_rates(cap, paths);
+
+  FabricCampaignResult out;
+  std::vector<int> flows_per_oss(static_cast<std::size_t>(n_oss), 0);
+  for (const auto& p : paths)
+    ++flows_per_oss[static_cast<std::size_t>(p.back() - first_drain)];
+  int net_limited = 0;
+  for (std::size_t f = 0; f < rates.size(); ++f) {
+    out.aggregate_bw += rates[f];
+    // A flow is network-limited if it runs below its share of the OSS drain.
+    const int oss = paths[f].back() - first_drain;
+    const double share = per_oss_drain /
+                         std::max(1, flows_per_oss[static_cast<std::size_t>(oss)]);
+    if (rates[f] < share * 0.99) ++net_limited;
+  }
+  out.per_client_bw = out.aggregate_bw / std::max(1, client_nodes);
+  out.network_limited_fraction =
+      rates.empty() ? 0 : static_cast<double>(net_limited) / static_cast<double>(rates.size());
+  return out;
+}
+
+}  // namespace xscale::storage

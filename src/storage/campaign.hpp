@@ -1,0 +1,30 @@
+// Fabric-coupled I/O campaigns.
+//
+// Orion's OSS controllers live in the five storage dragonfly groups (§3.2:
+// one bundle from each compute group to each storage group, five bundles
+// between storage groups). This module routes client->OSS flows through the
+// actual fabric simulator and adds per-OSS drain limits and a per-tier
+// backend limit, so an I/O campaign sees *both* network and disk
+// bottlenecks — the coupling a center-wide file system lives with.
+#pragma once
+
+#include "machines/machine.hpp"
+#include "net/fabric.hpp"
+#include "storage/orion.hpp"
+
+namespace xscale::storage {
+
+struct FabricCampaignResult {
+  double aggregate_bw = 0;     // B/s across all clients
+  double per_client_bw = 0;    // B/s average
+  double network_limited_fraction = 0;  // flows whose bottleneck is the fabric
+};
+
+// `client_nodes` compute nodes stream checkpoint data to (read=false) or from
+// (read=true) the OSS endpoints, round-robin. `tier` selects the backend
+// drain rate (performance vs capacity).
+FabricCampaignResult fabric_campaign(const machines::Machine& frontier,
+                                     const net::Fabric& fabric, const Orion& orion,
+                                     int client_nodes, Tier tier, bool read);
+
+}  // namespace xscale::storage

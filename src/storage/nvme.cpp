@@ -1,0 +1,31 @@
+#include "storage/nvme.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xscale::storage {
+
+double NodeLocalNvme::throughput(double block_size, bool read, bool random) const {
+  const double bw = read ? measured_read_bw() : measured_write_bw();
+  if (!random) return bw;
+  // Random access: each block costs one request; the drive sustains
+  // measured_iops() requests/s (reads; writes are SLC-buffered to ~60%).
+  const double iops = measured_iops() * (read ? 1.0 : 0.6);
+  return std::min(bw, iops * block_size);
+}
+
+double NodeLocalNvme::io_time(double bytes, double block_size, bool read,
+                              bool random) const {
+  if (bytes <= 0) return 0;
+  return perf_.latency_s + bytes / throughput(block_size, read, random);
+}
+
+NvmeAggregate aggregate(const NodeLocalNvme& drive, int nodes) {
+  return {
+      drive.measured_read_bw() * nodes,
+      drive.measured_write_bw() * nodes,
+      drive.measured_iops() * nodes,
+  };
+}
+
+}  // namespace xscale::storage

@@ -1,0 +1,56 @@
+// Node-local NVMe model (§3.3, §4.3.1).
+//
+// Each Frontier node mounts two M.2 drives striped RAID-0: ~3.5 TB, 8 GB/s
+// read / 4 GB/s write contracted, with ~1.6M contracted (1.58M measured)
+// random-read 4 KiB IOPS. The model charges the max of the bandwidth and
+// IOPS costs for an I/O phase — small blocks are IOPS-bound, large streams
+// bandwidth-bound — exactly what fio measures.
+#pragma once
+
+#include "hw/node.hpp"
+
+namespace xscale::storage {
+
+struct NvmePerf {
+  // Measured-to-contracted ratios (§4.3.1: 7.1/8 reads, 4.2/4 writes,
+  // 1.58M/1.6M IOPS). Writes exceed contract; SLC caching on the drives.
+  double seq_read_eff = 7.1 / 8.0;
+  double seq_write_eff = 4.2 / 4.0;
+  double iops_contract = 1.6e6;  // contractual commitment (§4.3.1)
+  double iops_eff = 1.58 / 1.6;
+  double latency_s = 80e-6;  // per-request service floor
+};
+
+class NodeLocalNvme {
+ public:
+  explicit NodeLocalNvme(const hw::NodeLocalNvme& cfg, NvmePerf perf = {})
+      : cfg_(cfg), perf_(perf) {}
+
+  double capacity() const { return cfg_.capacity_bytes; }
+  double measured_read_bw() const { return cfg_.read_bw * perf_.seq_read_eff; }
+  double measured_write_bw() const { return cfg_.write_bw * perf_.seq_write_eff; }
+  double measured_iops() const { return perf_.iops_contract * perf_.iops_eff; }
+
+  // Time to perform `bytes` of I/O in `block_size` requests.
+  // Random small-block reads hit the IOPS ceiling; large sequential I/O hits
+  // the bandwidth ceiling.
+  double io_time(double bytes, double block_size, bool read, bool random) const;
+
+  // Effective throughput for the same access pattern.
+  double throughput(double block_size, bool read, bool random) const;
+
+ private:
+  hw::NodeLocalNvme cfg_;
+  NvmePerf perf_;
+};
+
+// Whole-machine aggregates for a job spanning `nodes` nodes (§4.3.1 quotes
+// 67.3 TB/s, 39.8 TB/s and ~15 G IOPS for all of Frontier).
+struct NvmeAggregate {
+  double read_bw = 0;
+  double write_bw = 0;
+  double iops = 0;
+};
+NvmeAggregate aggregate(const NodeLocalNvme& drive, int nodes);
+
+}  // namespace xscale::storage

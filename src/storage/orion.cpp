@@ -1,0 +1,136 @@
+#include "storage/orion.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xscale::storage {
+
+const char* to_string(Tier t) {
+  switch (t) {
+    case Tier::Metadata: return "Orion Metadata";
+    case Tier::Performance: return "Orion Performance";
+    case Tier::Capacity: return "Orion Capacity";
+  }
+  return "?";
+}
+
+double Orion::draid_usable_fraction() const {
+  return static_cast<double>(cfg_.draid_data) /
+             static_cast<double>(cfg_.draid_data + cfg_.draid_parity) *
+         (1.0 - cfg_.spare_fraction);
+}
+
+double Orion::usable_capacity(Tier t) const {
+  switch (t) {
+    case Tier::Metadata:
+      return cfg_.mdt_capacity;
+    case Tier::Performance:
+      return cfg_.ssus * cfg_.nvme_per_ssu * cfg_.nvme_capacity *
+             draid_usable_fraction() * (1.0 - cfg_.flash_reserve_fraction);
+    case Tier::Capacity:
+      return cfg_.ssus * cfg_.hdd_per_ssu * cfg_.hdd_capacity *
+             draid_usable_fraction();
+  }
+  return 0;
+}
+
+double Orion::theoretical_read_bw(Tier t) const {
+  switch (t) {
+    case Tier::Metadata:
+      return cfg_.mdt_read_bw;
+    case Tier::Performance:
+      return cfg_.ssus * cfg_.nvme_per_ssu * cfg_.nvme_read_bw;
+    case Tier::Capacity:
+      return cfg_.ssus * cfg_.hdd_per_ssu * cfg_.hdd_read_bw;
+  }
+  return 0;
+}
+
+double Orion::theoretical_write_bw(Tier t) const {
+  switch (t) {
+    case Tier::Metadata:
+      return cfg_.mdt_write_bw;
+    case Tier::Performance:
+      return cfg_.ssus * cfg_.nvme_per_ssu * cfg_.nvme_write_bw;
+    case Tier::Capacity:
+      return cfg_.ssus * cfg_.hdd_per_ssu * cfg_.hdd_write_bw;
+  }
+  return 0;
+}
+
+double Orion::measured_read_bw(Tier t) const {
+  switch (t) {
+    case Tier::Metadata: return cfg_.mdt_read_bw;  // Table 2 values are as-measured
+    case Tier::Performance: return theoretical_read_bw(t) * cfg_.perf_read_measured_ratio;
+    case Tier::Capacity: return theoretical_read_bw(t) * cfg_.cap_read_measured_ratio;
+  }
+  return 0;
+}
+
+double Orion::measured_write_bw(Tier t) const {
+  switch (t) {
+    case Tier::Metadata: return cfg_.mdt_write_bw;
+    case Tier::Performance: return theoretical_write_bw(t) * cfg_.perf_write_measured_ratio;
+    case Tier::Capacity: return theoretical_write_bw(t) * cfg_.cap_write_measured_ratio;
+  }
+  return 0;
+}
+
+TierSplit Orion::pfl_split(double file_size) const {
+  TierSplit s;
+  s.metadata = std::min(file_size, cfg_.dom_boundary);
+  s.performance =
+      std::clamp(file_size - cfg_.dom_boundary, 0.0, cfg_.perf_boundary - cfg_.dom_boundary);
+  s.capacity = std::max(0.0, file_size - cfg_.perf_boundary);
+  return s;
+}
+
+Tier Orion::tier_of_offset(double offset) const {
+  if (offset < cfg_.dom_boundary) return Tier::Metadata;
+  if (offset < cfg_.perf_boundary) return Tier::Performance;
+  return Tier::Capacity;
+}
+
+double Orion::campaign_bw(double file_size, int client_nodes, bool read,
+                          double per_node_injection_bw) const {
+  const TierSplit split = pfl_split(file_size);
+  const double total = split.total();
+  if (total <= 0 || client_nodes <= 0) return 0;
+  auto bw = [&](Tier t) { return read ? measured_read_bw(t) : measured_write_bw(t); };
+  // Tiers drain concurrently across the campaign's many files; the campaign
+  // finishes when the most loaded tier finishes. Clients can also be the
+  // bottleneck via their injection limit.
+  double t_done = std::max({split.metadata / bw(Tier::Metadata),
+                            split.performance / bw(Tier::Performance),
+                            split.capacity / bw(Tier::Capacity)});
+  t_done = std::max(t_done, total / (static_cast<double>(client_nodes) *
+                                     per_node_injection_bw));
+  return total / t_done;
+}
+
+double Orion::campaign_time(double total_bytes, double file_size, int client_nodes,
+                            bool read) const {
+  const double bw = campaign_bw(file_size, client_nodes, read);
+  return bw > 0 ? total_bytes / bw : 0;
+}
+
+double Orion::small_file_read_time(double file_size, int concurrent_clients) const {
+  if (!served_from_dom(file_size)) {
+    // One metadata round-trip plus an OST read at the per-client share.
+    const double ost_bw =
+        measured_read_bw(Tier::Performance) / std::max(1, concurrent_clients);
+    return 2.0 * cfg_.metadata_op_latency + file_size / ost_bw;
+  }
+  // DoM: the open() reply carries the contents; one round-trip total.
+  const double mdt_bw = measured_read_bw(Tier::Metadata) / std::max(1, concurrent_clients);
+  return cfg_.metadata_op_latency + file_size / mdt_bw;
+}
+
+double Orion::ingest_time(double bytes, int client_nodes) const {
+  // Checkpoint-style streams: large per-node files, overwhelmingly landing in
+  // the capacity tier under PFL (§4.3.2's ~180 s for ~776 TB example).
+  const double file_size = bytes / std::max(1, client_nodes);
+  return campaign_time(bytes, file_size, client_nodes, /*read=*/false);
+}
+
+}  // namespace xscale::storage

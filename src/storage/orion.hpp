@@ -1,0 +1,115 @@
+// Orion: Frontier's center-wide Lustre parallel file system (§3.3, §4.3.2).
+//
+// 225 Scalable Storage Units, each with two OSS controllers (two Cassini
+// NICs each), 24x 3.2 TB NVMe drives and 212x 18 TB hard drives arranged as
+// ZFS dRAID-2 groups. The aggregation exposes three tiers under one
+// namespace:
+//   * metadata (MDT flash, hosting Data-on-Metadata),
+//   * performance (NVMe OSTs),
+//   * capacity (HDD OSTs),
+// with a Progressive File Layout placing the first 256 KiB of every file on
+// the MDTs, the range up to 8 MiB on the performance tier, and the rest on
+// the capacity tier.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "sim/units.hpp"
+
+namespace xscale::storage {
+
+enum class Tier { Metadata, Performance, Capacity };
+const char* to_string(Tier t);
+
+struct OrionConfig {
+  int ssus = 225;
+  int oss_per_ssu = 2;
+  int nics_per_oss = 2;
+
+  // Performance tier (per SSU).
+  int nvme_per_ssu = 24;
+  double nvme_capacity = units::TB(3.2);
+  double nvme_read_bw = units::GBs(1.852);  // per drive in dRAID; 225x24 -> 10 TB/s
+  double nvme_write_bw = units::GBs(1.852);
+  // Capacity tier (per SSU).
+  int hdd_per_ssu = 212;
+  double hdd_capacity = units::TB(18);
+  double hdd_read_bw = units::MB(115.3);  // streaming; 225x212 -> 5.5 TB/s
+  double hdd_write_bw = units::MB(96.4);  // 225x212 -> 4.6 TB/s
+
+  // dRAID-2 data:parity geometry plus distributed-spare reserve.
+  int draid_data = 8;
+  int draid_parity = 2;
+  double spare_fraction = 0.01;
+  // Lustre-level OST reserve on the flash tier (grant space, journals).
+  double flash_reserve_fraction = 0.16;
+
+  // Metadata tier (whole system).
+  double mdt_capacity = units::PB(10.0);
+  double mdt_read_bw = units::TBs(0.8);   // Table 2
+  double mdt_write_bw = units::TBs(0.4);
+  double metadata_op_latency = 250e-6;
+
+  // PFL layout boundaries (§3.3).
+  double dom_boundary = units::KiB(256);
+  double perf_boundary = units::MiB(8);
+
+  // Measured-to-theoretical ratios (§4.3.2: flash 11.7/9.4 TB/s vs 10
+  // contracted; capacity-tier large files 4.9/4.3 TB/s).
+  double perf_read_measured_ratio = 1.17;
+  double perf_write_measured_ratio = 0.94;
+  double cap_read_measured_ratio = 0.89;
+  double cap_write_measured_ratio = 0.91;
+};
+
+struct TierSplit {
+  double metadata = 0;
+  double performance = 0;
+  double capacity = 0;
+  double total() const { return metadata + performance + capacity; }
+};
+
+class Orion {
+ public:
+  explicit Orion(OrionConfig cfg = {}) : cfg_(cfg) {}
+  const OrionConfig& config() const { return cfg_; }
+
+  // --- Table 2 rows -----------------------------------------------------------
+  double usable_capacity(Tier t) const;
+  double theoretical_read_bw(Tier t) const;
+  double theoretical_write_bw(Tier t) const;
+  // §4.3.2 measured streaming rates.
+  double measured_read_bw(Tier t) const;
+  double measured_write_bw(Tier t) const;
+
+  // --- PFL placement ------------------------------------------------------------
+  // How the bytes of one file of `size` split over the tiers.
+  TierSplit pfl_split(double file_size) const;
+  // Tier holding byte `offset` of a file.
+  Tier tier_of_offset(double offset) const;
+
+  // --- I/O estimates -------------------------------------------------------------
+  // Aggregate rate for `files` identical files of `file_size` written (or
+  // read) concurrently from `client_nodes` compute nodes: per-tier rates are
+  // weighted by the PFL byte split; client injection caps apply.
+  double campaign_bw(double file_size, int client_nodes, bool read,
+                     double per_node_injection_bw = units::GBs(100) * 0.7) const;
+  double campaign_time(double total_bytes, double file_size, int client_nodes,
+                       bool read) const;
+
+  // Small-file open+read served entirely from DoM: one metadata round-trip,
+  // no OST access (the intent of the PFL design, §3.3).
+  bool served_from_dom(double file_size) const { return file_size <= cfg_.dom_boundary; }
+  double small_file_read_time(double file_size, int concurrent_clients) const;
+
+  // Time to ingest `bytes` spread over `client_nodes` (the §4.3.2 example:
+  // ~700 TiB of HBM checkpointed in ~180 s).
+  double ingest_time(double bytes, int client_nodes) const;
+
+ private:
+  double draid_usable_fraction() const;
+  OrionConfig cfg_;
+};
+
+}  // namespace xscale::storage

@@ -1,0 +1,171 @@
+#include "topo/topology.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace xscale::topo {
+namespace {
+
+std::uint64_t key(int a, int b, int stride) {
+  return static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(stride) +
+         static_cast<std::uint64_t>(b);
+}
+
+}  // namespace
+
+int Topology::add_link(int src, int dst, LinkKind kind, double cap, double lat) {
+  const int id = static_cast<int>(links_.size());
+  links_.push_back(Link{id, src, dst, kind, cap, lat});
+  return id;
+}
+
+int Topology::switch_link(int u, int v) const {
+  const auto it = switch_link_idx_.find(key(u, v, num_switches_ + 1));
+  return it == switch_link_idx_.end() ? -1 : it->second;
+}
+
+int Topology::global_link(int g, int h) const {
+  const auto it = global_link_idx_.find(key(g, h, n_groups_ + 1));
+  return it == global_link_idx_.end() ? -1 : it->second;
+}
+
+int Topology::gateway_switch(int g, int h) const {
+  const int id = global_link(g, h);
+  return id < 0 ? -1 : links_[static_cast<std::size_t>(id)].src;
+}
+
+std::vector<int> Topology::peer_groups(int g) const {
+  std::vector<int> peers;
+  for (int h = 0; h < n_groups_; ++h)
+    if (h != g && global_link(g, h) >= 0) peers.push_back(h);
+  return peers;
+}
+
+double Topology::total_global_capacity_one_direction() const {
+  double sum = 0;
+  for (const auto& l : links_)
+    if (l.kind == LinkKind::Global) sum += l.capacity;
+  return sum / 2.0;  // directed links counted once per direction
+}
+
+double Topology::injection_capacity_per_group(int g) const {
+  double sum = 0;
+  for (std::size_t ep = 0; ep < endpoint_switch_.size(); ++ep)
+    if (group_of_endpoint(static_cast<int>(ep)) == g)
+      sum += links_[static_cast<std::size_t>(injection_link_[ep])].capacity;
+  return sum;
+}
+
+double Topology::global_capacity_per_group(int g) const {
+  double sum = 0;
+  for (const auto& l : links_)
+    if (l.kind == LinkKind::Global && group_of_switch(l.src) == g) sum += l.capacity;
+  return sum;
+}
+
+Topology Topology::dragonfly(const std::vector<GroupSpec>& groups,
+                             const std::function<int(int, int)>& bundle_links,
+                             double link_bw, double hop_latency) {
+  Topology t;
+  t.n_groups_ = static_cast<int>(groups.size());
+
+  // Switch ids, grouped contiguously.
+  for (int g = 0; g < t.n_groups_; ++g) {
+    t.group_first_switch_.push_back(t.num_switches_);
+    t.group_size_.push_back(groups[static_cast<std::size_t>(g)].switches);
+    for (int s = 0; s < groups[static_cast<std::size_t>(g)].switches; ++s)
+      t.group_of_switch_.push_back(g);
+    t.num_switches_ += groups[static_cast<std::size_t>(g)].switches;
+  }
+
+  // Endpoints + terminal links.
+  for (int g = 0; g < t.n_groups_; ++g) {
+    const auto& spec = groups[static_cast<std::size_t>(g)];
+    for (int s = 0; s < spec.switches; ++s) {
+      const int sw = t.group_first_switch_[static_cast<std::size_t>(g)] + s;
+      for (int e = 0; e < spec.endpoints_per_switch; ++e) {
+        const int ep = static_cast<int>(t.endpoint_switch_.size());
+        t.endpoint_switch_.push_back(sw);
+        t.injection_link_.push_back(
+            t.add_link(ep, sw, LinkKind::Injection, link_bw, hop_latency));
+        t.ejection_link_.push_back(
+            t.add_link(sw, ep, LinkKind::Ejection, link_bw, hop_latency));
+      }
+    }
+  }
+
+  // Intra-group full connectivity: one L1 link per ordered switch pair.
+  for (int g = 0; g < t.n_groups_; ++g) {
+    const int first = t.group_first_switch_[static_cast<std::size_t>(g)];
+    const int n = t.group_size_[static_cast<std::size_t>(g)];
+    for (int a = 0; a < n; ++a)
+      for (int b = 0; b < n; ++b) {
+        if (a == b) continue;
+        const int id = t.add_link(first + a, first + b, LinkKind::Local, link_bw,
+                                  hop_latency);
+        t.switch_link_idx_[key(first + a, first + b, t.num_switches_ + 1)] = id;
+      }
+  }
+
+  // Global bundles: one aggregated logical link per direction per group pair.
+  // The bundle terminates on a deterministic gateway switch: peer-group index
+  // modulo the group size, which spreads bundles over switches like the real
+  // fabric manager's cabling plan does.
+  for (int g = 0; g < t.n_groups_; ++g)
+    for (int h = 0; h < t.n_groups_; ++h) {
+      if (g == h) continue;
+      const int nl = bundle_links(g, h);
+      if (nl <= 0) continue;
+      if (bundle_links(h, g) != nl)
+        throw std::invalid_argument("bundle_links must be symmetric");
+      const int gw_g = t.group_first_switch_[static_cast<std::size_t>(g)] +
+                       h % t.group_size_[static_cast<std::size_t>(g)];
+      const int gw_h = t.group_first_switch_[static_cast<std::size_t>(h)] +
+                       g % t.group_size_[static_cast<std::size_t>(h)];
+      const int id = t.add_link(gw_g, gw_h, LinkKind::Global,
+                                static_cast<double>(nl) * link_bw, hop_latency);
+      t.global_link_idx_[key(g, h, t.n_groups_ + 1)] = id;
+    }
+  return t;
+}
+
+Topology Topology::uniform_dragonfly(int n_groups, GroupSpec spec, int links_per_pair,
+                                     double link_bw, double hop_latency) {
+  return dragonfly(std::vector<GroupSpec>(static_cast<std::size_t>(n_groups), spec),
+                   [links_per_pair](int, int) { return links_per_pair; }, link_bw,
+                   hop_latency);
+}
+
+Topology Topology::fat_tree(int leaves, int eps_per_leaf, double link_bw,
+                            double hop_latency) {
+  Topology t;
+  t.fat_tree_ = true;
+  t.n_groups_ = 1;
+  t.group_first_switch_.push_back(0);
+  // Leaf switches plus one core vertex.
+  t.num_switches_ = leaves + 1;
+  t.group_size_.push_back(t.num_switches_);
+  t.group_of_switch_.assign(static_cast<std::size_t>(t.num_switches_), 0);
+  const int core = leaves;
+
+  for (int l = 0; l < leaves; ++l) {
+    for (int e = 0; e < eps_per_leaf; ++e) {
+      const int ep = static_cast<int>(t.endpoint_switch_.size());
+      t.endpoint_switch_.push_back(l);
+      t.injection_link_.push_back(
+          t.add_link(ep, l, LinkKind::Injection, link_bw, hop_latency));
+      t.ejection_link_.push_back(
+          t.add_link(l, ep, LinkKind::Ejection, link_bw, hop_latency));
+    }
+    // Non-blocking core: uplink capacity equals the leaf's full injection
+    // demand, so it is never the bottleneck.
+    const double up = link_bw * static_cast<double>(eps_per_leaf);
+    const int upl = t.add_link(l, core, LinkKind::Core, up, hop_latency);
+    const int dnl = t.add_link(core, l, LinkKind::Core, up, hop_latency);
+    t.switch_link_idx_[key(l, core, t.num_switches_ + 1)] = upl;
+    t.switch_link_idx_[key(core, l, t.num_switches_ + 1)] = dnl;
+  }
+  return t;
+}
+
+}  // namespace xscale::topo

@@ -1,0 +1,127 @@
+// Interconnect topology substrate.
+//
+// A `Topology` is a directed multigraph of switches and endpoints. Parallel
+// physical links between the same pair of switches (the paper's "bundles",
+// §3.2) are aggregated into one logical link whose capacity is the bundle
+// sum — flows are assumed to stripe across a bundle, which Slingshot does.
+//
+// Builders:
+//   * `dragonfly(...)` — Slingshot-style three-hop dragonfly: fully connected
+//     switches inside a group (L1 ports), direct group-to-group bundles
+//     (L2 ports), 16 endpoints per switch (L0 ports).
+//   * `fat_tree(...)` — non-blocking Clos abstraction (Summit): contention
+//     exists only at endpoint injection/ejection, modelled by a core of
+//     unlimited capacity.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace xscale::topo {
+
+enum class LinkKind : std::uint8_t {
+  Injection,  // endpoint -> switch (L0 in)
+  Ejection,   // switch -> endpoint (L0 out)
+  Local,      // switch -> switch inside a group (L1)
+  Global,     // switch -> switch between groups (L2)
+  Core,       // infinite-capacity Clos core (fat-tree abstraction)
+};
+
+struct Link {
+  int id = -1;
+  int src = -1;  // vertex id (switch or endpoint)
+  int dst = -1;
+  LinkKind kind = LinkKind::Local;
+  double capacity = 0;   // B/s (bundle aggregate)
+  double latency_s = 0;  // per-hop propagation + switch transit
+};
+
+struct GroupSpec {
+  int switches = 32;
+  int endpoints_per_switch = 16;
+};
+
+class Topology {
+ public:
+  // --- structure queries -----------------------------------------------------
+  int num_switches() const { return num_switches_; }
+  int num_endpoints() const { return static_cast<int>(endpoint_switch_.size()); }
+  int num_groups() const { return n_groups_; }
+
+  int endpoint_switch(int ep) const { return endpoint_switch_[static_cast<std::size_t>(ep)]; }
+  int group_of_switch(int sw) const { return group_of_switch_[static_cast<std::size_t>(sw)]; }
+  int group_of_endpoint(int ep) const { return group_of_switch(endpoint_switch(ep)); }
+
+  const std::vector<Link>& links() const { return links_; }
+  const Link& link(int id) const { return links_[static_cast<std::size_t>(id)]; }
+
+  // Logical link from vertex u to v (-1 if absent). Switch vertices use
+  // switch ids; endpoint links are looked up with `injection_link` /
+  // `ejection_link`.
+  int switch_link(int sw_u, int sw_v) const;
+  int injection_link(int ep) const { return injection_link_[static_cast<std::size_t>(ep)]; }
+  int ejection_link(int ep) const { return ejection_link_[static_cast<std::size_t>(ep)]; }
+
+  // Switch in group `g` that terminates the global bundle toward group `h`
+  // (-1 if no bundle exists).
+  int gateway_switch(int g, int h) const;
+  // Global link id between groups g -> h (-1 if none).
+  int global_link(int g, int h) const;
+
+  // Groups adjacent to `g` via global bundles.
+  std::vector<int> peer_groups(int g) const;
+
+  // (first switch id, switch count) of group `g`.
+  std::pair<int, int> group_switch_range(int g) const {
+    return {group_first_switch_[static_cast<std::size_t>(g)],
+            group_size_[static_cast<std::size_t>(g)]};
+  }
+
+  // Aggregate capacities for spec tables (Table 1's "Global Bandwidth").
+  double total_global_capacity_one_direction() const;
+  double injection_capacity_per_group(int g) const;
+  double global_capacity_per_group(int g) const;
+
+  bool is_fat_tree() const { return fat_tree_; }
+
+  // --- builders ---------------------------------------------------------------
+  // `bundle_links(g, h)` returns physical link count of the g->h bundle
+  // (0 = not connected). Must be symmetric.
+  static Topology dragonfly(const std::vector<GroupSpec>& groups,
+                            const std::function<int(int, int)>& bundle_links,
+                            double link_bw, double hop_latency);
+
+  // Uniform dragonfly convenience: `n_groups` identical groups, every pair
+  // connected by `links_per_pair` physical links.
+  static Topology uniform_dragonfly(int n_groups, GroupSpec spec, int links_per_pair,
+                                    double link_bw, double hop_latency);
+
+  // Non-blocking fat-tree: `leaves` leaf switches x `eps_per_leaf` endpoints;
+  // every leaf connects to a single infinite core vertex.
+  static Topology fat_tree(int leaves, int eps_per_leaf, double link_bw,
+                           double hop_latency);
+
+ private:
+  int add_link(int src, int dst, LinkKind kind, double cap, double lat);
+
+  int num_switches_ = 0;
+  bool fat_tree_ = false;
+  std::vector<Link> links_;
+  std::vector<int> endpoint_switch_;
+  std::vector<int> injection_link_;
+  std::vector<int> ejection_link_;
+  std::vector<int> group_of_switch_;
+  std::vector<int> group_first_switch_;  // per group
+  std::vector<int> group_size_;          // switches per group
+  // (u * num_vertices + v) -> link id for switch-switch links.
+  std::unordered_map<std::uint64_t, int> switch_link_idx_;
+  // (g * num_groups + h) -> link id.
+  std::unordered_map<std::uint64_t, int> global_link_idx_;
+  int n_groups_ = 0;
+};
+
+}  // namespace xscale::topo

@@ -1,0 +1,165 @@
+// Tests for the proxy-application framework and the Table 6 / Table 7
+// speedup harness. These use the analytic network fallback (null fabric) so
+// the suite stays fast; the bench binaries run the fabric-backed versions.
+#include <gtest/gtest.h>
+
+#include "apps/catalog.hpp"
+#include "apps/tables.hpp"
+#include "machines/machine.hpp"
+
+namespace {
+
+using namespace xscale;
+
+TEST(AppFramework, RunProducesPositiveFom) {
+  const auto m = machines::frontier();
+  for (const auto& spec : apps::all_apps()) {
+    const auto r = apps::run_app(spec, m, nullptr, 128);
+    EXPECT_GT(r.fom, 0.0) << spec.name;
+    EXPECT_GT(r.step_time, 0.0) << spec.name;
+    EXPECT_GE(r.parallel_efficiency, 0.0) << spec.name;
+    EXPECT_LE(r.parallel_efficiency, 1.0) << spec.name;
+    EXPECT_EQ(r.gpus, 128 * 8) << spec.name;
+  }
+}
+
+TEST(AppFramework, WeakScalingFomGrowsWithNodes) {
+  const auto m = machines::frontier();
+  const auto spec = apps::cholla();
+  const auto small = apps::run_app(spec, m, nullptr, 64);
+  const auto large = apps::run_app(spec, m, nullptr, 1024);
+  EXPECT_GT(large.fom, small.fom * 10.0);  // near-linear weak scaling
+}
+
+TEST(AppFramework, ParallelEfficiencyDropsWithScale) {
+  const auto m = machines::frontier();
+  const auto spec = apps::gests(1);  // transpose-dominated
+  const auto small = apps::run_app(spec, m, nullptr, 16);
+  const auto large = apps::run_app(spec, m, nullptr, 4096);
+  EXPECT_GT(small.parallel_efficiency, large.parallel_efficiency);
+}
+
+TEST(AppFramework, SingleNodeHasNoCommCost) {
+  const auto m = machines::frontier();
+  const auto r = apps::run_app(apps::athenapk(), m, nullptr, 1);
+  EXPECT_DOUBLE_EQ(r.comm_time, 0.0);
+  EXPECT_DOUBLE_EQ(r.parallel_efficiency, 1.0);
+}
+
+TEST(AppFramework, GestsFitsOnlyFrontierMemory) {
+  // §4.4.1: "No other computational resource in the world besides Frontier
+  // has the memory capacity to complete these simulations."
+  const auto spec = apps::gests(1);
+  const auto fr = apps::run_app(spec, machines::frontier(), nullptr, 1024);
+  const auto su = apps::run_app(spec, machines::summit(), nullptr, 1024);
+  EXPECT_TRUE(fr.fits_in_memory);
+  EXPECT_FALSE(su.fits_in_memory);
+}
+
+TEST(AppFramework, MemoryClampShrinksOversizedProblems) {
+  auto spec = apps::picongpu();  // 20 GB/GCD footprint
+  const auto su = apps::run_app(spec, machines::summit(), nullptr, 256);
+  EXPECT_FALSE(su.fits_in_memory);  // V100 has 16 GiB
+  // FOM still computed, on the clamped problem.
+  EXPECT_GT(su.fom, 0.0);
+}
+
+TEST(AppFramework, ChollaSingleGcdFasterThanV100) {
+  // Per-device rate on one node: the paper's hardware + algorithm gains.
+  const auto f = apps::run_app(apps::cholla(), machines::frontier(), nullptr, 1);
+  const auto s = apps::run_app(apps::cholla(), machines::summit(), nullptr, 1);
+  EXPECT_GT(f.fom / f.gpus, 5.0 * (s.fom / s.gpus));
+}
+
+TEST(AppFramework, AthenaPkSingleNodeRatioNearPaper) {
+  // §4.4.1: a Frontier node does ~1.2x the cell-updates/s of a Summit node.
+  const auto f = apps::run_app(apps::athenapk(), machines::frontier(), nullptr, 1);
+  const auto s = apps::run_app(apps::athenapk(), machines::summit(), nullptr, 1);
+  EXPECT_NEAR(f.fom / s.fom, 1.2, 0.25);
+}
+
+TEST(Table6, AllAppsExceedTheir4xTarget) {
+  const auto res = apps::run_rows(apps::table6_rows(), nullptr, nullptr);
+  ASSERT_EQ(res.size(), 6u);
+  for (const auto& r : res) {
+    EXPECT_TRUE(r.meets_target()) << r.row.specs[0].name << " " << r.speedup;
+    // Within 35% of the paper's achieved factor (shape fidelity).
+    EXPECT_NEAR(r.speedup / r.row.paper_achieved, 1.0, 0.35)
+        << r.row.specs[0].name;
+  }
+}
+
+TEST(Table7, AllAppsExceedTheir50xTarget) {
+  const auto res = apps::run_rows(apps::table7_rows(), nullptr, nullptr);
+  ASSERT_EQ(res.size(), 5u);
+  for (const auto& r : res) {
+    EXPECT_TRUE(r.meets_target()) << r.row.specs[0].name << " " << r.speedup;
+    EXPECT_NEAR(r.speedup / r.row.paper_achieved, 1.0, 0.35)
+        << r.row.specs[0].name;
+  }
+}
+
+TEST(Table7, ExaSmrIsHarmonicMeanOfComponents) {
+  auto rows = apps::table7_rows();
+  const auto it = std::find_if(rows.begin(), rows.end(), [](const auto& r) {
+    return r.specs.size() == 2;
+  });
+  ASSERT_NE(it, rows.end());
+  const auto res = apps::run_rows({*it}, nullptr, nullptr);
+  const auto& r = res[0];
+  ASSERT_EQ(r.frontier_runs.size(), 2u);
+  const double s1 = r.frontier_runs[0].fom / r.baseline_runs[0].fom;
+  const double s2 = r.frontier_runs[1].fom / r.baseline_runs[1].fom;
+  EXPECT_NEAR(r.speedup, 2.0 / (1.0 / s1 + 1.0 / s2), 1e-9);
+}
+
+TEST(Table6, LsmsUsesPerGpuSpeedup) {
+  auto rows = apps::table6_rows();
+  const auto it = std::find_if(rows.begin(), rows.end(),
+                               [](const auto& r) { return r.per_gpu; });
+  ASSERT_NE(it, rows.end());
+  EXPECT_EQ(it->specs[0].name, "LSMS");
+}
+
+TEST(Catalog, EveryAppHasFrontierEfficiency) {
+  for (const auto& spec : apps::all_apps()) {
+    EXPECT_TRUE(spec.efficiency.count("Frontier")) << spec.name;
+    for (const auto& [machine, eff] : spec.efficiency) {
+      EXPECT_GT(eff, 0.0) << spec.name << "@" << machine;
+      EXPECT_LE(eff, 1.0) << spec.name << "@" << machine;
+    }
+  }
+}
+
+TEST(Catalog, Gests2dCarriesMoreWireTraffic) {
+  EXPECT_GT(apps::gests(2).comm.halo_bytes, apps::gests(1).comm.halo_bytes);
+}
+
+// §4.4 scaling claims (analytic network path; the bench runs fabric-backed).
+TEST(Scaling, ShiftWeakScalingNearPaperValue) {
+  // Paper: 97.8% from 1 to 8,192 nodes.
+  const auto m = machines::frontier();
+  const auto one = apps::run_app(apps::exasmr_shift(), m, nullptr, 1);
+  const auto big = apps::run_app(apps::exasmr_shift(), m, nullptr, 8192);
+  const double eff = (big.fom / big.gpus) / (one.fom / one.gpus);
+  EXPECT_GT(eff, 0.93);
+  EXPECT_LE(eff, 1.0 + 1e-9);
+}
+
+TEST(Scaling, WarpXWeakScalingNearIdeal) {
+  const auto m = machines::frontier();
+  const auto one = apps::run_app(apps::warpx(), m, nullptr, 1);
+  const auto big = apps::run_app(apps::warpx(), m, nullptr, 9216);
+  const double eff = (big.fom / big.gpus) / (one.fom / one.gpus);
+  EXPECT_GT(eff, 0.85);
+}
+
+TEST(Scaling, HaccTimingsConsistentBetween4kAnd8kNodes) {
+  // Paper: "consistent timings between the 4096-8192 node Frontier runs".
+  const auto m = machines::frontier();
+  const auto h4 = apps::run_app(apps::hacc(), m, nullptr, 4096);
+  const auto h8 = apps::run_app(apps::hacc(), m, nullptr, 8192);
+  EXPECT_NEAR(h8.step_time / h4.step_time, 1.0, 0.10);
+}
+
+}  // namespace

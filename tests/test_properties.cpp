@@ -1,0 +1,286 @@
+// Parameterized property tests: invariants swept over configuration spaces
+// with TEST_P / INSTANTIATE_TEST_SUITE_P.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "apps/catalog.hpp"
+#include "core/xscale.hpp"
+
+namespace {
+
+using namespace xscale;
+
+// ----------------------------------------------------- solver properties ----
+
+struct SolverCase {
+  std::uint64_t seed;
+  int links;
+  int flows;
+  int max_path;
+};
+
+class SolverProperty : public ::testing::TestWithParam<SolverCase> {};
+
+TEST_P(SolverProperty, MaxMinInvariantsHold) {
+  const auto c = GetParam();
+  sim::Rng rng(c.seed);
+  std::vector<double> cap(static_cast<std::size_t>(c.links));
+  for (auto& x : cap) x = rng.uniform(0.5, 50.0);
+  std::vector<std::vector<int>> paths(static_cast<std::size_t>(c.flows));
+  for (auto& p : paths) {
+    const int len = 1 + static_cast<int>(rng.index(static_cast<std::uint64_t>(c.max_path)));
+    std::set<int> s;
+    while (static_cast<int>(s.size()) < len)
+      s.insert(static_cast<int>(rng.index(static_cast<std::uint64_t>(c.links))));
+    p.assign(s.begin(), s.end());
+  }
+  const auto r = net::max_min_rates(cap, paths);
+
+  // 1. All rates strictly positive and finite.
+  for (double x : r) {
+    EXPECT_GT(x, 0.0);
+    EXPECT_TRUE(std::isfinite(x));
+  }
+  // 2. No link oversubscribed.
+  std::vector<double> load(cap.size(), 0.0);
+  for (std::size_t f = 0; f < paths.size(); ++f)
+    for (int l : paths[f]) load[static_cast<std::size_t>(l)] += r[f];
+  for (std::size_t l = 0; l < cap.size(); ++l)
+    EXPECT_LE(load[l], cap[l] * (1 + 1e-6));
+  // 3. Pareto: each flow crosses a saturated link (cannot be raised without
+  //    lowering someone).
+  for (std::size_t f = 0; f < paths.size(); ++f) {
+    bool saturated = false;
+    for (int l : paths[f])
+      if (load[static_cast<std::size_t>(l)] >= cap[static_cast<std::size_t>(l)] * (1 - 1e-6))
+        saturated = true;
+    EXPECT_TRUE(saturated) << "flow " << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SolverProperty,
+                         ::testing::Values(SolverCase{1, 8, 20, 3},
+                                           SolverCase{2, 64, 200, 5},
+                                           SolverCase{3, 256, 1000, 6},
+                                           SolverCase{4, 16, 500, 2},
+                                           SolverCase{5, 512, 100, 8}));
+
+// -------------------------------------------------- dragonfly properties ----
+
+class DragonflySize : public ::testing::TestWithParam<int> {};
+
+TEST_P(DragonflySize, StructuralInvariants) {
+  const int groups = GetParam();
+  const auto t = topo::Topology::uniform_dragonfly(groups, {8, 8}, 2, 25e9, 1e-7);
+  EXPECT_EQ(t.num_groups(), groups);
+  EXPECT_EQ(t.num_switches(), groups * 8);
+  EXPECT_EQ(t.num_endpoints(), groups * 64);
+  // Every ordered group pair has a global link terminating at a gateway of
+  // the source group, and capacities are symmetric.
+  for (int g = 0; g < groups; ++g) {
+    for (int h = 0; h < groups; ++h) {
+      if (g == h) continue;
+      const int l = t.global_link(g, h);
+      ASSERT_GE(l, 0);
+      EXPECT_EQ(t.group_of_switch(t.link(l).src), g);
+      EXPECT_EQ(t.group_of_switch(t.link(l).dst), h);
+      EXPECT_DOUBLE_EQ(t.link(l).capacity,
+                       t.link(t.global_link(h, g)).capacity);
+    }
+    EXPECT_EQ(static_cast<int>(t.peer_groups(g).size()), groups - 1);
+  }
+}
+
+TEST_P(DragonflySize, EveryEndpointPairRoutable) {
+  const int groups = GetParam();
+  net::Fabric f(topo::Topology::uniform_dragonfly(groups, {4, 4}, 1, 25e9, 1e-7),
+                net::FabricConfig{});
+  sim::Rng rng(17);
+  const int eps = f.topology().num_endpoints();
+  for (int trial = 0; trial < 50; ++trial) {
+    const int a = static_cast<int>(rng.index(static_cast<std::uint64_t>(eps)));
+    int b = static_cast<int>(rng.index(static_cast<std::uint64_t>(eps)));
+    if (b == a) b = (b + 1) % eps;
+    const auto path = f.route(a, b, rng);
+    ASSERT_GE(path.size(), 2u);
+    // Path is connected: consecutive links share a vertex.
+    EXPECT_EQ(f.topology().link(path.front()).src, eps > a ? a : a);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i)
+      EXPECT_EQ(f.topology().link(path[i]).dst,
+                f.topology().link(path[i + 1]).src);
+    EXPECT_EQ(f.topology().link(path.back()).dst, b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DragonflySize, ::testing::Values(3, 5, 9, 16, 33));
+
+// ------------------------------------------------------ STREAM properties ---
+
+class StreamKernelCase
+    : public ::testing::TestWithParam<std::tuple<int, hw::NpsMode>> {};
+
+TEST_P(StreamKernelCase, NonTemporalNeverSlower) {
+  const auto [ki, nps] = GetParam();
+  const auto cpu = hw::trento();
+  const auto& k = hw::kCpuStreamKernels[static_cast<std::size_t>(ki)];
+  const double nt = cpu.ddr.stream_bandwidth(k, false, nps);
+  const double t = cpu.ddr.stream_bandwidth(k, true, nps);
+  EXPECT_GE(nt, t);
+  EXPECT_LE(nt, cpu.ddr.peak_bandwidth());
+  EXPECT_GT(t, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernelsAllNps, StreamKernelCase,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(hw::NpsMode::NPS1, hw::NpsMode::NPS2,
+                                         hw::NpsMode::NPS4)));
+
+// --------------------------------------------------------- GEMM properties --
+
+class GemmPrecision : public ::testing::TestWithParam<hw::Precision> {};
+
+TEST_P(GemmPrecision, BoundedAndSaturating) {
+  const auto p = GetParam();
+  const auto g = hw::mi250x_gcd();
+  double prev = 0;
+  for (int n = 128; n <= 32768; n *= 2) {
+    const double a = g.gemm_achieved(p, n);
+    EXPECT_GT(a, 0.0);
+    EXPECT_LE(a, g.matrix_peak(p));
+    EXPECT_GE(a, prev);
+    prev = a;
+  }
+  // Plateau within 5% of the calibrated asymptote.
+  EXPECT_NEAR(g.gemm_achieved(p, 32768) / (g.matrix_peak(p) * g.gemm_asymptotic_eff(p)),
+              1.0, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrecisions, GemmPrecision,
+                         ::testing::Values(hw::Precision::FP64, hw::Precision::FP32,
+                                           hw::Precision::FP16));
+
+// ------------------------------------------------------------ PFL sweep -----
+
+class PflSplit : public ::testing::TestWithParam<double> {};
+
+TEST_P(PflSplit, PartitionIsExactAndOrdered) {
+  const double size = GetParam();
+  const storage::Orion o;
+  const auto s = o.pfl_split(size);
+  EXPECT_DOUBLE_EQ(s.total(), size);          // nothing lost or duplicated
+  EXPECT_LE(s.metadata, units::KiB(256));     // DoM bound
+  EXPECT_LE(s.performance, units::MiB(8) - units::KiB(256));
+  EXPECT_GE(s.metadata, 0.0);
+  EXPECT_GE(s.performance, 0.0);
+  EXPECT_GE(s.capacity, 0.0);
+  // The capacity tier is used only when the performance extent is full.
+  if (s.capacity > 0) {
+    EXPECT_DOUBLE_EQ(s.performance, units::MiB(8) - units::KiB(256));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FileSizes, PflSplit,
+                         ::testing::Values(1.0, units::KiB(4), units::KiB(256),
+                                           units::KiB(257), units::MiB(1),
+                                           units::MiB(8), units::MiB(9),
+                                           units::GiB(4), units::TB(1)));
+
+// ----------------------------------------------------- scheduler stress -----
+
+struct SchedCase {
+  std::uint64_t seed;
+  int total_nodes;
+  int jobs;
+};
+
+class SchedulerStress : public ::testing::TestWithParam<SchedCase> {};
+
+TEST_P(SchedulerStress, NoOverlapNoLeakAllServed) {
+  const auto c = GetParam();
+  sched::Scheduler s(c.total_nodes, 128, c.seed);
+  sim::Engine eng;
+  sim::Rng rng(c.seed);
+  std::vector<sched::JobRequest> jobs;
+  for (int i = 0; i < c.jobs; ++i) {
+    const int n = 1 + static_cast<int>(rng.index(static_cast<std::uint64_t>(c.total_nodes)));
+    jobs.push_back({n, rng.uniform(1.0, 100.0),
+                    static_cast<sched::Placement>(rng.index(4))});
+  }
+  const auto rec = s.run_workload(eng, jobs);
+  ASSERT_EQ(rec.size(), jobs.size());
+  for (const auto& r : rec) {
+    EXPECT_GE(r.start_time, 0.0);  // every job eventually runs
+    EXPECT_EQ(static_cast<int>(r.nodes.size()), r.request.nodes);
+  }
+  // No node used by two jobs at overlapping times.
+  for (std::size_t i = 0; i < rec.size(); ++i) {
+    for (std::size_t j = i + 1; j < rec.size(); ++j) {
+      const bool overlap_time = rec[i].start_time < rec[j].end_time - 1e-9 &&
+                                rec[j].start_time < rec[i].end_time - 1e-9;
+      if (!overlap_time) continue;
+      std::set<int> a(rec[i].nodes.begin(), rec[i].nodes.end());
+      for (int n : rec[j].nodes) EXPECT_EQ(a.count(n), 0u) << i << "," << j;
+    }
+  }
+  EXPECT_EQ(s.free_nodes(), c.total_nodes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, SchedulerStress,
+                         ::testing::Values(SchedCase{1, 256, 30},
+                                           SchedCase{2, 512, 60},
+                                           SchedCase{3, 1024, 40},
+                                           SchedCase{4, 128, 80}));
+
+// -------------------------------------------------------- app catalog sweep -
+
+class AppSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AppSweep, WeakScalingAndMachineOrdering) {
+  const auto all = apps::all_apps();
+  const auto& spec = all[static_cast<std::size_t>(GetParam())];
+  const auto frontier = machines::frontier();
+  // FOM grows near-linearly with node count on Frontier.
+  const auto a = apps::run_app(spec, frontier, nullptr, 32);
+  const auto b = apps::run_app(spec, frontier, nullptr, 512);
+  EXPECT_GT(b.fom, a.fom * 8.0) << spec.name;
+  EXPECT_LE(b.fom, a.fom * 16.5) << spec.name;
+  // A Frontier node outperforms a Titan node on every app.
+  const auto f1 = apps::run_app(spec, frontier, nullptr, 1);
+  const auto t1 = apps::run_app(spec, machines::titan(), nullptr, 1);
+  EXPECT_GT(f1.fom, t1.fom) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppSweep, ::testing::Range(0, 13));
+
+// ----------------------------------------------------- GPCNeT PPN sweep -----
+
+class GpcnetPpn : public ::testing::TestWithParam<int> {};
+
+TEST_P(GpcnetPpn, ImpactNeverBelowOneAndGrowsWithPpn) {
+  machines::Machine m = machines::frontier();
+  machines::FrontierFabricSpec spec;
+  spec.compute_groups = 4;
+  spec.storage_groups = 0;
+  spec.management_groups = 0;
+  m.topology_factory = [spec] { return machines::frontier_topology(spec); };
+  m.total_nodes = 512;
+  m.compute_nodes = 512;
+  auto fabric = m.build_fabric();
+  mpi::GpcnetConfig cfg;
+  cfg.nodes = 512;
+  cfg.ppn = GetParam();
+  const auto r = mpi::run_gpcnet(m, fabric, cfg);
+  for (double i : r.impact) {
+    EXPECT_GE(i, 0.99);
+    if (cfg.ppn <= 8) {
+      EXPECT_LE(i, 1.1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ppn, GpcnetPpn, ::testing::Values(4, 8, 16, 32));
+
+}  // namespace

@@ -1,0 +1,184 @@
+// Tests for the discrete-event engine, RNG, statistics, and table utilities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+#include "sim/table.hpp"
+#include "sim/units.hpp"
+
+namespace {
+
+using xscale::sim::Engine;
+using xscale::sim::Histogram;
+using xscale::sim::OnlineStats;
+using xscale::sim::Rng;
+using xscale::sim::SampleSet;
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(3.0, [&] { order.push_back(3); });
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(2.0, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+}
+
+TEST(Engine, EqualTimesFireInInsertionOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) e.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  e.run();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, NestedSchedulingAdvancesClock) {
+  Engine e;
+  double fired_at = -1;
+  e.schedule_at(1.0, [&] {
+    e.schedule_in(0.5, [&] { fired_at = e.now(); });
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(fired_at, 1.5);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine e;
+  bool ran = false;
+  const auto id = e.schedule_at(1.0, [&] { ran = true; });
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_FALSE(e.cancel(id));  // second cancel is a no-op
+  e.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Engine, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Engine e;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) e.schedule_at(i, [&] { ++count; });
+  e.run_until(5.0);
+  EXPECT_EQ(count, 5);  // events at t=1..5 inclusive
+  EXPECT_DOUBLE_EQ(e.now(), 5.0);
+  e.run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Engine, PastTimesClampToNow) {
+  Engine e;
+  double t = -1;
+  e.schedule_at(2.0, [&] {
+    e.schedule_at(1.0, [&] { t = e.now(); });  // in the past
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(t, 2.0);
+}
+
+TEST(Engine, StopHaltsRun) {
+  Engine e;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i)
+    e.schedule_at(i, [&] {
+      if (++count == 3) e.stop();
+    });
+  e.run();
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(e.pending_events(), 7u);
+}
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, SubstreamsAreIndependentOfDrawOrder) {
+  Rng master(7);
+  Rng s1 = master.substream(1);
+  // Drawing from the master must not change what substream(2) yields.
+  (void)master.uniform();
+  Rng s2 = master.substream(2);
+  Rng master2(7);
+  Rng s2b = master2.substream(2);
+  EXPECT_DOUBLE_EQ(s2.uniform(), s2b.uniform());
+  EXPECT_NE(s1.uniform(), s2.uniform());
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng r(3);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, IndexStaysInRange) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.index(17), 17u);
+}
+
+TEST(Stats, OnlineMeanVarianceMinMax) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, PercentileNearestRank) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+}
+
+TEST(Stats, PercentileAfterInterleavedAdds) {
+  SampleSet s;
+  s.add(5);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 5.0);
+  s.add(1);  // resorting must happen after new samples
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+}
+
+TEST(Stats, HistogramBinsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.99);
+  h.add(-5.0);   // clamps to first bin
+  h.add(100.0);  // clamps to last bin
+  EXPECT_DOUBLE_EQ(h.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(9), 2.0);
+  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+}
+
+TEST(Units, ConversionsRoundTrip) {
+  using namespace xscale::units;
+  EXPECT_DOUBLE_EQ(GiB(1), 1073741824.0);
+  EXPECT_DOUBLE_EQ(Gbps(200), 25e9);
+  EXPECT_DOUBLE_EQ(usec(2.6), 2.6e-6);
+  EXPECT_DOUBLE_EQ(MW(21.1), 21.1e6);
+}
+
+TEST(Units, Formatting) {
+  using namespace xscale::units;
+  EXPECT_EQ(fmt_rate(1.635e12), "1.635 TB/s");
+  EXPECT_EQ(fmt_bytes_iec(GiB(64)), "64 GiB");
+  EXPECT_EQ(fmt_time(2.6e-6), "2.6 us");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  xscale::sim::Table t("demo");
+  t.header({"a", "bbbb"}).row({"x", "y"}).rule().row({"longer", "z"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("| longer | z"), std::string::npos);
+}
+
+}  // namespace

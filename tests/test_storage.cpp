@@ -1,0 +1,166 @@
+// Tests for the storage subsystem: node-local NVMe, Orion tiers, PFL
+// placement, and the fabric-coupled campaign.
+#include <gtest/gtest.h>
+
+#include "hw/node.hpp"
+#include "machines/machine.hpp"
+#include "storage/campaign.hpp"
+#include "storage/nvme.hpp"
+#include "storage/orion.hpp"
+
+namespace {
+
+using namespace xscale;
+using namespace xscale::units;
+using storage::Orion;
+using storage::Tier;
+
+storage::NodeLocalNvme frontier_nvme() {
+  return storage::NodeLocalNvme(hw::bard_peak().nvme);
+}
+
+TEST(Nvme, MeasuredRatesMatchSection431) {
+  const auto d = frontier_nvme();
+  EXPECT_NEAR(d.measured_read_bw() / 1e9, 7.1, 0.01);
+  EXPECT_NEAR(d.measured_write_bw() / 1e9, 4.2, 0.01);
+  EXPECT_NEAR(d.measured_iops() / 1e6, 1.58, 0.01);
+}
+
+TEST(Nvme, FullSystemAggregates) {
+  const auto agg = storage::aggregate(frontier_nvme(), 9472);
+  EXPECT_NEAR(agg.read_bw / 1e12, 67.3, 0.3);   // §4.3.1
+  EXPECT_NEAR(agg.write_bw / 1e12, 39.8, 0.3);
+  EXPECT_NEAR(agg.iops / 1e9, 15.0, 0.1);
+}
+
+TEST(Nvme, SmallRandomReadsAreIopsBound) {
+  const auto d = frontier_nvme();
+  const double t_rand = d.io_time(GiB(1), KiB(4), true, true);
+  const double t_seq = d.io_time(GiB(1), MiB(1), true, false);
+  EXPECT_GT(t_rand, t_seq * 1.05);
+  // 4 KiB random read throughput = iops * 4 KiB.
+  EXPECT_NEAR(d.throughput(KiB(4), true, true), d.measured_iops() * KiB(4), 1.0);
+}
+
+TEST(Nvme, WritesSlowerThanReads) {
+  const auto d = frontier_nvme();
+  EXPECT_GT(d.measured_read_bw(), d.measured_write_bw());
+}
+
+TEST(Orion, Table2Capacities) {
+  const Orion o;
+  EXPECT_NEAR(o.usable_capacity(Tier::Metadata) / PB(1), 10.0, 0.1);
+  EXPECT_NEAR(o.usable_capacity(Tier::Performance) / PB(1), 11.5, 0.3);
+  EXPECT_NEAR(o.usable_capacity(Tier::Capacity) / PB(1), 679.0, 10.0);
+}
+
+TEST(Orion, Table2Bandwidths) {
+  const Orion o;
+  EXPECT_NEAR(o.theoretical_read_bw(Tier::Performance) / 1e12, 10.0, 0.1);
+  EXPECT_NEAR(o.theoretical_write_bw(Tier::Performance) / 1e12, 10.0, 0.1);
+  EXPECT_NEAR(o.theoretical_read_bw(Tier::Capacity) / 1e12, 5.5, 0.1);
+  EXPECT_NEAR(o.theoretical_write_bw(Tier::Capacity) / 1e12, 4.6, 0.1);
+  EXPECT_NEAR(o.theoretical_read_bw(Tier::Metadata) / 1e12, 0.8, 0.01);
+  EXPECT_NEAR(o.theoretical_write_bw(Tier::Metadata) / 1e12, 0.4, 0.01);
+}
+
+TEST(Orion, MeasuredRatesMatchSection432) {
+  const Orion o;
+  EXPECT_NEAR(o.measured_read_bw(Tier::Performance) / 1e12, 11.7, 0.2);
+  EXPECT_NEAR(o.measured_write_bw(Tier::Performance) / 1e12, 9.4, 0.2);
+  EXPECT_NEAR(o.measured_read_bw(Tier::Capacity) / 1e12, 4.9, 0.1);
+  EXPECT_NEAR(o.measured_write_bw(Tier::Capacity) / 1e12, 4.3, 0.2);
+}
+
+TEST(Orion, PflSplitBoundaries) {
+  const Orion o;
+  // Tiny file: all DoM.
+  auto s = o.pfl_split(KiB(100));
+  EXPECT_DOUBLE_EQ(s.metadata, KiB(100));
+  EXPECT_DOUBLE_EQ(s.performance, 0);
+  EXPECT_DOUBLE_EQ(s.capacity, 0);
+  EXPECT_TRUE(o.served_from_dom(KiB(100)));
+  // Mid file: DoM + performance tier.
+  s = o.pfl_split(MiB(4));
+  EXPECT_DOUBLE_EQ(s.metadata, KiB(256));
+  EXPECT_DOUBLE_EQ(s.performance, MiB(4) - KiB(256));
+  EXPECT_DOUBLE_EQ(s.capacity, 0);
+  // Large file: mostly capacity.
+  s = o.pfl_split(GiB(1));
+  EXPECT_DOUBLE_EQ(s.capacity, GiB(1) - MiB(8));
+  EXPECT_DOUBLE_EQ(s.total(), GiB(1));
+}
+
+TEST(Orion, TierOfOffsetConsistentWithSplit) {
+  const Orion o;
+  EXPECT_EQ(o.tier_of_offset(0), Tier::Metadata);
+  EXPECT_EQ(o.tier_of_offset(KiB(256)), Tier::Performance);
+  EXPECT_EQ(o.tier_of_offset(MiB(8)), Tier::Capacity);
+  EXPECT_EQ(o.tier_of_offset(TB(1)), Tier::Capacity);
+}
+
+TEST(Orion, HbmIngestTakesAbout180Seconds) {
+  // §4.3.2: ~700 TiB (~776 TB, 15% of HBM) ingested in ~180 s.
+  const Orion o;
+  const double t = o.ingest_time(TB(776), 9408);
+  EXPECT_NEAR(t, 180.0, 20.0);
+}
+
+TEST(Orion, SmallFilesFasterViaDomThanViaOst) {
+  const Orion o;
+  const double dom = o.small_file_read_time(KiB(200), 1000);
+  // The same file forced through an OST costs one extra round-trip.
+  Orion no_dom{[] {
+    storage::OrionConfig c;
+    c.dom_boundary = 0;
+    return c;
+  }()};
+  const double ost = no_dom.small_file_read_time(KiB(200), 1000);
+  EXPECT_LT(dom, ost);
+}
+
+TEST(Orion, CampaignBwCappedByClientInjection) {
+  const Orion o;
+  // One client cannot exceed its injection bandwidth no matter the tier.
+  const double bw = o.campaign_bw(GiB(1), 1, /*read=*/true);
+  EXPECT_LE(bw, GBs(100) * 0.7 * 1.001);
+}
+
+TEST(Orion, SmallFileCampaignLandsOnFlashRates) {
+  const Orion o;
+  // Files below 8 MiB never touch the capacity tier; aggregate approaches the
+  // flash tier's measured rate with enough clients.
+  const double bw = o.campaign_bw(MiB(7), 9408, /*read=*/true);
+  EXPECT_GT(bw / 1e12, 8.0);
+  // Slightly above the flash tier's 11.7 TB/s because the DoM fraction is
+  // served concurrently by the MDTs.
+  EXPECT_LE(bw / 1e12, 12.5);
+}
+
+TEST(FabricCampaign, CapacityTierIsDiskBoundAtFullScale) {
+  const auto m = machines::frontier();
+  auto fabric = m.build_fabric();
+  const Orion o;
+  const auto r = storage::fabric_campaign(m, fabric, o, 9408, Tier::Capacity,
+                                          /*read=*/false);
+  // Aggregate lands at the capacity tier's measured write rate — the fabric
+  // (74 x 5 bundles of 50 GB/s = 18.5 TB/s) is not the bottleneck.
+  EXPECT_NEAR(r.aggregate_bw / 1e12, 4.3, 0.5);
+  EXPECT_LT(r.network_limited_fraction, 0.35);
+}
+
+TEST(FabricCampaign, FewClientsAreNetworkBound) {
+  const auto m = machines::frontier();
+  auto fabric = m.build_fabric();
+  const Orion o;
+  // 8 clients (one compute group, against 4 OSS in one storage group) are
+  // limited by NICs and the single compute->storage bundle — far below the
+  // flash tier's capability, and partly network-limited.
+  const auto r =
+      storage::fabric_campaign(m, fabric, o, 8, Tier::Performance, /*read=*/true);
+  EXPECT_LT(r.aggregate_bw, 0.05 * o.measured_read_bw(Tier::Performance));
+  EXPECT_GT(r.network_limited_fraction, 0.3);
+  EXPECT_LE(r.per_client_bw, 17.6e9);
+}
+
+}  // namespace

@@ -1,0 +1,202 @@
+// Tests for scheduler, power, and resiliency models.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "power/power.hpp"
+#include "resil/resiliency.hpp"
+#include "sched/slurm.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "storage/orion.hpp"
+
+namespace {
+
+using namespace xscale;
+
+// ---------------------------------------------------------------- sched -----
+
+TEST(Scheduler, ExclusiveAllocation) {
+  sched::Scheduler s(256, 128);
+  auto a = s.allocate(100);
+  ASSERT_TRUE(a.has_value());
+  auto b = s.allocate(200);
+  EXPECT_FALSE(b.has_value());  // only 156 free
+  s.release(*a);
+  EXPECT_TRUE(s.allocate(200).has_value());
+}
+
+TEST(Scheduler, NoNodeInTwoJobs) {
+  sched::Scheduler s(512, 128);
+  auto a = s.allocate(200);
+  auto b = s.allocate(200);
+  ASSERT_TRUE(a && b);
+  std::set<int> seen(a->nodes.begin(), a->nodes.end());
+  for (int n : b->nodes) EXPECT_FALSE(seen.count(n)) << n;
+}
+
+TEST(Scheduler, ChecknodeDrainsUnhealthyNodes) {
+  sched::Scheduler s(128, 128);
+  for (int n = 0; n < 8; ++n) s.set_healthy(n, false);
+  EXPECT_EQ(s.healthy_nodes(), 120);
+  auto a = s.allocate(120);
+  ASSERT_TRUE(a.has_value());
+  for (int n : a->nodes) EXPECT_GE(n, 8);
+  EXPECT_FALSE(s.allocate(1).has_value());
+}
+
+TEST(Scheduler, SmallJobPacksIntoOneGroup) {
+  sched::Scheduler s(1024, 128);
+  auto a = s.allocate(64);  // Auto -> Pack
+  ASSERT_TRUE(a.has_value());
+  std::set<int> groups;
+  for (int n : a->nodes) groups.insert(n / 128);
+  EXPECT_EQ(groups.size(), 1u);
+}
+
+TEST(Scheduler, LargeJobSpreadsAcrossAllGroups) {
+  sched::Scheduler s(1024, 128);
+  auto a = s.allocate(512);  // Auto -> Spread
+  ASSERT_TRUE(a.has_value());
+  std::set<int> groups;
+  for (int n : a->nodes) groups.insert(n / 128);
+  EXPECT_EQ(groups.size(), 8u);  // 64 nodes in each of 8 groups
+}
+
+TEST(Scheduler, VnisAreUniqueAcrossConcurrentJobs) {
+  sched::Scheduler s(1024, 128);
+  std::set<std::uint16_t> vnis;
+  for (int i = 0; i < 8; ++i) {
+    auto a = s.allocate(64);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_TRUE(vnis.insert(a->vni).second);
+    EXPECT_NE(a->vni, 0);  // VNI 0 reserved
+  }
+}
+
+TEST(Scheduler, PackPrefersTightestFittingGroup) {
+  sched::Scheduler s(384, 128);  // 3 groups
+  auto big = s.allocate(100, sched::Placement::Pack);    // group A: 28 left
+  auto mid = s.allocate(60, sched::Placement::Pack);     // group B: 68 left
+  ASSERT_TRUE(big && mid);
+  // A 20-node job fits in group A's remainder — best fit should use it.
+  auto small = s.allocate(20, sched::Placement::Pack);
+  ASSERT_TRUE(small.has_value());
+  std::set<int> groups;
+  for (int n : small->nodes) groups.insert(n / 128);
+  EXPECT_EQ(groups.size(), 1u);
+  EXPECT_EQ(*groups.begin(), big->nodes.front() / 128);
+}
+
+TEST(Scheduler, WorkloadFcfsWithBackfill) {
+  sched::Scheduler s(256, 128);
+  sim::Engine eng;
+  // Job 0 takes most of the machine for 100 s; job 1 needs all of it and must
+  // wait; job 2 is small enough to backfill into the 16 idle nodes.
+  std::vector<sched::JobRequest> jobs{
+      {240, 100.0, sched::Placement::Auto},
+      {256, 50.0, sched::Placement::Auto},
+      {16, 10.0, sched::Placement::Auto},
+  };
+  auto rec = s.run_workload(eng, jobs);
+  EXPECT_DOUBLE_EQ(rec[0].start_time, 0.0);
+  EXPECT_DOUBLE_EQ(rec[1].start_time, 100.0);
+  EXPECT_DOUBLE_EQ(rec[2].start_time, 0.0);  // backfilled immediately
+  EXPECT_GT(s.last_utilization(), 0.5);
+}
+
+TEST(Scheduler, WorkloadRecordsConsistent) {
+  sched::Scheduler s(512, 128);
+  sim::Engine eng;
+  std::vector<sched::JobRequest> jobs;
+  for (int i = 0; i < 20; ++i)
+    jobs.push_back({32 + 32 * (i % 5), 10.0 + i, sched::Placement::Auto});
+  auto rec = s.run_workload(eng, jobs);
+  for (const auto& r : rec) {
+    EXPECT_GE(r.start_time, r.submit_time);
+    EXPECT_NEAR(r.end_time - r.start_time, r.request.duration_s, 1e-9);
+    EXPECT_EQ(static_cast<int>(r.nodes.size()), r.request.nodes);
+  }
+  EXPECT_EQ(s.free_nodes(), 512);  // everything released
+}
+
+// ---------------------------------------------------------------- power -----
+
+TEST(Power, HplLandsNearPaperHeadline) {
+  const auto g = power::frontier_green500();
+  EXPECT_NEAR(g.power_w / 1e6, 21.1, 0.5);       // §5.1: 21.1 MW
+  EXPECT_NEAR(g.gf_per_watt, 52.0, 1.5);         // §5.1: 52 GF/W
+  EXPECT_GT(g.gf_per_watt, 50.0);                // exceeds the report's target
+}
+
+TEST(Power, ActivityOrdering) {
+  power::SystemPowerModel m;
+  EXPECT_LT(m.system_power(power::idle_activity()),
+            m.system_power(power::stream_activity()));
+  EXPECT_LT(m.system_power(power::stream_activity()),
+            m.system_power(power::hpl_activity()));
+}
+
+TEST(Power, FrontierBeatsStrawmenByOrderOfMagnitude) {
+  const auto c = power::strawman_comparison();
+  EXPECT_LT(c.frontier_mw_per_ef, 25.0);  // ~19 MW/EF(Rmax)
+  EXPECT_GT(c.report_low_mw_per_ef / c.frontier_mw_per_ef, 3.0);
+}
+
+// ------------------------------------------------------------- resiliency ---
+
+TEST(Resiliency, MttiInFewHoursBand) {
+  resil::ResiliencyModel m;
+  EXPECT_GT(m.mtti_hours(), 3.0);   // §5.4: around the four-hour projection
+  EXPECT_LT(m.mtti_hours(), 8.0);
+}
+
+TEST(Resiliency, MemoryAndPowerSuppliesLead) {
+  resil::ResiliencyModel m;
+  const auto b = m.breakdown();
+  ASSERT_GE(b.size(), 2u);
+  std::set<std::string> top{b[0].first, b[1].first};
+  EXPECT_TRUE(top.count("HBM2e stack"));
+  EXPECT_TRUE(top.count("Power supply") || top.count("Software/other"));
+  EXPECT_EQ(b[0].first, "HBM2e stack");
+}
+
+TEST(Resiliency, MonteCarloMatchesAnalyticMtti) {
+  resil::ResiliencyModel m;
+  sim::Rng rng(77);
+  const auto intervals = m.sample_intervals(20000, rng);
+  double mean = 0;
+  for (double x : intervals) mean += x;
+  mean /= static_cast<double>(intervals.size());
+  EXPECT_NEAR(mean, m.mtti_hours(), m.mtti_hours() * 0.05);
+}
+
+TEST(Resiliency, YoungDalyInterval) {
+  resil::ResiliencyModel m;
+  // delta = 180 s checkpoint, MTTI ~ 4.6 h: tau = sqrt(2*180*16560) ~ 2440 s.
+  const double tau = m.optimal_checkpoint_interval_s(180.0);
+  EXPECT_GT(tau, 1500.0);
+  EXPECT_LT(tau, 3500.0);
+  EXPECT_GT(m.checkpoint_efficiency(180.0), 0.80);
+  EXPECT_LT(m.checkpoint_efficiency(180.0), 0.95);
+}
+
+TEST(Resiliency, CheckpointPlanCouplesToOrion) {
+  resil::ResiliencyModel m;
+  storage::Orion orion;
+  // 15% of HBM from a full-system job (the §4.3.2 sizing).
+  const auto plan = m.plan_checkpoints(orion, units::TB(776), 9408);
+  EXPECT_NEAR(plan.write_time_s, 180.0, 20.0);
+  EXPECT_GT(plan.efficiency, 0.8);
+  EXPECT_GT(plan.interval_s, plan.write_time_s * 5);
+}
+
+TEST(Resiliency, BetterFitRatesRaiseMtti) {
+  auto census = resil::frontier_census();
+  for (auto& c : census) c.fit /= 10.0;  // the report's hoped-for 10x
+  resil::ResiliencyModel m(std::move(census));
+  resil::ResiliencyModel base;
+  EXPECT_NEAR(m.mtti_hours(), base.mtti_hours() * 10.0, 1e-6);
+}
+
+}  // namespace

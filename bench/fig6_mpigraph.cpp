@@ -17,7 +17,8 @@ namespace {
 // collecting achieved per-NIC receive bandwidth.
 sim::Histogram run_mpigraph(const machines::Machine& m, const net::Fabric& fabric,
                             int rounds, double hist_max) {
-  sim::Histogram h(0.0, hist_max, 36);
+  // Clamp: mpiGraph-style plots fold outliers into the edge bins.
+  sim::Histogram h(0.0, hist_max, 36, sim::Histogram::OutlierPolicy::Clamp);
   sim::Rng rng(0x5175);
   const int nodes = m.total_nodes;
   for (int r = 0; r < rounds; ++r) {

@@ -1,0 +1,157 @@
+// Microbenchmarks for the incremental FlowSim rate solver and the engine's
+// cancel-heavy event-queue behaviour (ISSUE 2 acceptance: >= 5x flow-update
+// throughput over the full re-solve baseline on 1,024-endpoint all-to-all).
+//
+// Each churn benchmark keeps one outstanding flow per participating endpoint
+// over a dragonfly fabric; every completion immediately launches the next
+// flow of the pattern, so steady state holds F ~ n concurrent flows and every
+// event is an add+remove against the solver. `items_per_second` is therefore
+// completed-flow throughput, i.e. flow-update throughput.
+//
+// Reported counters:
+//   comp_avg   — mean flows handed to the solver per resolve (full = F)
+//   fallback%  — share of resolves that fell back to the full solve
+//   heap       — engine heap occupancy at the end of the run
+//   stale      — cancelled-but-unpopped heap entries (bounded by compaction)
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "net/flowsim.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "topo/topology.hpp"
+
+using namespace xscale;
+
+namespace {
+
+enum class Pattern { Permutation, Incast, AllToAll };
+
+net::Fabric build_fabric(int endpoints) {
+  // Dragonfly shapes sized so groups x switches x endpoints = n.
+  int g = 4, s = 4, e = 4;  // 64
+  if (endpoints >= 4096) {
+    g = 32; s = 16; e = 8;
+  } else if (endpoints >= 1024) {
+    g = 16; s = 8; e = 8;
+  } else if (endpoints >= 256) {
+    g = 8; s = 8; e = 4;
+  }
+  auto t = topo::Topology::uniform_dragonfly(g, {s, e}, 1, 25e9, 180e-9);
+  net::FabricConfig cfg;
+  cfg.routing = net::Routing::Minimal;  // deterministic paths across modes
+  return net::Fabric(std::move(t), cfg);
+}
+
+// One churn run: `target` completions, one outstanding flow per endpoint.
+// Returns completions (== target).
+std::uint64_t churn(net::FlowSim& fs, sim::Engine& eng, Pattern p, int n,
+                    std::uint64_t target) {
+  sim::Rng rng(0xC0FFEE);
+  std::uint64_t completions = 0, launched = 0;
+  std::vector<int> shift(static_cast<std::size_t>(n), 0);
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = (i + n / 2) % n;
+
+  std::function<void(int)> launch = [&](int src) {
+    if (launched >= target) return;
+    ++launched;
+    int dst = src;
+    switch (p) {
+      case Pattern::Permutation:
+        dst = perm[static_cast<std::size_t>(src)];
+        break;
+      case Pattern::Incast:
+        dst = 0;
+        break;
+      case Pattern::AllToAll: {
+        auto& k = shift[static_cast<std::size_t>(src)];
+        dst = (src + 1 + k) % n;
+        k = (k + 1) % (n - 1);
+        break;
+      }
+    }
+    fs.start(src, dst, rng.uniform(1e7, 1e8), [&, src] {
+      ++completions;
+      launch(src);
+    });
+  };
+  const int first = p == Pattern::Incast ? 1 : 0;
+  for (int i = first; i < n; ++i) launch(i);
+  eng.run();
+  return completions;
+}
+
+void BM_FlowChurn(benchmark::State& state, Pattern p, bool incremental) {
+  const int n = static_cast<int>(state.range(0));
+  const auto fabric = build_fabric(n);
+  const auto target = static_cast<std::uint64_t>(2 * n);
+  net::FlowSim::Stats last{};
+  std::size_t heap = 0, stale = 0;
+  for (auto _ : state) {
+    sim::Engine eng;
+    net::FlowSim fs(eng, fabric, {.incremental = incremental});
+    const auto done = churn(fs, eng, p, n, target);
+    benchmark::DoNotOptimize(done);
+    last = fs.stats();
+    heap = eng.heap_size();
+    stale = eng.cancelled_events();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(target));
+  const double solves = static_cast<double>(
+      last.full_solves + last.fallback_solves + last.component_solves);
+  state.counters["comp_avg"] =
+      solves > 0 ? static_cast<double>(last.flows_solved) / solves : 0.0;
+  state.counters["fallback%"] =
+      last.resolves
+          ? 100.0 * static_cast<double>(last.fallback_solves) /
+                static_cast<double>(last.resolves)
+          : 0.0;
+  state.counters["heap"] = static_cast<double>(heap);
+  state.counters["stale"] = static_cast<double>(stale);
+}
+
+// Engine-level churn: the reschedule pattern (schedule, cancel, schedule)
+// that used to accumulate stale heap entries without bound.
+void BM_EngineCancelChurn(benchmark::State& state) {
+  const int live = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < live; ++i)
+      ids.push_back(eng.schedule_at(1e9 + i, [] {}));
+    for (int i = 0; i < 200000; ++i) {
+      const auto idx = static_cast<std::size_t>(i % live);
+      eng.cancel(ids[idx]);
+      ids[idx] = eng.schedule_at(static_cast<double>(i), [] {});
+    }
+    benchmark::DoNotOptimize(eng.heap_size());
+    state.counters["heap"] = static_cast<double>(eng.heap_size());
+    state.counters["stale"] = static_cast<double>(eng.cancelled_events());
+    state.counters["compactions"] = static_cast<double>(eng.compactions());
+  }
+  state.SetItemsProcessed(state.iterations() * 200000);
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_FlowChurn, permutation_incremental, Pattern::Permutation, true)
+    ->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_FlowChurn, permutation_full, Pattern::Permutation, false)
+    ->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_FlowChurn, alltoall_incremental, Pattern::AllToAll, true)
+    ->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_FlowChurn, alltoall_full, Pattern::AllToAll, false)
+    ->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_FlowChurn, incast_incremental, Pattern::Incast, true)
+    ->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_FlowChurn, incast_full, Pattern::Incast, false)
+    ->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineCancelChurn)->Arg(4)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verify: plain build + ctest (the ROADMAP command), then the same
+# test suite under ASan+UBSan so the solver and event-queue hot paths run
+# sanitized. Usage: scripts/verify.sh [--no-sanitize]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+echo "== tier-1: RelWithDebInfo build + ctest =="
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "${1:-}" == "--no-sanitize" ]]; then
+  echo "== skipping sanitized pass =="
+  exit 0
+fi
+
+echo "== tier-1 (sanitized): ASan+UBSan build + ctest =="
+cmake -B build-sanitize -S . -DXSCALE_SANITIZE=ON
+cmake --build build-sanitize -j "$JOBS"
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+  ctest --test-dir build-sanitize --output-on-failure -j "$JOBS"
+
+echo "verify: OK"

@@ -137,20 +137,25 @@ void CollectiveSim::allreduce(double bytes, AllreduceAlgo algo,
     op->recvd[static_cast<std::size_t>(r)].assign(op->plan[static_cast<std::size_t>(r)].size(), 0);
   }
 
-  // start_phase initiates the sends of rank's current phase.
-  auto start_phase = std::make_shared<
-      std::function<void(const std::shared_ptr<Op>&, int)>>();
-  *start_phase = [this, start_phase](const std::shared_ptr<Op>& o, int rank) {
+  // start_phase initiates the sends of rank's current phase. The stored
+  // function keeps only a weak reference to itself; strong references live in
+  // the pending engine callbacks, so the chain is freed when the collective
+  // drains rather than leaking through a shared_ptr self-capture cycle.
+  using StartPhase = std::function<void(const std::shared_ptr<Op>&, int)>;
+  auto start_phase = std::make_shared<StartPhase>();
+  *start_phase = [this, weak_self = std::weak_ptr<StartPhase>(start_phase)](
+                     const std::shared_ptr<Op>& o, int rank) {
+    const auto self = weak_self.lock();  // non-null: the caller holds a ref
     const int ph = o->phase[static_cast<std::size_t>(rank)];
     const auto& phase = o->plan[static_cast<std::size_t>(rank)][static_cast<std::size_t>(ph)];
     if (phase.send_to < 0) {
-      advance(this, o, rank, eng_, *start_phase);
+      advance(this, o, rank, eng_, *self);
       return;
     }
     // Find the matching phase index at the receiver: the first phase at the
     // receiver expecting a message from `rank` that has not yet arrived.
     send_msg(o, rank, phase.send_to, phase.bytes,
-             [this, o, start_phase, from = rank, to = phase.send_to] {
+             [this, o, self, from = rank, to = phase.send_to] {
                auto& rv = o->recvd[static_cast<std::size_t>(to)];
                const auto& plan_to = o->plan[static_cast<std::size_t>(to)];
                for (std::size_t i = 0; i < plan_to.size(); ++i) {
@@ -159,12 +164,12 @@ void CollectiveSim::allreduce(double bytes, AllreduceAlgo algo,
                    break;
                  }
                }
-               advance(this, o, to, eng_, *start_phase);
+               advance(this, o, to, eng_, *self);
              });
     // Sends are non-blocking (buffered): the sender may start its next phase
     // immediately; phase gating comes from the receive dependencies.
     o->sent[static_cast<std::size_t>(rank)][static_cast<std::size_t>(ph)] = 1;
-    advance(this, o, rank, eng_, *start_phase);
+    advance(this, o, rank, eng_, *self);
   };
 
   for (int r = 0; r < p; ++r) (*start_phase)(op, r);
@@ -213,17 +218,21 @@ void CollectiveSim::broadcast(double bytes, int root,
     op->sent[static_cast<std::size_t>(r)].assign(op->plan[static_cast<std::size_t>(r)].size(), 0);
     op->recvd[static_cast<std::size_t>(r)].assign(op->plan[static_cast<std::size_t>(r)].size(), 0);
   }
-  auto start_phase = std::make_shared<
-      std::function<void(const std::shared_ptr<Op>&, int)>>();
-  *start_phase = [this, start_phase, actual](const std::shared_ptr<Op>& o, int v) {
+  // Weak self-reference, as in allreduce(): pending callbacks hold the only
+  // strong references, so nothing leaks once the tree drains.
+  using StartPhase = std::function<void(const std::shared_ptr<Op>&, int)>;
+  auto start_phase = std::make_shared<StartPhase>();
+  *start_phase = [this, weak_self = std::weak_ptr<StartPhase>(start_phase),
+                  actual](const std::shared_ptr<Op>& o, int v) {
+    const auto self = weak_self.lock();  // non-null: the caller holds a ref
     const int ph = o->phase[static_cast<std::size_t>(v)];
     const auto& phase = o->plan[static_cast<std::size_t>(v)][static_cast<std::size_t>(ph)];
     if (phase.send_to < 0) {
-      advance(this, o, v, eng_, *start_phase);
+      advance(this, o, v, eng_, *self);
       return;
     }
     send_msg(o, actual(v), phase.send_to, phase.bytes,
-             [this, o, start_phase, from = actual(v), to = phase.send_to] {
+             [this, o, self, from = actual(v), to = phase.send_to] {
                // Receiver is identified by actual rank; find its virtual id.
                for (std::size_t tv = 0; tv < o->plan.size(); ++tv) {
                  const auto& plan_to = o->plan[tv];
@@ -233,14 +242,14 @@ void CollectiveSim::broadcast(double bytes, int root,
                      plan_to[static_cast<std::size_t>(phx)].send_to == -1) {
                    // Check the destination matches this virtual rank.
                    o->recvd[tv][static_cast<std::size_t>(phx)] = 1;
-                   advance(this, o, static_cast<int>(tv), eng_, *start_phase);
+                   advance(this, o, static_cast<int>(tv), eng_, *self);
                    break;
                  }
                }
                (void)to;
              });
     o->sent[static_cast<std::size_t>(v)][static_cast<std::size_t>(ph)] = 1;
-    advance(this, o, v, eng_, *start_phase);
+    advance(this, o, v, eng_, *self);
   };
   for (int v = 0; v < p; ++v) (*start_phase)(op, v);
 }

@@ -2,12 +2,36 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
 
 namespace xscale::net {
 
+void FlowSim::ensure_sized() {
+  const std::size_t n = fabric_.topology().links().size();
+  if (link_load_.size() == n) return;
+  link_load_.assign(n, 0);
+  flows_on_link_.assign(n, {});
+  link_dirty_.assign(n, 0);
+  link_visit_epoch_.assign(n, 0);
+  link_local_id_.assign(n, 0);
+  link_remap_epoch_.assign(n, 0);
+}
+
+void FlowSim::mark_dirty(int link) {
+  const auto lu = static_cast<std::size_t>(link);
+  if (link_dirty_[lu]) return;
+  link_dirty_[lu] = 1;
+  dirty_links_.push_back(link);
+}
+
+void FlowSim::clear_dirty() {
+  for (int l : dirty_links_) link_dirty_[static_cast<std::size_t>(l)] = 0;
+  dirty_links_.clear();
+}
+
 std::uint64_t FlowSim::start(int src, int dst, double bytes, Done on_done) {
-  if (link_load_.empty()) link_load_.assign(fabric_.topology().links().size(), 0);
+  ensure_sized();
   auto path = fabric_.route(src, dst, rng_, &link_load_);
   return start_on_path(std::move(path), bytes, std::move(on_done));
 }
@@ -15,14 +39,40 @@ std::uint64_t FlowSim::start(int src, int dst, double bytes, Done on_done) {
 std::uint64_t FlowSim::start_on_path(std::vector<int> path, double bytes,
                                      Done on_done) {
   assert(!path.empty());
-  if (link_load_.empty()) link_load_.assign(fabric_.topology().links().size(), 0);
+  ensure_sized();
   advance_to_now();
   const std::uint64_t id = next_id_++;
-  for (int l : path) ++link_load_[static_cast<std::size_t>(l)];
-  flows_.emplace(id, Flow{std::move(path), std::max(bytes, 1.0), 0.0,
-                          std::move(on_done)});
+  auto [it, inserted] = flows_.emplace(
+      id, Flow{std::move(path), std::max(bytes, 1.0), 0.0, false, 0,
+               std::move(on_done)});
+  assert(inserted);
+  insert_flow_links(id, it->second);
   resolve_and_schedule();
   return id;
+}
+
+void FlowSim::insert_flow_links(std::uint64_t id, const Flow& f) {
+  for (int l : f.path) {
+    const auto lu = static_cast<std::size_t>(l);
+    ++link_load_[lu];
+    flows_on_link_[lu].push_back(id);
+    mark_dirty(l);
+  }
+}
+
+void FlowSim::remove_flow(std::uint64_t id) {
+  auto it = flows_.find(id);
+  assert(it != flows_.end());
+  Flow& f = it->second;
+  for (int l : f.path) {
+    const auto lu = static_cast<std::size_t>(l);
+    --link_load_[lu];
+    auto& on = flows_on_link_[lu];
+    on.erase(std::find(on.begin(), on.end(), id));
+    mark_dirty(l);
+  }
+  if (f.stalled) --stalled_;
+  flows_.erase(it);
 }
 
 void FlowSim::advance_to_now() {
@@ -33,50 +83,187 @@ void FlowSim::advance_to_now() {
   last_update_ = eng_.now();
 }
 
+void FlowSim::set_rate(Flow& f, double rate) {
+  // No 1 B/s floor: a zero rate means every byte is stuck behind a failed
+  // link, and pretending otherwise hides the failure (satellite fix — the
+  // old floor made such flows "complete" after simulated centuries).
+  if (rate <= 0.0) {
+    rate = 0.0;
+    if (!f.stalled) {
+      f.stalled = true;
+      ++stalled_;
+    }
+  } else if (f.stalled) {
+    f.stalled = false;
+    --stalled_;
+  }
+  f.rate = rate;
+}
+
+std::vector<std::uint64_t> FlowSim::affected_component() {
+  std::vector<std::uint64_t> comp;
+  ++visit_epoch_;
+  std::vector<int> link_q = dirty_links_;
+  for (int l : link_q) link_visit_epoch_[static_cast<std::size_t>(l)] = visit_epoch_;
+  while (!link_q.empty()) {
+    const int l = link_q.back();
+    link_q.pop_back();
+    for (std::uint64_t id : flows_on_link_[static_cast<std::size_t>(l)]) {
+      Flow& f = flows_.find(id)->second;
+      if (f.visit_epoch == visit_epoch_) continue;
+      f.visit_epoch = visit_epoch_;
+      comp.push_back(id);
+      for (int pl : f.path) {
+        const auto plu = static_cast<std::size_t>(pl);
+        if (link_visit_epoch_[plu] != visit_epoch_) {
+          link_visit_epoch_[plu] = visit_epoch_;
+          link_q.push_back(pl);
+        }
+      }
+    }
+  }
+  std::sort(comp.begin(), comp.end());
+  return comp;
+}
+
+void FlowSim::solve_component(const std::vector<std::uint64_t>& comp,
+                              SolveStats* ss) {
+  // Build a compact sub-problem: only the component's links, densely
+  // renumbered in first-encounter order (ascending flow id), which makes the
+  // restricted solve's arithmetic identical to the full solve's — within a
+  // component the full solver performs exactly the same operations in the
+  // same order, and flows outside it never touch these links.
+  ++remap_epoch_;
+  comp_caps_.clear();
+  comp_paths_.resize(comp.size());
+  const auto& caps = fabric_.effective_capacities();
+  for (std::size_t i = 0; i < comp.size(); ++i) {
+    const Flow& f = flows_.find(comp[i])->second;
+    auto& lp = comp_paths_[i];
+    lp.clear();
+    for (int l : f.path) {
+      const auto lu = static_cast<std::size_t>(l);
+      if (link_remap_epoch_[lu] != remap_epoch_) {
+        link_remap_epoch_[lu] = remap_epoch_;
+        link_local_id_[lu] = static_cast<int>(comp_caps_.size());
+        comp_caps_.push_back(caps[lu]);
+      }
+      lp.push_back(link_local_id_[lu]);
+    }
+  }
+  const auto rates = max_min_rates(comp_caps_, comp_paths_, nullptr, ss);
+  for (std::size_t i = 0; i < comp.size(); ++i)
+    set_rate(flows_.find(comp[i])->second, rates[i]);
+}
+
 void FlowSim::resolve_and_schedule() {
   if (has_pending_event_) {
     eng_.cancel(pending_event_);
     has_pending_event_ = false;
   }
-  if (flows_.empty()) return;
+  if (flows_.empty()) {
+    clear_dirty();
+    return;
+  }
+  ++stats_.resolves;
 
-  // Re-solve rates for the active set (deterministic order by id).
+  bool full = !cfg_.incremental;
+  std::vector<std::uint64_t> comp;
+  if (full) {
+    ++stats_.full_solves;
+  } else {
+    comp = affected_component();
+    stats_.largest_component = std::max<std::uint64_t>(stats_.largest_component, comp.size());
+    if (static_cast<double>(comp.size()) >
+        cfg_.fallback_fraction * static_cast<double>(flows_.size())) {
+      full = true;
+      ++stats_.fallback_solves;
+    }
+  }
+
+  SolveStats ss;
+  std::vector<std::uint64_t> solved;
+  if (full) {
+    // Re-solve rates for the whole active set (deterministic order by id).
+    solved.reserve(flows_.size());
+    for (const auto& [id, f] : flows_) solved.push_back(id);
+    std::sort(solved.begin(), solved.end());
+    std::vector<std::vector<int>> paths;
+    paths.reserve(solved.size());
+    for (auto id : solved) paths.push_back(flows_.at(id).path);
+    const auto rates = max_min_rates(fabric_.effective_capacities(), paths,
+                                     nullptr, &ss);
+    for (std::size_t i = 0; i < solved.size(); ++i)
+      set_rate(flows_.at(solved[i]), rates[i]);
+  } else if (!comp.empty()) {
+    ++stats_.component_solves;
+    solve_component(comp, &ss);
+    solved = std::move(comp);
+  }
+  stats_.flows_solved += solved.size();
+  stats_.solver_iterations += static_cast<std::uint64_t>(ss.iterations);
+  stats_.bottleneck_links += static_cast<std::uint64_t>(ss.bottleneck_links);
+
+  // Zero-rate flows: under Drop, remove them now. Their rate is 0, so they
+  // consume no capacity — removal provably leaves every other rate unchanged
+  // (in the water-filling they freeze at share 0 in the first iteration and
+  // subtract nothing), so no re-solve is needed.
+  std::vector<std::uint64_t> dropped_ids;
+  if (cfg_.stall_policy == StallPolicy::Drop) {
+    for (std::uint64_t id : solved)
+      if (flows_.at(id).rate <= 0.0) dropped_ids.push_back(id);
+    for (std::uint64_t id : dropped_ids) {
+      remove_flow(id);
+      ++dropped_;
+    }
+  }
+
+  double next_done = std::numeric_limits<double>::infinity();
+  for (const auto& [id, f] : flows_)
+    if (f.rate > 0.0) next_done = std::min(next_done, f.remaining / f.rate);
+
+  clear_dirty();
+
+  if (std::isfinite(next_done)) {
+    pending_event_ = eng_.schedule_in(std::max(next_done, 0.0), [this] {
+      has_pending_event_ = false;
+      advance_to_now();
+      // Complete every flow that has drained (ties finish together).
+      std::vector<std::uint64_t> done;
+      for (auto& [id, f] : flows_)
+        if (f.rate > 0.0 && f.remaining <= 1e-6 * std::max(1.0, f.rate))
+          done.push_back(id);
+      std::sort(done.begin(), done.end());
+      std::vector<Done> callbacks;
+      callbacks.reserve(done.size());
+      for (auto id : done) {
+        callbacks.push_back(std::move(flows_.at(id).on_done));
+        remove_flow(id);
+      }
+      resolve_and_schedule();
+      for (auto& cb : callbacks)
+        if (cb) cb();
+    });
+    has_pending_event_ = true;
+  }
+  // else: every active flow is stalled; nothing to schedule. They recover
+  // when a future add/remove dirties their component after link repair.
+
+  if (stall_hook_ && !dropped_ids.empty())
+    for (std::uint64_t id : dropped_ids) stall_hook_(id);
+}
+
+void FlowSim::for_each_flow(
+    const std::function<void(std::uint64_t, const std::vector<int>&, double,
+                             double)>& fn) const {
   std::vector<std::uint64_t> ids;
   ids.reserve(flows_.size());
   for (const auto& [id, f] : flows_) ids.push_back(id);
   std::sort(ids.begin(), ids.end());
-  std::vector<std::vector<int>> paths;
-  paths.reserve(ids.size());
-  for (auto id : ids) paths.push_back(flows_.at(id).path);
-  const auto rates = max_min_rates(fabric_.effective_capacities(), paths);
-
-  double next_done = std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    auto& f = flows_.at(ids[i]);
-    f.rate = std::max(rates[i], 1.0);  // guard against zero-rate stalls
-    next_done = std::min(next_done, f.remaining / f.rate);
+  for (auto id : ids) {
+    const Flow& f = flows_.at(id);
+    fn(id, f.path, f.remaining, f.rate);
   }
-
-  pending_event_ = eng_.schedule_in(std::max(next_done, 0.0), [this] {
-    has_pending_event_ = false;
-    advance_to_now();
-    // Complete every flow that has drained (ties finish together).
-    std::vector<std::uint64_t> done;
-    for (auto& [id, f] : flows_)
-      if (f.remaining <= 1e-6 * std::max(1.0, f.rate)) done.push_back(id);
-    std::sort(done.begin(), done.end());
-    std::vector<Done> callbacks;
-    for (auto id : done) {
-      auto& f = flows_.at(id);
-      for (int l : f.path) --link_load_[static_cast<std::size_t>(l)];
-      callbacks.push_back(std::move(f.on_done));
-      flows_.erase(id);
-    }
-    resolve_and_schedule();
-    for (auto& cb : callbacks)
-      if (cb) cb();
-  });
-  has_pending_event_ = true;
 }
 
 }  // namespace xscale::net

@@ -5,6 +5,16 @@
 // is rescheduled. This gives byte-accurate completion times for overlapping
 // transfers — used by the storage campaign simulator and application traces,
 // where flows start and finish at different times.
+//
+// Rate resolution is *incremental*: the simulator keeps per-link active-flow
+// sets, marks the links of every added/removed flow dirty, and re-runs
+// water-filling only over the connected component of flows reachable from a
+// dirty link (flows in other components share no links with it, so their
+// max-min rates are provably unchanged — the global solution is the union of
+// per-component solutions). When the affected component exceeds a configured
+// fraction of the active set, it falls back to the full `max_min_rates`
+// solve, which also serves as the reference oracle in the differential tests
+// (tests/test_flowsim.cpp asserts bit-for-bit equality on randomized churn).
 #pragma once
 
 #include <cstdint>
@@ -17,12 +27,31 @@
 
 namespace xscale::net {
 
+// What to do with a flow whose solved rate is zero (every path through a
+// failed link): `Stall` parks it visibly (it holds its links and is counted
+// by `stalled_flows()`, recovering if capacity returns); `Drop` removes it
+// immediately and reports it through the `on_stall` hook — its completion
+// callback never fires. The old behaviour silently trickled such flows at
+// 1 B/s, hiding the failure for simulated centuries.
+enum class StallPolicy { Stall, Drop };
+
+struct FlowSimConfig {
+  bool incremental = true;
+  // Fall back to a full re-solve when the affected component holds more than
+  // this fraction of the active flows (the restricted solve would not be
+  // cheaper, and the full path keeps the oracle exercised).
+  double fallback_fraction = 0.5;
+  StallPolicy stall_policy = StallPolicy::Stall;
+};
+
 class FlowSim {
  public:
   using Done = std::function<void()>;
+  using StallHook = std::function<void(std::uint64_t flow_id)>;
 
-  FlowSim(sim::Engine& eng, const Fabric& fabric)
-      : eng_(eng), fabric_(fabric), rng_(fabric.config().seed ^ 0xF10Full) {}
+  FlowSim(sim::Engine& eng, const Fabric& fabric, FlowSimConfig cfg = {})
+      : eng_(eng), fabric_(fabric), cfg_(cfg),
+        rng_(fabric.config().seed ^ 0xF10Full) {}
 
   // Start a flow of `bytes` from endpoint `src` to `dst`; `on_done` fires at
   // the simulated completion time (transfer time only; callers add software
@@ -35,22 +64,77 @@ class FlowSim {
 
   std::size_t active_flows() const { return flows_.size(); }
 
+  // Zero-rate flows currently parked (StallPolicy::Stall) / removed so far
+  // (StallPolicy::Drop). Stalled flows still count as active.
+  std::size_t stalled_flows() const { return stalled_; }
+  std::uint64_t dropped_flows() const { return dropped_; }
+  void on_stall(StallHook hook) { stall_hook_ = std::move(hook); }
+
+  // Solver-effort accounting, fed by every resolve; plumbed into
+  // bench/micro_flowsim and the heap-churn tests.
+  struct Stats {
+    std::uint64_t resolves = 0;          // resolve passes over a non-empty set
+    std::uint64_t full_solves = 0;       // whole-set solves (incremental off)
+    std::uint64_t fallback_solves = 0;   // component exceeded the threshold
+    std::uint64_t component_solves = 0;  // restricted re-solves
+    std::uint64_t flows_solved = 0;      // flows handed to the solver, total
+    std::uint64_t solver_iterations = 0;
+    std::uint64_t bottleneck_links = 0;
+    std::uint64_t largest_component = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  const FlowSimConfig& config() const { return cfg_; }
+
+  // Diagnostic/test hook: visits every active flow in ascending id order
+  // (the differential tests rebuild the oracle problem from this).
+  void for_each_flow(
+      const std::function<void(std::uint64_t id, const std::vector<int>& path,
+                               double remaining, double rate)>& fn) const;
+
  private:
   struct Flow {
     std::vector<int> path;
     double remaining = 0;
     double rate = 0;
+    bool stalled = false;
+    std::uint64_t visit_epoch = 0;  // BFS stamp for component discovery
     Done on_done;
   };
 
+  void ensure_sized();
+  void mark_dirty(int link);
+  void clear_dirty();
   void advance_to_now();
+  void insert_flow_links(std::uint64_t id, const Flow& f);
+  void remove_flow(std::uint64_t id);  // unlinks + erases; marks links dirty
+  void set_rate(Flow& f, double rate);
+  // Flows reachable from the dirty links via shared-link adjacency,
+  // ascending id order.
+  std::vector<std::uint64_t> affected_component();
+  void solve_component(const std::vector<std::uint64_t>& comp, SolveStats* ss);
   void resolve_and_schedule();
 
   sim::Engine& eng_;
   const Fabric& fabric_;
+  FlowSimConfig cfg_;
   sim::Rng rng_;
   std::unordered_map<std::uint64_t, Flow> flows_;
   std::vector<int> link_load_;  // adaptive-routing load proxy
+  std::vector<std::vector<std::uint64_t>> flows_on_link_;
+  std::vector<char> link_dirty_;
+  std::vector<int> dirty_links_;
+  std::vector<std::uint64_t> link_visit_epoch_;
+  std::uint64_t visit_epoch_ = 0;
+  // Scratch for the restricted solve (persistent to avoid per-event churn).
+  std::vector<int> link_local_id_;
+  std::vector<std::uint64_t> link_remap_epoch_;
+  std::uint64_t remap_epoch_ = 0;
+  std::vector<double> comp_caps_;
+  std::vector<std::vector<int>> comp_paths_;
+  std::size_t stalled_ = 0;
+  std::uint64_t dropped_ = 0;
+  StallHook stall_hook_;
+  Stats stats_;
   std::uint64_t next_id_ = 1;
   std::uint64_t pending_event_ = 0;
   bool has_pending_event_ = false;

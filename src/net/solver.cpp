@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
 namespace xscale::net {
 
@@ -14,6 +15,20 @@ std::vector<double> max_min_rates(const std::vector<double>& capacities,
   const std::size_t nf = paths.size();
   std::vector<double> rate(nf, 0.0);
   if (nf == 0) return rate;
+
+  // Malformed inputs must not silently become garbage rates (NaN capacities
+  // survive the share arithmetic as 0 via std::max, and with -DNDEBUG the old
+  // bare assert vanished entirely). These checks hold in release builds.
+  for (double c : capacities)
+    if (!std::isfinite(c) || c < 0.0)
+      throw std::invalid_argument("max_min_rates: capacities must be finite and >= 0");
+  if (weights) {
+    if (weights->size() != nf)
+      throw std::invalid_argument("max_min_rates: weights/paths size mismatch");
+    for (double w : *weights)
+      if (!std::isfinite(w) || w < 0.0)
+        throw std::invalid_argument("max_min_rates: weights must be finite and >= 0");
+  }
 
   // Per-link: residual capacity, total unfrozen weight, flows crossing it.
   std::vector<double> residual = capacities;
@@ -46,7 +61,13 @@ std::vector<double> max_min_rates(const std::vector<double>& capacities,
       if (active_w[lu] <= 0.0) continue;
       min_share = std::min(min_share, std::max(0.0, residual[lu]) / active_w[lu]);
     }
-    assert(std::isfinite(min_share));
+    // No link constrains the remaining flows (e.g. every unfrozen flow has
+    // weight 0, so its links never activate): there is no finite max-min
+    // allocation. Throwing beats the former `assert`, which disappeared under
+    // -DNDEBUG and let the loop spin forever.
+    if (!std::isfinite(min_share))
+      throw std::runtime_error(
+          "max_min_rates: no finite bottleneck share for remaining flows");
 
     // Freeze every flow crossing any link whose share ties the minimum
     // (within a relative tolerance); symmetric traffic patterns produce

@@ -19,6 +19,9 @@ struct SolveStats {
 // `capacities[l]` is the capacity of link l; `paths[f]` lists the links of
 // flow f (must be non-empty, without duplicates). Optional `weights` give
 // weighted fairness (a flow counting as w concurrent streams); default 1.
+// Inputs are validated in all build modes: non-finite or negative capacities
+// or weights throw std::invalid_argument, and an unbounded allocation (no
+// link constrains a remaining flow) throws std::runtime_error.
 std::vector<double> max_min_rates(const std::vector<double>& capacities,
                                   const std::vector<std::vector<int>>& paths,
                                   const std::vector<double>* weights = nullptr,

@@ -149,9 +149,11 @@ std::vector<JobRecord> Scheduler::run_workload(sim::Engine& eng,
 
   // try_start is re-run whenever a job completes. FCFS with conservative
   // backfill: the head is tried first; followers start only if they fit in
-  // the residual free set right now.
-  auto try_start = std::make_shared<std::function<void()>>();
-  *try_start = [&, try_start] {
+  // the residual free set right now. A plain local is safe — and leak-free,
+  // unlike a shared_ptr self-capture — because eng.run() below drains every
+  // event that references it before this frame returns.
+  std::function<void()> try_start;
+  try_start = [&] {
     for (auto it = queue.begin(); it != queue.end();) {
       const std::size_t j = *it;
       auto alloc = allocate(records[j].request.nodes, records[j].request.placement);
@@ -161,10 +163,10 @@ std::vector<JobRecord> Scheduler::run_workload(sim::Engine& eng,
         records[j].start_time = eng.now();
         const double dur = records[j].request.duration_s;
         busy_node_seconds += dur * static_cast<double>(alloc->nodes.size());
-        eng.schedule_in(dur, [this, &eng, &records, try_start, j, a = *alloc] {
+        eng.schedule_in(dur, [this, &eng, &records, &try_start, j, a = *alloc] {
           records[j].end_time = eng.now();
           release(a);
-          (*try_start)();
+          try_start();
         });
         it = queue.erase(it);
       } else {
@@ -173,7 +175,7 @@ std::vector<JobRecord> Scheduler::run_workload(sim::Engine& eng,
     }
   };
   (void)t0;
-  (*try_start)();
+  try_start();
   eng.run();
   for (auto& r : records)
     if (r.end_time < 0 && r.start_time >= 0)

@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace xscale::sim {
@@ -7,21 +8,44 @@ namespace xscale::sim {
 std::uint64_t Engine::schedule_at(Time t, Callback fn) {
   if (t < now_) t = now_;
   const std::uint64_t id = next_seq_++;
-  heap_.push(Event{t, id});
+  heap_.push_back(Event{t, id});
+  std::push_heap(heap_.begin(), heap_.end(), After{});
   callbacks_.emplace(id, std::move(fn));
   return id;
 }
 
 bool Engine::cancel(std::uint64_t id) {
-  return callbacks_.erase(id) > 0;  // stale heap entry is skipped on pop
+  if (callbacks_.erase(id) == 0) return false;
+  ++stale_;  // the heap entry stays behind; skipped on pop or compacted away
+  if (stale_ > callbacks_.size()) compact();
+  return true;
+}
+
+void Engine::compact() {
+  std::erase_if(heap_, [this](const Event& e) { return !callbacks_.contains(e.seq); });
+  std::make_heap(heap_.begin(), heap_.end(), After{});
+  stale_ = 0;
+  ++compactions_;
+}
+
+void Engine::drop_stale_top() {
+  while (!heap_.empty() && !callbacks_.contains(heap_.front().seq)) {
+    std::pop_heap(heap_.begin(), heap_.end(), After{});
+    heap_.pop_back();
+    --stale_;
+  }
 }
 
 bool Engine::step() {
   while (!heap_.empty()) {
-    const Event ev = heap_.top();
-    heap_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), After{});
+    const Event ev = heap_.back();
+    heap_.pop_back();
     auto it = callbacks_.find(ev.seq);
-    if (it == callbacks_.end()) continue;  // cancelled
+    if (it == callbacks_.end()) {  // cancelled
+      --stale_;
+      continue;
+    }
     Callback fn = std::move(it->second);
     callbacks_.erase(it);
     now_ = ev.t;
@@ -41,8 +65,11 @@ Time Engine::run() {
 
 Time Engine::run_until(Time t_end) {
   stopped_ = false;
-  while (!stopped_ && !heap_.empty()) {
-    if (heap_.top().t > t_end) break;
+  while (!stopped_) {
+    // A cancelled entry at the top must not gate the time check: it may hide
+    // a live event past t_end that step() would then run prematurely.
+    drop_stale_top();
+    if (heap_.empty() || heap_.front().t > t_end) break;
     step();
   }
   if (now_ < t_end) now_ = t_end;

@@ -4,6 +4,13 @@
 // equal times fire in insertion order (a monotone sequence number breaks
 // ties), which keeps every simulation in this repository deterministic.
 //
+// Cancellation is lazy: `cancel` drops the callback and leaves a stale entry
+// in the heap, which is skipped on pop. To keep heap memory bounded under
+// cancel-heavy workloads (FlowSim reschedules its completion event on every
+// flow arrival), the heap is compacted — stale entries filtered out and the
+// heap rebuilt — whenever stale entries outnumber live ones. The invariant
+// `cancelled_events() <= pending_events()` therefore holds after every cancel.
+//
 // The engine is deliberately single-threaded: xscale simulates a parallel
 // machine, it does not need to *be* one, and determinism is worth more than
 // wall-clock speed for reproducing the paper's tables.
@@ -11,7 +18,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -42,7 +48,8 @@ class Engine {
   // Returns final simulated time.
   Time run();
 
-  // Run until simulated time reaches `t_end` (events at exactly t_end run).
+  // Run until simulated time reaches `t_end` (events at exactly t_end run;
+  // events after t_end — live or hidden behind cancelled entries — do not).
   Time run_until(Time t_end);
 
   // Stop a `run()` in progress after the current event returns.
@@ -50,23 +57,39 @@ class Engine {
 
   std::size_t pending_events() const { return callbacks_.size(); }
   std::uint64_t events_executed() const { return executed_; }
+  std::uint64_t events_scheduled() const { return next_seq_; }
+
+  // Observability for the lazy-cancel leak: stale (cancelled but not yet
+  // popped) entries currently in the heap, total heap occupancy, and how many
+  // times the heap has been compacted.
+  std::size_t cancelled_events() const { return stale_; }
+  std::size_t heap_size() const { return heap_.size(); }
+  std::uint64_t compactions() const { return compactions_; }
 
  private:
   struct Event {
     Time t;
     std::uint64_t seq;
-    bool operator>(const Event& o) const {
-      return t > o.t || (t == o.t && seq > o.seq);
+  };
+  // Comparator for a min-heap on (t, seq) via the std:: heap algorithms
+  // (which build max-heaps, hence the inverted comparison).
+  struct After {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.t > b.t || (a.t == b.t && a.seq > b.seq);
     }
   };
 
-  bool step();  // execute one event; false when queue empty
+  bool step();             // execute one event; false when queue empty
+  void drop_stale_top();   // pop cancelled entries off the heap top
+  void compact();          // rebuild the heap without stale entries
 
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t compactions_ = 0;
+  std::size_t stale_ = 0;
   bool stopped_ = false;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  std::vector<Event> heap_;
   std::unordered_map<std::uint64_t, Callback> callbacks_;
 };
 

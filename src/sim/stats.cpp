@@ -1,6 +1,7 @@
 #include "sim/stats.hpp"
 
 #include <cstdio>
+#include <stdexcept>
 
 namespace xscale::sim {
 
@@ -16,11 +17,32 @@ double SampleSet::percentile(double p) const {
   return samples_[rank == 0 ? 0 : rank - 1];
 }
 
-Histogram::Histogram(double lo, double hi, std::size_t bins)
-    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0.0) {}
+Histogram::Histogram(double lo, double hi, std::size_t bins, OutlierPolicy policy)
+    : lo_(lo),
+      width_((hi - lo) / static_cast<double>(bins)),
+      policy_(policy),
+      counts_(bins, 0.0) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be >= 1");
+  if (!(hi > lo) || !std::isfinite(lo) || !std::isfinite(hi))
+    throw std::invalid_argument("Histogram: requires finite hi > lo");
+}
 
 void Histogram::add(double x, double weight) {
+  if (std::isnan(x)) {  // a NaN bin index would be UB in std::clamp
+    nan_ += weight;
+    return;
+  }
+  if (x < lo_ || x >= lo_ + width_ * static_cast<double>(counts_.size())) {
+    if (policy_ == OutlierPolicy::Count) {
+      (x < lo_ ? underflow_ : overflow_) += weight;
+      return;
+    }
+    counts_[x < lo_ ? 0 : counts_.size() - 1] += weight;
+    total_ += weight;
+    return;
+  }
   auto idx = static_cast<long long>(std::floor((x - lo_) / width_));
+  // Guard the upper edge against floating-point round-up of (x - lo) / width.
   idx = std::clamp<long long>(idx, 0, static_cast<long long>(counts_.size()) - 1);
   counts_[static_cast<std::size_t>(idx)] += weight;
   total_ += weight;

@@ -68,11 +68,19 @@ class SampleSet {
   OnlineStats stats_;
 };
 
-// Fixed-width-bin histogram over [lo, hi); out-of-range values clamp to the
-// edge bins, matching how mpiGraph-style plots bucket outliers.
+// Fixed-width-bin histogram over [lo, hi). Out-of-range samples are counted
+// in explicit underflow/overflow tallies by default; `OutlierPolicy::Clamp`
+// instead buckets them into the edge bins, matching how mpiGraph-style plots
+// fold outliers into the plot range. NaN samples never enter a bin (feeding a
+// NaN bin index to std::clamp is UB); they are tallied separately.
 class Histogram {
  public:
-  Histogram(double lo, double hi, std::size_t bins);
+  enum class OutlierPolicy { Count, Clamp };
+
+  // Requires hi > lo and bins >= 1; throws std::invalid_argument otherwise
+  // (a non-positive bin width used to produce negative/NaN bin indices).
+  Histogram(double lo, double hi, std::size_t bins,
+            OutlierPolicy policy = OutlierPolicy::Count);
 
   void add(double x, double weight = 1.0);
 
@@ -81,7 +89,13 @@ class Histogram {
   double bin_hi(std::size_t i) const { return bin_lo(i) + width_; }
   double bin_center(std::size_t i) const { return bin_lo(i) + width_ / 2.0; }
   double count(std::size_t i) const { return counts_[i]; }
+  // Total weight landed in bins (includes clamped outliers under Clamp).
   double total() const { return total_; }
+
+  // Weight rejected from the bins (always zero under Clamp, except NaN).
+  double underflow() const { return underflow_; }
+  double overflow() const { return overflow_; }
+  double nan_weight() const { return nan_; }
 
   // Multi-line ASCII rendering (one row per bin with a proportional bar),
   // used by the figure benches.
@@ -89,8 +103,12 @@ class Histogram {
 
  private:
   double lo_, width_;
+  OutlierPolicy policy_;
   std::vector<double> counts_;
   double total_ = 0.0;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
+  double nan_ = 0.0;
 };
 
 }  // namespace xscale::sim

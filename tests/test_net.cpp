@@ -2,7 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <numeric>
+#include <stdexcept>
 
 #include "machines/machine.hpp"
 #include "net/fabric.hpp"
@@ -45,6 +48,85 @@ TEST(Solver, WeightedFairness) {
   const auto r = net::max_min_rates(cap, paths, &w);
   EXPECT_DOUBLE_EQ(r[0], 8.0);
   EXPECT_DOUBLE_EQ(r[1], 4.0);
+}
+
+TEST(Solver, WeightedFairnessAcrossMultipleBottlenecks) {
+  // Link 0 (cap 12) carries flows A (w=2) and B (w=1); link 1 (cap 2)
+  // carries B and C (w=1). B freezes at link 1's share 1.0 first; A then
+  // takes the whole residual 11 on link 0.
+  const std::vector<double> cap{12.0, 2.0};
+  const std::vector<std::vector<int>> paths{{0}, {0, 1}, {1}};
+  const std::vector<double> w{2.0, 1.0, 1.0};
+  net::SolveStats ss;
+  const auto r = net::max_min_rates(cap, paths, &w, &ss);
+  EXPECT_DOUBLE_EQ(r[1], 1.0);
+  EXPECT_DOUBLE_EQ(r[2], 1.0);
+  EXPECT_DOUBLE_EQ(r[0], 11.0);
+  EXPECT_EQ(ss.iterations, 2);
+}
+
+TEST(Solver, MassiveTieCollapsesIntoOneIteration) {
+  // 64 disjoint equal-capacity links, 4 flows each: every link ties at the
+  // same share, so the 1e-9-relative cutoff must freeze all 256 flows in a
+  // single water-filling iteration (symmetric all-to-all patterns depend on
+  // this collapse for performance).
+  const int nlinks = 64, per = 4;
+  std::vector<double> cap(nlinks, 25e9);
+  std::vector<std::vector<int>> paths;
+  for (int l = 0; l < nlinks; ++l)
+    for (int f = 0; f < per; ++f) paths.push_back({l});
+  net::SolveStats ss;
+  const auto r = net::max_min_rates(cap, paths, nullptr, &ss);
+  for (double x : r) EXPECT_DOUBLE_EQ(x, 25e9 / per);
+  EXPECT_EQ(ss.iterations, 1);
+  EXPECT_EQ(ss.bottleneck_links, nlinks);
+}
+
+TEST(Solver, NearTieWithinCutoffCollapsesToo) {
+  // Shares within 1e-9 relative of the minimum freeze in the same pass.
+  const std::vector<double> cap{10.0, 10.0 * (1.0 + 0.5e-9)};
+  const std::vector<std::vector<int>> paths{{0}, {1}};
+  net::SolveStats ss;
+  const auto r = net::max_min_rates(cap, paths, nullptr, &ss);
+  EXPECT_EQ(ss.iterations, 1);
+  EXPECT_DOUBLE_EQ(r[0], 10.0);
+}
+
+TEST(Solver, MalformedCapacitiesThrowInAllBuildModes) {
+  // The old bare assert(std::isfinite(min_share)) compiled out under
+  // -DNDEBUG; NaN capacities then flowed through std::max as 0 and produced
+  // silently wrong rates. The guard must hold in release builds too.
+  const std::vector<std::vector<int>> paths{{0}};
+  EXPECT_THROW(
+      net::max_min_rates({std::nan("")}, paths), std::invalid_argument);
+  EXPECT_THROW(
+      net::max_min_rates({std::numeric_limits<double>::infinity()}, paths),
+      std::invalid_argument);
+  EXPECT_THROW(net::max_min_rates({-1.0}, paths), std::invalid_argument);
+  EXPECT_NO_THROW(net::max_min_rates({0.0}, paths));  // failed link: rate 0
+}
+
+TEST(Solver, MalformedWeightsThrowInsteadOfHanging) {
+  const std::vector<double> cap{10.0};
+  const std::vector<std::vector<int>> paths{{0}};
+  const std::vector<double> nan_w{std::nan("")};
+  EXPECT_THROW(net::max_min_rates(cap, paths, &nan_w), std::invalid_argument);
+  const std::vector<double> short_w{};
+  EXPECT_THROW(net::max_min_rates(cap, paths, &short_w), std::invalid_argument);
+  // An all-zero-weight problem has no finite max-min allocation; before the
+  // guard this spun the water-filling loop forever under -DNDEBUG.
+  const std::vector<double> zero_w{0.0};
+  EXPECT_THROW(net::max_min_rates(cap, paths, &zero_w), std::runtime_error);
+}
+
+TEST(Solver, ZeroCapacityLinkYieldsZeroRateNotFloor) {
+  // A flow crossing a failed (zero-capacity) link gets rate exactly 0; the
+  // other flow still takes the full parallel link.
+  const std::vector<double> cap{0.0, 10.0};
+  const std::vector<std::vector<int>> paths{{0}, {1}};
+  const auto r = net::max_min_rates(cap, paths);
+  EXPECT_EQ(r[0], 0.0);
+  EXPECT_DOUBLE_EQ(r[1], 10.0);
 }
 
 // Property: no link oversubscribed; every flow is bottlenecked somewhere

@@ -90,6 +90,80 @@ TEST(Engine, StopHaltsRun) {
   EXPECT_EQ(e.pending_events(), 7u);
 }
 
+TEST(Engine, RunUntilExecutesEventExactlyAtBoundary) {
+  Engine e;
+  bool at_end = false, after_end = false;
+  e.schedule_at(2.0, [&] { at_end = true; });
+  e.schedule_at(2.0 + 1e-9, [&] { after_end = true; });
+  e.run_until(2.0);
+  EXPECT_TRUE(at_end);
+  EXPECT_FALSE(after_end);
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+}
+
+// Regression: a cancelled entry at the heap top used to pass the
+// `top().t > t_end` check, and step() would then skip it and execute the
+// next *live* event even when that event lay beyond t_end.
+TEST(Engine, CancelledTopDoesNotLeakLaterEventsThroughRunUntil) {
+  Engine e;
+  bool late_ran = false;
+  const auto early = e.schedule_at(1.0, [] {});
+  e.schedule_at(5.0, [&] { late_ran = true; });
+  e.cancel(early);
+  e.run_until(2.0);
+  EXPECT_FALSE(late_ran);
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+  e.run();
+  EXPECT_TRUE(late_ran);
+  EXPECT_DOUBLE_EQ(e.now(), 5.0);
+}
+
+TEST(Engine, CancelThenRunUntilAtExactCancelledTime) {
+  Engine e;
+  int ran = 0;
+  const auto a = e.schedule_at(3.0, [&] { ++ran; });
+  e.schedule_at(3.0, [&] { ++ran; });  // same time, later insertion
+  e.cancel(a);
+  e.run_until(3.0);
+  EXPECT_EQ(ran, 1);  // the live same-time event still fires
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+}
+
+TEST(Engine, CompactionBoundsCancelledHeapEntries) {
+  Engine e;
+  // Churn: schedule/cancel pairs with one long-lived survivor, the FlowSim
+  // reschedule pattern that used to grow the heap without bound.
+  e.schedule_at(1e9, [] {});
+  for (int i = 0; i < 100000; ++i) {
+    const auto id = e.schedule_at(1.0 + i, [] {});
+    e.cancel(id);
+    EXPECT_LE(e.cancelled_events(), e.pending_events());
+    EXPECT_LE(e.heap_size(), 2 * e.pending_events());
+  }
+  EXPECT_EQ(e.pending_events(), 1u);
+  EXPECT_GT(e.compactions(), 0u);
+  e.run();
+  EXPECT_DOUBLE_EQ(e.now(), 1e9);
+}
+
+TEST(Engine, CompactionPreservesOrderAndDeterminism) {
+  Engine e;
+  std::vector<int> order;
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 64; ++i)
+    ids.push_back(e.schedule_at(static_cast<double>(i % 7), [&order, i] {
+      order.push_back(i);
+    }));
+  for (int i = 0; i < 64; i += 2) e.cancel(ids[static_cast<std::size_t>(i)]);
+  e.run();
+  // Odd-index events only, time-major then insertion order.
+  std::vector<int> expect;
+  for (int t = 0; t < 7; ++t)
+    for (int i = 1; i < 64; i += 2)
+      if (i % 7 == t) expect.push_back(i);
+  EXPECT_EQ(order, expect);
+}
+
 TEST(Rng, DeterministicForEqualSeeds) {
   Rng a(42), b(42);
   for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
@@ -146,16 +220,59 @@ TEST(Stats, PercentileAfterInterleavedAdds) {
   EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
 }
 
-TEST(Stats, HistogramBinsAndClamping) {
+TEST(Stats, HistogramBinsAndOutlierCounts) {
   Histogram h(0.0, 10.0, 10);
   h.add(0.5);
   h.add(9.99);
-  h.add(-5.0);   // clamps to first bin
-  h.add(100.0);  // clamps to last bin
-  EXPECT_DOUBLE_EQ(h.count(0), 2.0);
-  EXPECT_DOUBLE_EQ(h.count(9), 2.0);
-  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+  h.add(-5.0);   // below range: explicit underflow, not the first bin
+  h.add(100.0);  // above range: explicit overflow, not the last bin
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(9), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 2.0);
+  EXPECT_DOUBLE_EQ(h.underflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 1.0);
   EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+}
+
+TEST(Stats, HistogramClampPolicyFoldsOutliersIntoEdgeBins) {
+  Histogram h(0.0, 10.0, 10, Histogram::OutlierPolicy::Clamp);
+  h.add(-5.0, 2.0);
+  h.add(100.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(9), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 3.0);
+  EXPECT_DOUBLE_EQ(h.underflow(), 0.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 0.0);
+}
+
+TEST(Stats, HistogramRoutesNaNSeparately) {
+  // Under the old clamping, a NaN sample fed std::clamp a NaN index (UB).
+  for (auto policy :
+       {Histogram::OutlierPolicy::Count, Histogram::OutlierPolicy::Clamp}) {
+    Histogram h(0.0, 10.0, 4, policy);
+    h.add(std::nan(""), 3.0);
+    EXPECT_DOUBLE_EQ(h.total(), 0.0);
+    EXPECT_DOUBLE_EQ(h.nan_weight(), 3.0);
+    for (std::size_t i = 0; i < h.bins(); ++i) EXPECT_DOUBLE_EQ(h.count(i), 0.0);
+  }
+}
+
+TEST(Stats, HistogramRejectsDegenerateRange) {
+  EXPECT_THROW(Histogram(5.0, 5.0, 10), std::invalid_argument);   // hi == lo
+  EXPECT_THROW(Histogram(5.0, 4.0, 10), std::invalid_argument);   // hi < lo
+  EXPECT_THROW(Histogram(0.0, 10.0, 0), std::invalid_argument);   // no bins
+  EXPECT_THROW(Histogram(0.0, std::numeric_limits<double>::infinity(), 4),
+               std::invalid_argument);
+  EXPECT_NO_THROW(Histogram(-1.0, 1.0, 1));
+}
+
+TEST(Stats, HistogramInfinitySamplesAreOutliers) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(h.overflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.underflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 0.0);
 }
 
 TEST(Units, ConversionsRoundTrip) {

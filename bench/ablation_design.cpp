@@ -40,7 +40,8 @@ double adversarial_mean(const machines::Machine& m, net::FabricConfig cfg) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  xscale::obs::BenchObs obs(argc, argv);  // shared flags: --trace <file>, --metrics
   std::printf("== Design-decision ablations ==\n\n");
   const auto m = mini_frontier();
 

@@ -9,7 +9,8 @@
 using namespace xscale;
 using namespace xscale::units;
 
-int main() {
+int main(int argc, char** argv) {
+  xscale::obs::BenchObs obs(argc, argv);  // shared flags: --trace <file>, --metrics
   std::printf("== Reproducing Figure 3: CoralGemm on one MI250X GCD ==\n\n");
   const auto g = hw::mi250x_gcd();
 

@@ -7,7 +7,8 @@
 
 using namespace xscale;
 
-int main() {
+int main(int argc, char** argv) {
+  xscale::obs::BenchObs obs(argc, argv);  // shared flags: --trace <file>, --metrics
   std::printf("== Reproducing Figure 4: aggregate CPU-to-GCD bandwidth ==\n\n");
   const auto fabric = hw::IntraNodeFabric::bard_peak();
   const auto cpu = hw::trento();

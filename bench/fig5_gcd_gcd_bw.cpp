@@ -9,7 +9,8 @@
 
 using namespace xscale;
 
-int main() {
+int main(int argc, char** argv) {
+  xscale::obs::BenchObs obs(argc, argv);  // shared flags: --trace <file>, --metrics
   std::printf("== Reproducing Figure 5: GCD<->GCD bandwidth (twisted ladder) ==\n\n");
   const auto f = hw::IntraNodeFabric::bard_peak();
 

@@ -53,7 +53,8 @@ void summarize(const char* name, const sim::Histogram& h) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  xscale::obs::BenchObs obs(argc, argv);  // shared flags: --trace <file>, --metrics
   std::printf("== Reproducing Figure 6: mpiGraph per-NIC measurements ==\n\n");
   const int rounds = 48;
 

@@ -21,6 +21,7 @@
 
 #include "net/fabric.hpp"
 #include "net/flowsim.hpp"
+#include "obs/options.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
 #include "topo/topology.hpp"
@@ -154,4 +155,13 @@ BENCHMARK_CAPTURE(BM_FlowChurn, incast_full, Pattern::Incast, false)
     ->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EngineCancelChurn)->Arg(4)->Arg(1024)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the shared obs flags (--trace <file>,
+// --metrics) are stripped before google-benchmark parses argv.
+int main(int argc, char** argv) {
+  xscale::obs::BenchObs obs(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -86,4 +86,13 @@ BENCHMARK(BM_SchedulerAllocateRelease);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the shared obs flags (--trace <file>,
+// --metrics) are stripped before google-benchmark parses argv.
+int main(int argc, char** argv) {
+  xscale::obs::BenchObs obs(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

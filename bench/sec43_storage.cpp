@@ -8,7 +8,8 @@
 using namespace xscale;
 using namespace xscale::units;
 
-int main() {
+int main(int argc, char** argv) {
+  xscale::obs::BenchObs obs(argc, argv);  // shared flags: --trace <file>, --metrics
   std::printf("== Reproducing Section 4.3: Storage Evaluation ==\n\n");
 
   // --- 4.3.1 node-local -------------------------------------------------------

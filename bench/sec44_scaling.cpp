@@ -25,7 +25,8 @@ double weak_eff(const apps::AppSpec& spec, const machines::Machine& m,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  xscale::obs::BenchObs obs(argc, argv);  // shared flags: --trace <file>, --metrics
   std::printf("== Reproducing Section 4.4 scaling claims ==\n\n");
   const auto m = machines::frontier();
   auto fabric = m.build_fabric();

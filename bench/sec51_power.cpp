@@ -7,7 +7,8 @@
 
 using namespace xscale;
 
-int main() {
+int main(int argc, char** argv) {
+  xscale::obs::BenchObs obs(argc, argv);  // shared flags: --trace <file>, --metrics
   std::printf("== Reproducing Section 5.1: Energy and Power ==\n\n");
   power::SystemPowerModel model;
 

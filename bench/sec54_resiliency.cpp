@@ -7,7 +7,8 @@
 
 using namespace xscale;
 
-int main() {
+int main(int argc, char** argv) {
+  xscale::obs::BenchObs obs(argc, argv);  // shared flags: --trace <file>, --metrics
   std::printf("== Reproducing Section 5.4: Resiliency ==\n\n");
   resil::ResiliencyModel model;
 

@@ -9,7 +9,8 @@
 using namespace xscale;
 using namespace xscale::units;
 
-int main() {
+int main(int argc, char** argv) {
+  xscale::obs::BenchObs obs(argc, argv);  // shared flags: --trace <file>, --metrics
   std::printf("== Reproducing Table 1: Frontier Compute Peak Specifications ==\n\n");
   const auto m = machines::frontier();
   const auto topo = machines::frontier_topology();

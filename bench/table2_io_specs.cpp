@@ -7,7 +7,8 @@
 using namespace xscale;
 using namespace xscale::units;
 
-int main() {
+int main(int argc, char** argv) {
+  xscale::obs::BenchObs obs(argc, argv);  // shared flags: --trace <file>, --metrics
   std::printf("== Reproducing Table 2: I/O Subsystem Specifications ==\n\n");
   const storage::Orion orion;
   const storage::NodeLocalNvme nvme(hw::bard_peak().nvme);

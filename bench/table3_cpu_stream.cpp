@@ -10,7 +10,8 @@
 using namespace xscale;
 using namespace xscale::units;
 
-int main() {
+int main(int argc, char** argv) {
+  xscale::obs::BenchObs obs(argc, argv);  // shared flags: --trace <file>, --metrics
   std::printf("== Reproducing Table 3: CPU STREAM, temporal vs non-temporal ==\n\n");
   const auto cpu = hw::trento();
 

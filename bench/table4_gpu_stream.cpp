@@ -5,7 +5,8 @@
 
 using namespace xscale;
 
-int main() {
+int main(int argc, char** argv) {
+  xscale::obs::BenchObs obs(argc, argv);  // shared flags: --trace <file>, --metrics
   std::printf("== Reproducing Table 4: GPU STREAM bandwidth ==\n\n");
   const auto g = hw::mi250x_gcd();
 

@@ -26,7 +26,8 @@ void print_result(const char* title, const mpi::GpcnetResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  xscale::obs::BenchObs obs(argc, argv);  // shared flags: --trace <file>, --metrics
   std::printf("== Reproducing Table 5: GPCNeT on 9,400 nodes ==\n\n");
   const auto m = machines::frontier();
   auto fabric = m.build_fabric();

@@ -6,7 +6,8 @@
 
 using namespace xscale;
 
-int main() {
+int main(int argc, char** argv) {
+  xscale::obs::BenchObs obs(argc, argv);  // shared flags: --trace <file>, --metrics
   std::printf("== Reproducing Table 6: CAAR/INCITE application results ==\n\n");
   const auto fm = machines::frontier();
   const auto sm = machines::summit();

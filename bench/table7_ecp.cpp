@@ -5,7 +5,8 @@
 
 using namespace xscale;
 
-int main() {
+int main(int argc, char** argv) {
+  xscale::obs::BenchObs obs(argc, argv);  // shared flags: --trace <file>, --metrics
   std::printf("== Reproducing Table 7: ECP application results ==\n\n");
   const auto fm = machines::frontier();
   auto ff = fm.build_fabric();

@@ -23,6 +23,9 @@
 #include "net/fabric.hpp"
 #include "net/flowsim.hpp"
 #include "net/patterns.hpp"
+#include "obs/metrics.hpp"
+#include "obs/options.hpp"
+#include "obs/trace.hpp"
 #include "perf/host_stream.hpp"
 #include "perf/roofline.hpp"
 #include "power/power.hpp"

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace xscale::mpi {
 
 const char* to_string(AllreduceAlgo a) {
@@ -31,11 +34,14 @@ struct CollectiveSim::Op {
   std::vector<std::vector<char>> recvd;
   int done_ranks = 0;
   double start_time = 0;
+  const char* name = "collective";  // obs: span name ("allreduce/ring", ...)
   std::function<void(double)> cb;
 };
 
 void CollectiveSim::send_msg(const std::shared_ptr<Op>& op, int from, int to,
                              double bytes, std::function<void()> on_recv) {
+  static obs::Counter& messages = obs::metrics().counter("mpi.messages");
+  messages.inc();
   const auto& nic = comm_.machine().node.nic;
   const double overhead = nic.sw_overhead_s;
   if (comm_.node_of_rank(from) == comm_.node_of_rank(to)) {
@@ -81,10 +87,20 @@ void advance(CollectiveSim* cs, const std::shared_ptr<CollectiveSim::Op>& op,
         p.recv_from < 0 ||
         op->recvd[static_cast<std::size_t>(rank)][static_cast<std::size_t>(ph)];
     if (!send_ok || !recv_ok) return;
+    // One instant per completed (rank, phase): the straggler pattern across
+    // ranks is exactly what the analytic models assume away.
+    obs::tracer().instant(
+        "mpi", "phase_done", eng.now(),
+        {{"rank", static_cast<double>(rank)}, {"phase", static_cast<double>(ph)}});
     ++ph;
     if (ph < static_cast<int>(phases.size())) start_phase(op, rank);
   }
   if (++op->done_ranks == static_cast<int>(op->plan.size())) {
+    obs::tracer().span("mpi", op->name, op->start_time,
+                       eng.now() - op->start_time,
+                       {{"ranks", static_cast<double>(op->plan.size())}});
+    static obs::Counter& collectives = obs::metrics().counter("mpi.collectives");
+    collectives.inc();
     op->cb(eng.now() - op->start_time);
   }
   (void)cs;
@@ -98,6 +114,9 @@ void CollectiveSim::allreduce(double bytes, AllreduceAlgo algo,
   auto op = std::make_shared<Op>();
   op->cb = std::move(done);
   op->start_time = eng_.now();
+  op->name = algo == AllreduceAlgo::RecursiveDoubling
+                 ? "allreduce/recursive-doubling"
+                 : "allreduce/ring";
   op->plan.resize(static_cast<std::size_t>(p));
 
   if (algo == AllreduceAlgo::RecursiveDoubling) {
@@ -181,6 +200,7 @@ void CollectiveSim::broadcast(double bytes, int root,
   auto op = std::make_shared<Op>();
   op->cb = std::move(done);
   op->start_time = eng_.now();
+  op->name = "broadcast/binomial";
   op->plan.resize(static_cast<std::size_t>(p));
   // Binomial tree in "virtual rank" space (rotated so root is 0). Captured
   // by value: these lambdas outlive this frame inside the engine callbacks.

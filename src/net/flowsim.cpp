@@ -5,6 +5,9 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace xscale::net {
 
 void FlowSim::ensure_sized() {
@@ -42,10 +45,18 @@ std::uint64_t FlowSim::start_on_path(std::vector<int> path, double bytes,
   ensure_sized();
   advance_to_now();
   const std::uint64_t id = next_id_++;
+  const double total = std::max(bytes, 1.0);
   auto [it, inserted] = flows_.emplace(
-      id, Flow{std::move(path), std::max(bytes, 1.0), 0.0, false, 0,
+      id, Flow{std::move(path), total, 0.0, false, 0, eng_.now(), total,
                std::move(on_done)});
   assert(inserted);
+  obs::tracer().instant(
+      "net", "flow_start", eng_.now(),
+      {{"flow", static_cast<double>(id)},
+       {"bytes", total},
+       {"hops", static_cast<double>(it->second.path.size())}});
+  static obs::Counter& started = obs::metrics().counter("net.flows_started");
+  started.inc();
   insert_flow_links(id, it->second);
   resolve_and_schedule();
   return id;
@@ -83,7 +94,7 @@ void FlowSim::advance_to_now() {
   last_update_ = eng_.now();
 }
 
-void FlowSim::set_rate(Flow& f, double rate) {
+void FlowSim::set_rate(std::uint64_t id, Flow& f, double rate) {
   // No 1 B/s floor: a zero rate means every byte is stuck behind a failed
   // link, and pretending otherwise hides the failure (satellite fix — the
   // old floor made such flows "complete" after simulated centuries).
@@ -92,10 +103,17 @@ void FlowSim::set_rate(Flow& f, double rate) {
     if (!f.stalled) {
       f.stalled = true;
       ++stalled_;
+      obs::tracer().instant("net", "flow_stall", eng_.now(),
+                            {{"flow", static_cast<double>(id)},
+                             {"remaining", f.remaining}});
+      static obs::Counter& stalls = obs::metrics().counter("net.flow_stalls");
+      stalls.inc();
     }
   } else if (f.stalled) {
     f.stalled = false;
     --stalled_;
+    obs::tracer().instant("net", "flow_unstall", eng_.now(),
+                          {{"flow", static_cast<double>(id)}, {"rate", rate}});
   }
   f.rate = rate;
 }
@@ -153,7 +171,7 @@ void FlowSim::solve_component(const std::vector<std::uint64_t>& comp,
   }
   const auto rates = max_min_rates(comp_caps_, comp_paths_, nullptr, ss);
   for (std::size_t i = 0; i < comp.size(); ++i)
-    set_rate(flows_.find(comp[i])->second, rates[i]);
+    set_rate(comp[i], flows_.find(comp[i])->second, rates[i]);
 }
 
 void FlowSim::resolve_and_schedule() {
@@ -194,7 +212,7 @@ void FlowSim::resolve_and_schedule() {
     const auto rates = max_min_rates(fabric_.effective_capacities(), paths,
                                      nullptr, &ss);
     for (std::size_t i = 0; i < solved.size(); ++i)
-      set_rate(flows_.at(solved[i]), rates[i]);
+      set_rate(solved[i], flows_.at(solved[i]), rates[i]);
   } else if (!comp.empty()) {
     ++stats_.component_solves;
     solve_component(comp, &ss);
@@ -203,6 +221,25 @@ void FlowSim::resolve_and_schedule() {
   stats_.flows_solved += solved.size();
   stats_.solver_iterations += static_cast<std::uint64_t>(ss.iterations);
   stats_.bottleneck_links += static_cast<std::uint64_t>(ss.bottleneck_links);
+
+  // Per-solve observability: component size, incremental-vs-full choice, and
+  // solver effort — the numbers that explain where resolve time goes.
+  obs::tracer().instant("net", full ? "resolve_full" : "resolve_component",
+                        eng_.now(),
+                        {{"flows", static_cast<double>(solved.size())},
+                         {"active", static_cast<double>(flows_.size())},
+                         {"iterations", static_cast<double>(ss.iterations)}});
+  {
+    static obs::Counter& resolves = obs::metrics().counter("net.resolves");
+    static obs::Counter& fulls = obs::metrics().counter("net.full_solves");
+    static sim::OnlineStats& comp_size =
+        obs::metrics().stats("net.solve_component_flows");
+    static obs::Gauge& active = obs::metrics().gauge("net.active_flows");
+    resolves.inc();
+    if (full) fulls.inc();
+    comp_size.add(static_cast<double>(solved.size()));
+    active.set(static_cast<double>(flows_.size()));
+  }
 
   // Zero-rate flows: under Drop, remove them now. Their rate is 0, so they
   // consume no capacity — removal provably leaves every other rate unchanged
@@ -213,9 +250,13 @@ void FlowSim::resolve_and_schedule() {
     for (std::uint64_t id : solved)
       if (flows_.at(id).rate <= 0.0) dropped_ids.push_back(id);
     for (std::uint64_t id : dropped_ids) {
+      obs::tracer().instant("net", "flow_drop", eng_.now(),
+                            {{"flow", static_cast<double>(id)}});
       remove_flow(id);
       ++dropped_;
     }
+    static obs::Counter& drops = obs::metrics().counter("net.flows_dropped");
+    drops.inc(dropped_ids.size());
   }
 
   double next_done = std::numeric_limits<double>::infinity();
@@ -236,8 +277,18 @@ void FlowSim::resolve_and_schedule() {
       std::sort(done.begin(), done.end());
       std::vector<Done> callbacks;
       callbacks.reserve(done.size());
+      static obs::Counter& completed =
+          obs::metrics().counter("net.flows_completed");
       for (auto id : done) {
-        callbacks.push_back(std::move(flows_.at(id).on_done));
+        Flow& f = flows_.at(id);
+        // The flow's whole lifetime as one span: start -> last byte drained.
+        obs::tracer().span("net", "flow", f.start_time,
+                           eng_.now() - f.start_time,
+                           {{"flow", static_cast<double>(id)},
+                            {"bytes", f.total_bytes},
+                            {"hops", static_cast<double>(f.path.size())}});
+        completed.inc();
+        callbacks.push_back(std::move(f.on_done));
         remove_flow(id);
       }
       resolve_and_schedule();

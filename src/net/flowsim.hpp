@@ -98,6 +98,8 @@ class FlowSim {
     double rate = 0;
     bool stalled = false;
     std::uint64_t visit_epoch = 0;  // BFS stamp for component discovery
+    double start_time = 0;   // obs: span begin for the flow's lifetime
+    double total_bytes = 0;  // obs: recorded on the completion span
     Done on_done;
   };
 
@@ -107,7 +109,7 @@ class FlowSim {
   void advance_to_now();
   void insert_flow_links(std::uint64_t id, const Flow& f);
   void remove_flow(std::uint64_t id);  // unlinks + erases; marks links dirty
-  void set_rate(Flow& f, double rate);
+  void set_rate(std::uint64_t id, Flow& f, double rate);
   // Flows reachable from the dirty links via shared-link adjacency,
   // ascending id order.
   std::vector<std::uint64_t> affected_component();

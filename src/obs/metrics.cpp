@@ -1,0 +1,161 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace xscale::obs {
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry r;
+  return r;
+}
+
+void MetricsRegistry::check_unique(const std::string& name,
+                                   Kind requested) const {
+  const bool taken = (requested != Kind::Counter && counters_.contains(name)) ||
+                     (requested != Kind::Gauge && gauges_.contains(name)) ||
+                     (requested != Kind::Stats && stats_.contains(name));
+  if (taken)
+    throw std::logic_error("MetricsRegistry: '" + name +
+                           "' already registered with a different kind");
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  check_unique(name, Kind::Counter);
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  check_unique(name, Kind::Gauge);
+  return gauges_[name];
+}
+
+sim::OnlineStats& MetricsRegistry::stats(const std::string& name) {
+  check_unique(name, Kind::Stats);
+  return stats_[name];
+}
+
+std::vector<MetricsRegistry::Entry> MetricsRegistry::snapshot() const {
+  std::vector<Entry> out;
+  out.reserve(instrument_count());
+  for (const auto& [name, c] : counters_) {
+    Entry e;
+    e.name = name;
+    e.kind = Kind::Counter;
+    e.value = static_cast<double>(c.value());
+    e.count = c.value();
+    out.push_back(std::move(e));
+  }
+  for (const auto& [name, g] : gauges_) {
+    Entry e;
+    e.name = name;
+    e.kind = Kind::Gauge;
+    e.value = g.value();
+    out.push_back(std::move(e));
+  }
+  for (const auto& [name, s] : stats_) {
+    Entry e;
+    e.name = name;
+    e.kind = Kind::Stats;
+    e.value = s.mean();
+    e.count = s.count();
+    e.min = s.min();
+    e.max = s.max();
+    e.stddev = s.stddev();
+    out.push_back(std::move(e));
+  }
+  // The three maps are each sorted; merge into one name-sorted view.
+  std::sort(out.begin(), out.end(),
+            [](const Entry& a, const Entry& b) { return a.name < b.name; });
+  return out;
+}
+
+std::string MetricsRegistry::dump_text() const {
+  std::string out;
+  char line[256];
+  for (const Entry& e : snapshot()) {
+    switch (e.kind) {
+      case Kind::Counter:
+        std::snprintf(line, sizeof(line), "%-40s %llu\n", e.name.c_str(),
+                      static_cast<unsigned long long>(e.count));
+        break;
+      case Kind::Gauge:
+        std::snprintf(line, sizeof(line), "%-40s %.6g\n", e.name.c_str(),
+                      e.value);
+        break;
+      case Kind::Stats:
+        std::snprintf(line, sizeof(line),
+                      "%-40s n=%llu mean=%.6g min=%.6g max=%.6g sd=%.6g\n",
+                      e.name.c_str(), static_cast<unsigned long long>(e.count),
+                      e.value, e.min, e.max, e.stddev);
+        break;
+    }
+    out += line;
+  }
+  return out;
+}
+
+namespace {
+
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::dump_json() const {
+  std::string out = "{";
+  bool first = true;
+  for (const Entry& e : snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + e.name + "\":";
+    switch (e.kind) {
+      case Kind::Counter: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(e.count));
+        out += buf;
+        break;
+      }
+      case Kind::Gauge:
+        append_number(out, e.value);
+        break;
+      case Kind::Stats: {
+        out += "{\"n\":";
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(e.count));
+        out += buf;
+        out += ",\"mean\":";
+        append_number(out, e.value);
+        out += ",\"min\":";
+        append_number(out, e.min);
+        out += ",\"max\":";
+        append_number(out, e.max);
+        out += ",\"stddev\":";
+        append_number(out, e.stddev);
+        out += "}";
+        break;
+      }
+    }
+  }
+  out += "}";
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, s] : stats_) s = sim::OnlineStats{};
+}
+
+}  // namespace xscale::obs

@@ -1,0 +1,101 @@
+// Process-wide metrics registry: named counters, gauges, and online
+// distributions with a flat snapshot and text/JSON dumps.
+//
+// Unlike the tracer, metrics are always on — an increment is one add on a
+// cached slot, cheaper than any enabled check worth having. The cost that
+// matters is the name lookup, so hot probes resolve their instrument once
+// and keep the reference:
+//
+//   static obs::Counter& c = obs::metrics().counter("net.flows_started");
+//   c.inc();
+//
+// References returned by the registry are stable for the process lifetime
+// (node-based storage); `reset()` zeroes values without invalidating them.
+// Metrics never feed back into simulation decisions — they are purely
+// observational, like the tracer.
+//
+// Naming convention: dotted `subsystem.metric` (e.g. `sched.idle_nodes`),
+// which keeps the name-sorted snapshot grouped by subsystem.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hpp"
+
+namespace xscale::obs {
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t by = 1) { v_ += by; }
+  std::uint64_t value() const { return v_; }
+  void reset() { v_ = 0; }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+// Last-written level (queue depth, idle nodes, ...).
+class Gauge {
+ public:
+  void set(double v) { v_ = v; }
+  void add(double by) { v_ += by; }
+  double value() const { return v_; }
+  void reset() { v_ = 0; }
+
+ private:
+  double v_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  enum class Kind { Counter, Gauge, Stats };
+
+  // One instrument flattened for reporting. For Kind::Stats, `value` is the
+  // mean and `count`/`min`/`max`/`stddev` carry the distribution.
+  struct Entry {
+    std::string name;
+    Kind kind = Kind::Counter;
+    double value = 0;
+    std::uint64_t count = 0;
+    double min = 0, max = 0, stddev = 0;
+  };
+
+  static MetricsRegistry& instance();
+
+  // Find-or-create by name. A name registers exactly one kind; re-requesting
+  // it with another kind throws std::logic_error (two probes silently
+  // sharing a name across kinds is a bug worth failing loudly on).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  sim::OnlineStats& stats(const std::string& name);
+
+  // Flat, name-sorted view of every registered instrument.
+  std::vector<Entry> snapshot() const;
+
+  // Aligned `name value` lines / a single JSON object keyed by name.
+  std::string dump_text() const;
+  std::string dump_json() const;
+
+  // Zero every value; registered references stay valid.
+  void reset();
+
+  std::size_t instrument_count() const {
+    return counters_.size() + gauges_.size() + stats_.size();
+  }
+
+ private:
+  void check_unique(const std::string& name, Kind requested) const;
+
+  // std::map: stable references and name-sorted iteration for free.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, sim::OnlineStats> stats_;
+};
+
+inline MetricsRegistry& metrics() { return MetricsRegistry::instance(); }
+
+}  // namespace xscale::obs

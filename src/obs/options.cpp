@@ -1,0 +1,51 @@
+#include "obs/options.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace xscale::obs {
+
+BenchObs::BenchObs(int& argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--trace") == 0 && i + 1 < argc) {
+      trace_path_ = argv[++i];
+    } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+      trace_path_ = arg + 8;
+    } else if (std::strcmp(arg, "--metrics") == 0) {
+      metrics_ = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  if (!trace_path_.empty()) tracer().enable();
+}
+
+BenchObs::~BenchObs() {
+  if (!trace_path_.empty()) {
+    Tracer& t = tracer();
+    if (t.write_json_file(trace_path_)) {
+      std::fprintf(stderr,
+                   "trace: wrote %zu events to %s (%llu recorded, %llu "
+                   "overwritten by ring wrap)\n",
+                   t.size(), trace_path_.c_str(),
+                   static_cast<unsigned long long>(t.recorded()),
+                   static_cast<unsigned long long>(t.dropped()));
+    } else {
+      std::fprintf(stderr, "trace: failed to write %s\n", trace_path_.c_str());
+    }
+    t.disable();
+  }
+  if (metrics_) {
+    std::fputs("\n== metrics ==\n", stdout);
+    std::fputs(MetricsRegistry::instance().dump_text().c_str(), stdout);
+  }
+}
+
+}  // namespace xscale::obs

@@ -1,0 +1,45 @@
+// Shared observability flags for the bench/example mains.
+//
+// Every bench accepts:
+//   --trace <file> | --trace=<file>   enable the tracer; write Chrome
+//                                     trace_event JSON to <file> at exit
+//   --metrics                         print the metrics registry (text) to
+//                                     stdout at exit
+//
+// Usage — first line of main(), before any other argv consumer:
+//
+//   int main(int argc, char** argv) {
+//     xscale::obs::BenchObs obs(argc, argv);   // strips the flags it owns
+//     ...                                      // bench body
+//   }                                          // ~BenchObs writes the dumps
+//
+// The constructor removes recognized flags from argv (compacting it and
+// updating argc), so argument-parsing mains — google-benchmark's
+// Initialize() in particular — never see them.
+#pragma once
+
+#include <string>
+
+namespace xscale::obs {
+
+class BenchObs {
+ public:
+  BenchObs(int& argc, char** argv);
+
+  // Writes the trace file (if --trace) and prints the metrics dump (if
+  // --metrics); reports the trace path and event/drop counts on stderr.
+  ~BenchObs();
+
+  BenchObs(const BenchObs&) = delete;
+  BenchObs& operator=(const BenchObs&) = delete;
+
+  bool tracing() const { return !trace_path_.empty(); }
+  const std::string& trace_path() const { return trace_path_; }
+  bool metrics_requested() const { return metrics_; }
+
+ private:
+  std::string trace_path_;
+  bool metrics_ = false;
+};
+
+}  // namespace xscale::obs

@@ -1,0 +1,129 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace xscale::obs {
+
+Tracer& Tracer::instance() {
+  static Tracer t;
+  return t;
+}
+
+void Tracer::enable(std::size_t capacity) {
+  if (capacity == 0) capacity = 1;
+  if (ring_.size() != capacity) {
+    ring_.assign(capacity, Event{});
+    head_ = 0;
+    recorded_ = 0;
+  }
+  enabled_ = true;
+}
+
+void Tracer::clear() {
+  head_ = 0;
+  recorded_ = 0;
+}
+
+std::size_t Tracer::size() const {
+  return std::min<std::uint64_t>(recorded_, ring_.size());
+}
+
+const Tracer::Event& Tracer::at(std::size_t i) const {
+  // Oldest held event sits at head_ once the ring has wrapped, else at 0.
+  const std::size_t base = recorded_ > ring_.size() ? head_ : 0;
+  return ring_[(base + i) % ring_.size()];
+}
+
+void Tracer::record(const char* cat, const char* name, double ts, double dur,
+                    std::initializer_list<Arg> args) {
+  Event& e = ring_[head_];
+  e.cat = cat;
+  e.name = name;
+  e.ts = ts;
+  e.dur = dur;
+  e.nargs = 0;
+  for (const Arg& a : args) {
+    if (e.nargs == kMaxArgs) break;
+    e.args[e.nargs++] = a;
+  }
+  head_ = (head_ + 1) % ring_.size();
+  ++recorded_;
+}
+
+namespace {
+
+// JSON has no NaN/Infinity literals; route non-finite values to null.
+void write_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+}  // namespace
+
+void Tracer::write_json(std::ostream& os) const {
+  // One trace "thread" per category so each subsystem renders as its own
+  // lane. Category pointers are stable (string literals), so pointer
+  // identity is the key; names are compared to merge duplicate literals.
+  std::vector<const char*> cats;
+  auto tid_of = [&](const char* cat) {
+    for (std::size_t i = 0; i < cats.size(); ++i)
+      if (cats[i] == cat || std::string(cats[i]) == cat) return i;
+    cats.push_back(cat);
+    return cats.size() - 1;
+  };
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for_each([&](const Event& e) {
+    if (!first) os << ",";
+    first = false;
+    const bool span = e.dur >= 0;
+    os << "{\"ph\":\"" << (span ? 'X' : 'i') << "\",\"pid\":0,\"tid\":"
+       << tid_of(e.cat) << ",\"cat\":\"" << e.cat << "\",\"name\":\"" << e.name
+       << "\",\"ts\":";
+    write_number(os, e.ts * 1e6);  // simulated seconds -> trace microseconds
+    if (span) {
+      os << ",\"dur\":";
+      write_number(os, e.dur * 1e6);
+    } else {
+      os << ",\"s\":\"g\"";  // global-scope instant
+    }
+    if (e.nargs > 0) {
+      os << ",\"args\":{";
+      for (std::uint32_t i = 0; i < e.nargs; ++i) {
+        if (i) os << ",";
+        os << "\"" << e.args[i].key << "\":";
+        write_number(os, e.args[i].value);
+      }
+      os << "}";
+    }
+    os << "}";
+  });
+  // Thread-name metadata so viewers label lanes by subsystem.
+  for (std::size_t i = 0; i < cats.size(); ++i) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << i
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << cats[i]
+       << "\"}}";
+  }
+  os << "]}\n";
+}
+
+bool Tracer::write_json_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_json(os);
+  return os.good();
+}
+
+}  // namespace xscale::obs

@@ -1,0 +1,117 @@
+// Structured tracing in *simulated* time.
+//
+// The tracer records typed events — spans `{ts, dur, category, name, args}`
+// and zero-duration instants — into a preallocated ring buffer and exports
+// them as Chrome `trace_event` JSON, loadable in chrome://tracing and
+// Perfetto. Timestamps are simulated seconds (written as microseconds, the
+// trace_event convention), so a dumped run replays as a timeline of what the
+// *simulated* machine did: which flow held which link when, where the
+// scheduler went idle, which collective phase straggled.
+//
+// Cost contract (see DESIGN.md §6):
+//   * disabled (the default): every probe is an inlined `enabled_` load and
+//     a predicted-not-taken branch — no allocation, no formatting, no store.
+//   * enabled: one bounded-size struct store into a preallocated ring; when
+//     the ring wraps, the oldest events are overwritten (`dropped()` counts
+//     them) rather than growing memory under multi-million-event runs.
+//
+// Tracing is purely observational: probes never read tracer state back into
+// simulation decisions, so enabling it cannot change any simulated result
+// (tests/test_obs.cpp asserts bit-identical runs either way).
+//
+// The tracer is process-global (`obs::tracer()`) and single-threaded, like
+// the engine it observes. Category/name/arg-key strings must outlive the
+// tracer — pass string literals.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace xscale::obs {
+
+// One numeric argument attached to an event. `key` must be a string literal
+// (or otherwise outlive the tracer); only the pointer is stored.
+struct Arg {
+  const char* key;
+  double value;
+};
+
+class Tracer {
+ public:
+  static constexpr std::size_t kMaxArgs = 4;
+
+  struct Event {
+    const char* cat = nullptr;
+    const char* name = nullptr;
+    double ts = 0;    // simulated seconds
+    double dur = -1;  // simulated seconds; < 0 marks an instant event
+    std::uint32_t nargs = 0;
+    Arg args[kMaxArgs];
+  };
+
+  // The process-wide tracer every probe reports to.
+  static Tracer& instance();
+
+  // Preallocates the ring (default ~256k events) and starts recording.
+  void enable(std::size_t capacity = std::size_t{1} << 18);
+  void disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+
+  // Record a span covering [ts, ts+dur] of simulated time. Inlined disabled
+  // check: when tracing is off this is a load and a branch. Negative or
+  // non-finite durations are recorded as zero-length spans (dur < 0 is the
+  // internal instant marker).
+  void span(const char* cat, const char* name, double ts, double dur,
+            std::initializer_list<Arg> args = {}) {
+    if (!enabled_) return;
+    record(cat, name, ts, dur >= 0 ? dur : 0, args);
+  }
+
+  // Record a point-in-time event.
+  void instant(const char* cat, const char* name, double ts,
+               std::initializer_list<Arg> args = {}) {
+    if (!enabled_) return;
+    record(cat, name, ts, -1.0, args);
+  }
+
+  // Events currently held (<= capacity) / ever recorded / overwritten.
+  std::size_t size() const;
+  std::size_t capacity() const { return ring_.size(); }
+  std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t dropped() const {
+    return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+  }
+
+  // Drop all recorded events (keeps the ring allocation and enabled state).
+  void clear();
+
+  // Visit held events oldest-first (tests and custom exporters).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i) fn(at(i));
+  }
+
+  // Chrome trace_event JSON: {"traceEvents":[...]} with "X" (span) and "i"
+  // (instant) phases, one tid per category, and thread-name metadata so
+  // Perfetto labels each subsystem's lane. Returns false on I/O failure.
+  void write_json(std::ostream& os) const;
+  bool write_json_file(const std::string& path) const;
+
+ private:
+  void record(const char* cat, const char* name, double ts, double dur,
+              std::initializer_list<Arg> args);
+  const Event& at(std::size_t i) const;  // i-th oldest held event
+
+  bool enabled_ = false;
+  std::vector<Event> ring_;
+  std::size_t head_ = 0;  // next write slot
+  std::uint64_t recorded_ = 0;
+};
+
+inline Tracer& tracer() { return Tracer::instance(); }
+
+}  // namespace xscale::obs

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <memory>
 #include <numeric>
+#include <unordered_map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/rng.hpp"
 
 namespace xscale::sched {
@@ -135,17 +139,29 @@ void Scheduler::release(const Allocation& alloc) {
 }
 
 std::vector<JobRecord> Scheduler::run_workload(sim::Engine& eng,
-                                               const std::vector<JobRequest>& jobs) {
+                                               const std::vector<JobRequest>& jobs,
+                                               double run_until) {
   std::vector<JobRecord> records(jobs.size());
   std::deque<std::size_t> queue;
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     records[i].request = jobs[i];
     records[i].submit_time = eng.now();
+    obs::tracer().instant("sched", "job_submit", eng.now(),
+                          {{"job", static_cast<double>(i)},
+                           {"nodes", static_cast<double>(jobs[i].nodes)}});
     queue.push_back(i);
   }
+  static obs::Counter& submitted = obs::metrics().counter("sched.jobs_submitted");
+  submitted.inc(jobs.size());
 
   double busy_node_seconds = 0;
   const double t0 = eng.now();
+  static obs::Gauge& idle = obs::metrics().gauge("sched.idle_nodes");
+  idle.set(static_cast<double>(free_nodes()));
+  // Completion events still pending at truncation must be cancelled before
+  // returning: they capture this frame's locals, and leaving them in the
+  // engine would dangle if the caller keeps running it.
+  std::unordered_map<std::size_t, std::uint64_t> pending_completion;
 
   // try_start is re-run whenever a job completes. FCFS with conservative
   // backfill: the head is tried first; followers start only if they fit in
@@ -154,6 +170,9 @@ std::vector<JobRecord> Scheduler::run_workload(sim::Engine& eng,
   // event that references it before this frame returns.
   std::function<void()> try_start;
   try_start = [&] {
+    // Any start after a skipped earlier job is a backfill decision: the
+    // later job jumped the FCFS order because it fits right now.
+    bool skipped_earlier = false;
     for (auto it = queue.begin(); it != queue.end();) {
       const std::size_t j = *it;
       auto alloc = allocate(records[j].request.nodes, records[j].request.placement);
@@ -161,31 +180,86 @@ std::vector<JobRecord> Scheduler::run_workload(sim::Engine& eng,
         records[j].job_id = alloc->job_id;
         records[j].nodes = alloc->nodes;
         records[j].start_time = eng.now();
+        obs::tracer().instant(
+            "sched", skipped_earlier ? "backfill_start" : "job_start",
+            eng.now(),
+            {{"job", static_cast<double>(j)},
+             {"nodes", static_cast<double>(alloc->nodes.size())},
+             {"wait", records[j].wait_time()}});
+        if (skipped_earlier) {
+          static obs::Counter& backfills =
+              obs::metrics().counter("sched.backfill_starts");
+          backfills.inc();
+        }
+        idle.set(static_cast<double>(free_nodes()));
         const double dur = records[j].request.duration_s;
-        busy_node_seconds += dur * static_cast<double>(alloc->nodes.size());
-        eng.schedule_in(dur, [this, &eng, &records, &try_start, j, a = *alloc] {
+        // Busy node-seconds are credited in the completion callback, from
+        // the time the job actually ran — not here from the requested
+        // duration, which over-counts (utilization > 1) when the run is
+        // truncated before the job finishes.
+        pending_completion[j] = eng.schedule_in(dur, [this, &eng, &records,
+                                                      &try_start,
+                                                      &busy_node_seconds,
+                                                      &pending_completion, j,
+                                                      a = *alloc] {
+          pending_completion.erase(j);
           records[j].end_time = eng.now();
+          busy_node_seconds += (records[j].end_time - records[j].start_time) *
+                               static_cast<double>(a.nodes.size());
+          obs::tracer().span("sched", "job", records[j].start_time,
+                             records[j].end_time - records[j].start_time,
+                             {{"job", static_cast<double>(j)},
+                              {"nodes", static_cast<double>(a.nodes.size())}});
+          static obs::Counter& completed =
+              obs::metrics().counter("sched.jobs_completed");
+          completed.inc();
           release(a);
+          static obs::Gauge& idle_g = obs::metrics().gauge("sched.idle_nodes");
+          idle_g.set(static_cast<double>(free_nodes()));
           try_start();
         });
         it = queue.erase(it);
       } else {
+        skipped_earlier = true;
         ++it;
       }
     }
   };
-  (void)t0;
   try_start();
-  eng.run();
-  for (auto& r : records)
-    if (r.end_time < 0 && r.start_time >= 0)
-      r.end_time = r.start_time + r.request.duration_s;
+  if (std::isfinite(run_until))
+    eng.run_until(run_until);
+  else
+    eng.run();
 
-  double makespan = 0;
+  // Horizon: the truncation point, or the last completion for a full run.
+  const double horizon = eng.now();
+  for (auto& [j, event_id] : pending_completion) eng.cancel(event_id);
+  for (auto& r : records) {
+    if (r.end_time < 0 && r.start_time >= 0) {
+      // Truncated mid-job (run_until, or a stop() scheduled by the caller):
+      // credit only the node-seconds consumed so far, pro-rated to the
+      // horizon, record the truncation time as the end, and free the nodes
+      // so the scheduler can be reused.
+      r.end_time = horizon;
+      busy_node_seconds +=
+          (horizon - r.start_time) * static_cast<double>(r.nodes.size());
+      Allocation a;
+      a.job_id = r.job_id;
+      a.nodes = r.nodes;
+      release(a);
+    }
+  }
+  idle.set(static_cast<double>(free_nodes()));
+
+  double makespan = t0;
   for (const auto& r : records) makespan = std::max(makespan, r.end_time);
+  // Available node-seconds span submission (t0) to the horizon — measuring
+  // from absolute zero used to misreport utilization for workloads submitted
+  // at eng.now() > 0.
+  const double span = makespan - t0;
   last_utilization_ =
-      makespan > 0 ? busy_node_seconds / (makespan * static_cast<double>(total_nodes_))
-                   : 0;
+      span > 0 ? busy_node_seconds / (span * static_cast<double>(total_nodes_))
+               : 0;
   return records;
 }
 

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <optional>
 #include <string>
 #include <vector>
@@ -71,11 +72,21 @@ class Scheduler {
   // FCFS with conservative backfill: a later job may start early only if it
   // fits in the current free set (it can never delay the queue head, whose
   // start time is bounded by running-job end times). Returns per-job records.
-  std::vector<JobRecord> run_workload(sim::Engine& eng,
-                                      const std::vector<JobRequest>& jobs);
+  //
+  // A finite `run_until` truncates the simulation at that absolute time:
+  // jobs still running are credited only for the node-seconds they actually
+  // consumed (their end_time records the truncation time), and jobs still
+  // queued keep start_time = -1. Busy time is credited at completion (or
+  // pro-rated at truncation), never up front — crediting the full requested
+  // duration at start used to report utilization > 1.0 on truncated runs.
+  std::vector<JobRecord> run_workload(
+      sim::Engine& eng, const std::vector<JobRequest>& jobs,
+      double run_until = std::numeric_limits<double>::infinity());
 
-  // Machine utilization of the last run_workload (node-seconds busy over
-  // node-seconds available).
+  // Machine utilization of the last run_workload: node-seconds actually
+  // consumed over node-seconds available between the workload's submission
+  // time and its horizon (last job end, or the truncation time). Always in
+  // [0, 1].
   double last_utilization() const { return last_utilization_; }
 
  private:

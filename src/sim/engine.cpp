@@ -1,11 +1,18 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <stdexcept>
 #include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace xscale::sim {
 
 std::uint64_t Engine::schedule_at(Time t, Callback fn) {
+  if (!std::isfinite(t))
+    throw std::invalid_argument("Engine::schedule_at: non-finite time");
   if (t < now_) t = now_;
   const std::uint64_t id = next_seq_++;
   heap_.push_back(Event{t, id});
@@ -17,15 +24,25 @@ std::uint64_t Engine::schedule_at(Time t, Callback fn) {
 bool Engine::cancel(std::uint64_t id) {
   if (callbacks_.erase(id) == 0) return false;
   ++stale_;  // the heap entry stays behind; skipped on pop or compacted away
+  obs::tracer().instant("sim", "cancel", now_,
+                        {{"id", static_cast<double>(id)}});
+  static obs::Counter& cancels = obs::metrics().counter("sim.events_cancelled");
+  cancels.inc();
   if (stale_ > callbacks_.size()) compact();
   return true;
 }
 
 void Engine::compact() {
+  const auto before = static_cast<double>(heap_.size());
   std::erase_if(heap_, [this](const Event& e) { return !callbacks_.contains(e.seq); });
   std::make_heap(heap_.begin(), heap_.end(), After{});
   stale_ = 0;
   ++compactions_;
+  obs::tracer().span("sim", "compact", now_, 0.0,
+                     {{"heap_before", before},
+                      {"heap_after", static_cast<double>(heap_.size())}});
+  static obs::Counter& compactions = obs::metrics().counter("sim.compactions");
+  compactions.inc();
 }
 
 void Engine::drop_stale_top() {
@@ -50,6 +67,10 @@ bool Engine::step() {
     callbacks_.erase(it);
     now_ = ev.t;
     ++executed_;
+    obs::tracer().instant("sim", "execute", ev.t,
+                          {{"seq", static_cast<double>(ev.seq)}});
+    static obs::Counter& executed = obs::metrics().counter("sim.events_executed");
+    executed.inc();
     fn();
     return true;
   }

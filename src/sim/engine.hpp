@@ -33,6 +33,8 @@ class Engine {
   Time now() const { return now_; }
 
   // Schedule `fn` to run at absolute time `t` (clamped to now() if earlier).
+  // Non-finite `t` (NaN, ±inf) throws std::invalid_argument: NaN breaks the
+  // heap comparator's strict weak ordering and silently corrupts event order.
   // Returns an id usable with `cancel`.
   std::uint64_t schedule_at(Time t, Callback fn);
 

@@ -6,14 +6,24 @@
 namespace xscale::sim {
 
 double SampleSet::percentile(double p) const {
+  if (std::isnan(p) || p < 0.0 || p > 100.0)
+    throw std::invalid_argument("SampleSet::percentile: p must be in [0,100]");
   if (samples_.empty()) return 0.0;
   if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
+    // NaN < x and x < NaN are both false, so plain operator< is not a strict
+    // weak ordering over samples containing NaN (UB in std::sort that can
+    // scramble or over-run). Order NaNs after every real sample instead.
+    std::sort(samples_.begin(), samples_.end(), [](double a, double b) {
+      if (std::isnan(b)) return !std::isnan(a);
+      if (std::isnan(a)) return false;
+      return a < b;
+    });
     sorted_ = true;
   }
-  p = std::clamp(p, 0.0, 100.0);
-  const auto rank = static_cast<std::size_t>(
-      std::ceil(p / 100.0 * static_cast<double>(samples_.size())));
+  const std::size_t n = samples_.size() - nan_count_;  // non-NaN prefix
+  if (n == 0) return std::numeric_limits<double>::quiet_NaN();
+  const auto rank =
+      static_cast<std::size_t>(std::ceil(p / 100.0 * static_cast<double>(n)));
   return samples_[rank == 0 ? 0 : rank - 1];
 }
 

@@ -47,17 +47,23 @@ class SampleSet {
   void add(double x) {
     samples_.push_back(x);
     stats_.add(x);
+    if (std::isnan(x)) ++nan_count_;
     sorted_ = false;
   }
   void reserve(std::size_t n) { samples_.reserve(n); }
 
   std::size_t count() const { return samples_.size(); }
+  std::size_t nan_count() const { return nan_count_; }
   double mean() const { return stats_.mean(); }
   double stddev() const { return stats_.stddev(); }
   double min() const { return stats_.min(); }
   double max() const { return stats_.max(); }
 
-  // Exact percentile by nearest-rank; p in [0,100].
+  // Exact percentile by nearest-rank over the non-NaN samples (NaN compares
+  // false under operator<, which would break std::sort's strict weak
+  // ordering — they are ordered after every real sample instead and excluded
+  // from the rank). Throws std::invalid_argument unless p is in [0,100];
+  // returns 0.0 on an empty set and NaN when every sample is NaN.
   double percentile(double p) const;
 
   const std::vector<double>& samples() const { return samples_; }
@@ -65,6 +71,7 @@ class SampleSet {
  private:
   mutable std::vector<double> samples_;
   mutable bool sorted_ = false;
+  std::size_t nan_count_ = 0;
   OnlineStats stats_;
 };
 

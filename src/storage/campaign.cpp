@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "net/solver.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/rng.hpp"
 
 namespace xscale::storage {
@@ -65,6 +67,18 @@ FabricCampaignResult fabric_campaign(const machines::Machine& frontier,
   out.per_client_bw = out.aggregate_bw / std::max(1, client_nodes);
   out.network_limited_fraction =
       rates.empty() ? 0 : static_cast<double>(net_limited) / static_cast<double>(rates.size());
+
+  // Deepest per-OSS request backlog — the queue-depth proxy for this
+  // steady-state model (flows concurrently draining into one controller).
+  int max_depth = 0;
+  for (int d : flows_per_oss) max_depth = std::max(max_depth, d);
+  static obs::Gauge& depth = obs::metrics().gauge("storage.oss_queue_depth");
+  depth.set(static_cast<double>(max_depth));
+  obs::tracer().instant("storage", "fabric_campaign", 0.0,
+                        {{"clients", static_cast<double>(client_nodes)},
+                         {"aggregate_bw", out.aggregate_bw},
+                         {"net_limited", out.network_limited_fraction},
+                         {"oss_queue_depth", static_cast<double>(max_depth)}});
   return out;
 }
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace xscale::storage {
 
 double NodeLocalNvme::throughput(double block_size, bool read, bool random) const {
@@ -17,7 +20,16 @@ double NodeLocalNvme::throughput(double block_size, bool read, bool random) cons
 double NodeLocalNvme::io_time(double bytes, double block_size, bool read,
                               bool random) const {
   if (bytes <= 0) return 0;
-  return perf_.latency_s + bytes / throughput(block_size, read, random);
+  const double t = perf_.latency_s + bytes / throughput(block_size, read, random);
+  // The model is analytic (no queue in simulated time), so the request span
+  // starts at 0: its *duration* is the quantity the timeline shows.
+  obs::tracer().span("storage", read ? "nvme_read" : "nvme_write", 0.0, t,
+                     {{"bytes", bytes}, {"block", block_size}});
+  static obs::Counter& reqs = obs::metrics().counter("storage.nvme_requests");
+  static sim::OnlineStats& times = obs::metrics().stats("storage.nvme_io_time_s");
+  reqs.inc();
+  times.add(t);
+  return t;
 }
 
 NvmeAggregate aggregate(const NodeLocalNvme& drive, int nodes) {

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace xscale::storage {
 
 const char* to_string(Tier t) {
@@ -111,7 +114,17 @@ double Orion::campaign_bw(double file_size, int client_nodes, bool read,
 double Orion::campaign_time(double total_bytes, double file_size, int client_nodes,
                             bool read) const {
   const double bw = campaign_bw(file_size, client_nodes, read);
-  return bw > 0 ? total_bytes / bw : 0;
+  const double t = bw > 0 ? total_bytes / bw : 0;
+  obs::tracer().span("storage", read ? "orion_read_campaign" : "orion_write_campaign",
+                     0.0, t,
+                     {{"bytes", total_bytes},
+                      {"clients", static_cast<double>(client_nodes)},
+                      {"bw", bw}});
+  static obs::Counter& campaigns = obs::metrics().counter("storage.orion_campaigns");
+  static sim::OnlineStats& bws = obs::metrics().stats("storage.orion_campaign_bw");
+  campaigns.inc();
+  if (bw > 0) bws.add(bw);
+  return t;
 }
 
 double Orion::small_file_read_time(double file_size, int concurrent_clients) const {

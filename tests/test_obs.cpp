@@ -1,0 +1,365 @@
+// Tests for the obs:: observability layer: tracer ring-buffer semantics,
+// Chrome trace_event JSON well-formedness, metrics registry behaviour, and —
+// the contract everything else rests on — that enabling tracing changes no
+// simulated result (times, stats, solver outputs) across FlowSim churn and a
+// slurm workload.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "net/flowsim.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sched/slurm.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "topo/topology.hpp"
+
+namespace {
+
+using namespace xscale;
+
+// Restores the global tracer to disabled whatever a test does.
+struct TracerGuard {
+  ~TracerGuard() {
+    obs::tracer().disable();
+    obs::tracer().clear();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON validator — enough to assert the exported
+// trace and metrics dumps are well-formed without an external parser.
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& s) : s_(s) {}
+
+  bool valid() {
+    i_ = 0;
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return i_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (i_ >= s_.size()) return false;
+    switch (s_[i_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++i_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++i_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++i_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++i_; continue; }
+      if (peek() == '}') { ++i_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++i_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++i_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++i_; continue; }
+      if (peek() == ']') { ++i_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++i_;
+    while (i_ < s_.size() && s_[i_] != '"') {
+      if (s_[i_] == '\\') ++i_;  // skip escaped char
+      ++i_;
+    }
+    if (i_ >= s_.size()) return false;
+    ++i_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = i_;
+    if (peek() == '-') ++i_;
+    while (i_ < s_.size() && (std::isdigit(static_cast<unsigned char>(s_[i_])) ||
+                              s_[i_] == '.' || s_[i_] == 'e' || s_[i_] == 'E' ||
+                              s_[i_] == '+' || s_[i_] == '-'))
+      ++i_;
+    return i_ > start;
+  }
+  bool literal(const char* lit) {
+    for (const char* p = lit; *p; ++p, ++i_)
+      if (i_ >= s_.size() || s_[i_] != *p) return false;
+    return true;
+  }
+  char peek() const { return i_ < s_.size() ? s_[i_] : '\0'; }
+  void skip_ws() {
+    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\n' ||
+                              s_[i_] == '\t' || s_[i_] == '\r'))
+      ++i_;
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+TEST(JsonValidator, SelfCheck) {
+  EXPECT_TRUE(JsonValidator(R"({"a":[1,2.5e-3,"x",null,true],"b":{}})").valid());
+  EXPECT_FALSE(JsonValidator(R"({"a":1,)").valid());
+  EXPECT_FALSE(JsonValidator(R"([NaN])").valid());
+}
+
+// ------------------------------------------------------------------ Tracer --
+
+TEST(Tracer, DisabledRecordsNothing) {
+  TracerGuard guard;
+  obs::Tracer& t = obs::tracer();
+  t.disable();
+  t.clear();
+  t.span("cat", "name", 1.0, 2.0, {{"k", 3.0}});
+  t.instant("cat", "name", 1.0);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.recorded(), 0u);
+}
+
+TEST(Tracer, RecordsSpanAndInstantFields) {
+  TracerGuard guard;
+  obs::Tracer& t = obs::tracer();
+  t.enable(16);
+  t.clear();
+  t.span("net", "flow", 1.5, 0.25, {{"bytes", 100.0}, {"hops", 4.0}});
+  t.instant("sim", "tick", 2.0);
+  ASSERT_EQ(t.size(), 2u);
+  std::vector<obs::Tracer::Event> got;
+  t.for_each([&](const obs::Tracer::Event& e) { got.push_back(e); });
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_STREQ(got[0].cat, "net");
+  EXPECT_STREQ(got[0].name, "flow");
+  EXPECT_DOUBLE_EQ(got[0].ts, 1.5);
+  EXPECT_DOUBLE_EQ(got[0].dur, 0.25);
+  ASSERT_EQ(got[0].nargs, 2u);
+  EXPECT_STREQ(got[0].args[0].key, "bytes");
+  EXPECT_DOUBLE_EQ(got[0].args[0].value, 100.0);
+  EXPECT_LT(got[1].dur, 0.0);  // instant marker
+}
+
+TEST(Tracer, RingOverwritesOldestAndCountsDrops) {
+  TracerGuard guard;
+  obs::Tracer& t = obs::tracer();
+  t.enable(4);
+  t.clear();
+  for (int i = 0; i < 10; ++i)
+    t.instant("cat", "e", static_cast<double>(i));
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.recorded(), 10u);
+  EXPECT_EQ(t.dropped(), 6u);
+  // Oldest-first visitation yields the last four timestamps in order.
+  std::vector<double> ts;
+  t.for_each([&](const obs::Tracer::Event& e) { ts.push_back(e.ts); });
+  EXPECT_EQ(ts, (std::vector<double>{6.0, 7.0, 8.0, 9.0}));
+}
+
+TEST(Tracer, WritesValidChromeTraceJson) {
+  TracerGuard guard;
+  obs::Tracer& t = obs::tracer();
+  t.enable(64);
+  t.clear();
+  t.span("net", "flow", 0.0, 1.5, {{"bytes", 1e7}});
+  t.instant("sched", "job_submit", 0.5, {{"job", 1.0}});
+  t.instant("net", "weird", 1.0, {{"v", std::nan("")}});  // NaN arg -> null
+  std::ostringstream os;
+  t.write_json(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  // Both categories got a thread-name metadata record.
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("null"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- Metrics --
+
+TEST(Metrics, CounterGaugeStatsRoundTrip) {
+  auto& reg = obs::MetricsRegistry::instance();
+  obs::Counter& c = reg.counter("test.counter");
+  obs::Gauge& g = reg.gauge("test.gauge");
+  sim::OnlineStats& s = reg.stats("test.stats");
+  c.reset();
+  g.reset();
+  s = sim::OnlineStats{};
+  c.inc();
+  c.inc(4);
+  g.set(2.5);
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_EQ(reg.counter("test.counter").value(), 5u);
+  EXPECT_DOUBLE_EQ(reg.gauge("test.gauge").value(), 2.5);
+  EXPECT_DOUBLE_EQ(reg.stats("test.stats").mean(), 2.0);
+  // Same name, different kind: loud failure instead of silent aliasing.
+  EXPECT_THROW(reg.gauge("test.counter"), std::logic_error);
+  EXPECT_THROW(reg.counter("test.stats"), std::logic_error);
+}
+
+TEST(Metrics, SnapshotIsFlatAndNameSorted) {
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.counter("test.zz");
+  reg.gauge("test.aa");
+  const auto snap = reg.snapshot();
+  EXPECT_GE(snap.size(), 2u);
+  for (std::size_t i = 1; i < snap.size(); ++i)
+    EXPECT_LE(snap[i - 1].name, snap[i].name);
+}
+
+TEST(Metrics, DumpJsonIsValidAndDumpTextMentionsEveryInstrument) {
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.counter("test.json_counter").inc(7);
+  reg.stats("test.json_stats").add(1.25);
+  EXPECT_TRUE(JsonValidator(reg.dump_json()).valid()) << reg.dump_json();
+  const std::string text = reg.dump_text();
+  for (const auto& e : reg.snapshot())
+    EXPECT_NE(text.find(e.name), std::string::npos) << e.name;
+}
+
+TEST(Metrics, ResetZeroesValuesButKeepsReferences) {
+  auto& reg = obs::MetricsRegistry::instance();
+  obs::Counter& c = reg.counter("test.reset_counter");
+  c.inc(3);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();  // the cached reference is still live
+  EXPECT_EQ(reg.counter("test.reset_counter").value(), 1u);
+}
+
+// ------------------------------------------- tracing is purely observational
+
+// Everything a run produces that could conceivably drift: per-flow completion
+// times, solver effort counters, scheduler times and utilization.
+struct RunDigest {
+  std::vector<double> completion_times;
+  std::vector<double> flow_rates_at_checkpoints;
+  std::uint64_t solver_iterations = 0;
+  std::uint64_t flows_solved = 0;
+  std::uint64_t resolves = 0;
+  std::size_t dropped = 0;
+  std::vector<double> job_starts;
+  std::vector<double> job_ends;
+  double utilization = 0;
+  double final_time = 0;
+
+  bool operator==(const RunDigest&) const = default;
+};
+
+RunDigest run_scenario() {
+  RunDigest d;
+
+  // FlowSim churn: staggered random flows over a small dragonfly, including
+  // a mid-run link failure to exercise the stall/drop paths.
+  {
+    auto t = topo::Topology::uniform_dragonfly(8, {4, 4}, 1, 25e9, 180e-9);
+    net::FabricConfig fcfg;
+    fcfg.routing = net::Routing::Adaptive;
+    net::Fabric fabric(std::move(t), fcfg);
+    sim::Engine eng;
+    net::FlowSim fs(eng, fabric);
+    sim::Rng rng(1234);
+    const int eps = fabric.topology().num_endpoints();
+    int launched = 0;
+    const int total = 200;
+    std::function<void()> launch = [&] {
+      if (launched >= total) return;
+      ++launched;
+      const int src = static_cast<int>(rng.index(static_cast<std::uint64_t>(eps)));
+      int dst = static_cast<int>(rng.index(static_cast<std::uint64_t>(eps)));
+      if (dst == src) dst = (dst + 1) % eps;
+      fs.start(src, dst, rng.uniform(1e6, 5e8), [&] {
+        d.completion_times.push_back(eng.now());
+        fs.for_each_flow([&](std::uint64_t, const std::vector<int>&, double,
+                             double rate) {
+          d.flow_rates_at_checkpoints.push_back(rate);
+        });
+        launch();
+      });
+    };
+    for (int i = 0; i < 12; ++i) launch();
+    eng.run();
+    d.solver_iterations = fs.stats().solver_iterations;
+    d.flows_solved = fs.stats().flows_solved;
+    d.resolves = fs.stats().resolves;
+    d.final_time = eng.now();
+  }
+
+  // Slurm workload with backfill and truncation mid-job.
+  {
+    sched::Scheduler s(256, 128);
+    sim::Engine eng;
+    std::vector<sched::JobRequest> jobs;
+    sim::Rng rng(99);
+    for (int i = 0; i < 24; ++i)
+      jobs.push_back({8 + static_cast<int>(rng.index(200)),
+                      rng.uniform(10.0, 400.0), sched::Placement::Auto});
+    auto rec = s.run_workload(eng, jobs, /*run_until=*/900.0);
+    for (const auto& r : rec) {
+      d.job_starts.push_back(r.start_time);
+      d.job_ends.push_back(r.end_time);
+    }
+    d.utilization = s.last_utilization();
+  }
+  return d;
+}
+
+TEST(TracingDifferential, EnabledAndDisabledRunsAreBitIdentical) {
+  TracerGuard guard;
+  obs::tracer().disable();
+  const RunDigest off = run_scenario();
+
+  obs::tracer().enable(std::size_t{1} << 16);
+  obs::tracer().clear();
+  const RunDigest on = run_scenario();
+  EXPECT_GT(obs::tracer().recorded(), 0u);  // tracing actually happened
+  obs::tracer().disable();
+
+  // Bit-identical: EXPECT_EQ on doubles via the defaulted comparison —
+  // tracing must be purely observational.
+  EXPECT_TRUE(off == on);
+  EXPECT_EQ(off.completion_times, on.completion_times);
+  EXPECT_EQ(off.flow_rates_at_checkpoints, on.flow_rates_at_checkpoints);
+  EXPECT_EQ(off.solver_iterations, on.solver_iterations);
+  EXPECT_EQ(off.job_starts, on.job_starts);
+  EXPECT_EQ(off.job_ends, on.job_ends);
+  EXPECT_EQ(off.utilization, on.utilization);
+
+  // And a third run with tracing off again still matches.
+  const RunDigest off2 = run_scenario();
+  EXPECT_TRUE(off == off2);
+}
+
+}  // namespace

@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -146,6 +148,41 @@ TEST(Engine, CompactionBoundsCancelledHeapEntries) {
   EXPECT_DOUBLE_EQ(e.now(), 1e9);
 }
 
+TEST(Engine, RejectsNonFiniteTimes) {
+  Engine e;
+  EXPECT_THROW(e.schedule_at(std::nan(""), [] {}), std::invalid_argument);
+  EXPECT_THROW(e.schedule_at(std::numeric_limits<double>::infinity(), [] {}),
+               std::invalid_argument);
+  EXPECT_THROW(e.schedule_at(-std::numeric_limits<double>::infinity(), [] {}),
+               std::invalid_argument);
+  EXPECT_THROW(e.schedule_in(std::nan(""), [] {}), std::invalid_argument);
+  EXPECT_EQ(e.pending_events(), 0u);  // nothing leaked into the heap
+  // Finite negative times keep the documented clamp-to-now behaviour.
+  double fired_at = -1;
+  e.schedule_at(-5.0, [&] { fired_at = e.now(); });
+  e.run();
+  EXPECT_DOUBLE_EQ(fired_at, 0.0);
+}
+
+TEST(Engine, SameTimeFifoOrderSurvivesCompaction) {
+  Engine e;
+  std::vector<int> order;
+  // Interleave same-time events with cancel fodder so compaction (triggered
+  // when stale entries outnumber live ones) rebuilds the heap mid-sequence.
+  std::vector<std::uint64_t> fodder;
+  for (int i = 0; i < 8; ++i)
+    e.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  for (int i = 0; i < 64; ++i) fodder.push_back(e.schedule_at(2.0, [] {}));
+  for (std::uint64_t id : fodder) e.cancel(id);
+  EXPECT_GT(e.compactions(), 0u);
+  for (int i = 8; i < 16; ++i)
+    e.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  e.run();
+  std::vector<int> expect;
+  for (int i = 0; i < 16; ++i) expect.push_back(i);
+  EXPECT_EQ(order, expect);
+}
+
 TEST(Engine, CompactionPreservesOrderAndDeterminism) {
   Engine e;
   std::vector<int> order;
@@ -218,6 +255,43 @@ TEST(Stats, PercentileAfterInterleavedAdds) {
   EXPECT_DOUBLE_EQ(s.percentile(50), 5.0);
   s.add(1);  // resorting must happen after new samples
   EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+}
+
+TEST(Stats, PercentileEmptySetIsGuarded) {
+  SampleSet s;
+  ASSERT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 0.0);
+}
+
+TEST(Stats, PercentileRejectsOutOfRangeP) {
+  SampleSet s;
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_THROW(s.percentile(-0.001), std::invalid_argument);
+  EXPECT_THROW(s.percentile(100.001), std::invalid_argument);
+  EXPECT_THROW(s.percentile(std::nan("")), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);    // boundaries stay valid
+  EXPECT_DOUBLE_EQ(s.percentile(100), 2.0);
+}
+
+TEST(Stats, PercentileIgnoresNaNSamples) {
+  // NaN breaks operator<'s strict weak ordering; it must neither poison the
+  // sort nor be reported as a percentile.
+  SampleSet s;
+  s.add(3.0);
+  s.add(std::nan(""));
+  s.add(1.0);
+  s.add(std::nan(""));
+  s.add(2.0);
+  EXPECT_EQ(s.nan_count(), 2u);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 2.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 3.0);  // not NaN
+  SampleSet all_nan;
+  all_nan.add(std::nan(""));
+  EXPECT_TRUE(std::isnan(all_nan.percentile(50)));
 }
 
 TEST(Stats, HistogramBinsAndOutlierCounts) {

@@ -120,6 +120,52 @@ TEST(Scheduler, WorkloadRecordsConsistent) {
   EXPECT_EQ(s.free_nodes(), 512);  // everything released
 }
 
+TEST(Scheduler, TruncatedWorkloadKeepsUtilizationSane) {
+  // Regression: busy node-seconds used to be credited at job *start* for the
+  // full requested duration, so truncating mid-job reported utilization > 1.
+  sched::Scheduler s(256, 128);
+  sim::Engine eng;
+  std::vector<sched::JobRequest> jobs{
+      {256, 1000.0, sched::Placement::Auto},  // whole machine, 1000 s
+      {256, 1000.0, sched::Placement::Auto},  // queued behind it
+  };
+  auto rec = s.run_workload(eng, jobs, /*run_until=*/100.0);
+  // Job 0 ran 100 of its 1000 s; job 1 never started.
+  EXPECT_DOUBLE_EQ(rec[0].start_time, 0.0);
+  EXPECT_DOUBLE_EQ(rec[0].end_time, 100.0);
+  EXPECT_DOUBLE_EQ(rec[1].start_time, -1.0);
+  EXPECT_LE(s.last_utilization(), 1.0);
+  EXPECT_NEAR(s.last_utilization(), 1.0, 1e-9);  // machine was fully busy
+  EXPECT_EQ(s.free_nodes(), 256);  // truncated allocations are released
+  // The truncated completion event must not linger in the engine (it
+  // captures run_workload's stack frame).
+  EXPECT_EQ(eng.pending_events(), 0u);
+}
+
+TEST(Scheduler, TruncationMidJobProRatesBusyTime) {
+  sched::Scheduler s(100, 50);
+  sim::Engine eng;
+  // Half the machine busy until truncation, the rest idle: utilization 0.5.
+  std::vector<sched::JobRequest> jobs{{50, 1000.0, sched::Placement::Auto}};
+  s.run_workload(eng, jobs, /*run_until=*/200.0);
+  EXPECT_NEAR(s.last_utilization(), 0.5, 1e-9);
+  EXPECT_LE(s.last_utilization(), 1.0);
+}
+
+TEST(Scheduler, WorkloadSubmittedAtNonzeroTimeMeasuresFromSubmission) {
+  sched::Scheduler s(128, 128);
+  sim::Engine eng;
+  eng.schedule_at(500.0, [] {});  // advance the clock before submitting
+  eng.run();
+  ASSERT_DOUBLE_EQ(eng.now(), 500.0);
+  std::vector<sched::JobRequest> jobs{{128, 100.0, sched::Placement::Auto}};
+  auto rec = s.run_workload(eng, jobs);
+  EXPECT_DOUBLE_EQ(rec[0].start_time, 500.0);
+  // Available node-seconds span submission..makespan, not 0..makespan —
+  // the old denominator diluted this to ~1/6.
+  EXPECT_NEAR(s.last_utilization(), 1.0, 1e-9);
+}
+
 // ---------------------------------------------------------------- power -----
 
 TEST(Power, HplLandsNearPaperHeadline) {

@@ -21,17 +21,30 @@ sim::Histogram run_mpigraph(const machines::Machine& m, const net::Fabric& fabri
   sim::Histogram h(0.0, hist_max, 36, sim::Histogram::OutlierPolicy::Clamp);
   sim::Rng rng(0x5175);
   const int nodes = m.total_nodes;
-  for (int r = 0; r < rounds; ++r) {
-    const int shift = 1 + static_cast<int>(rng.index(static_cast<std::uint64_t>(nodes - 1)));
-    net::PairList pairs;
-    pairs.reserve(static_cast<std::size_t>(nodes));
-    for (int i = 0; i < nodes; ++i) {
-      const int j = (i + shift) % nodes;
-      pairs.emplace_back(machines::node_endpoint(m, i, r % m.node.nics),
-                         machines::node_endpoint(m, j, r % m.node.nics));
+  // Draw all shifts up front (one serial RNG stream), then solve the rounds
+  // on the pool — each round writes its own rates slot, and the histogram is
+  // filled in round order afterwards, so the figure is byte-identical at any
+  // XSCALE_THREADS.
+  std::vector<int> shifts(static_cast<std::size_t>(rounds));
+  for (int& s : shifts)
+    s = 1 + static_cast<int>(rng.index(static_cast<std::uint64_t>(nodes - 1)));
+  std::vector<std::vector<double>> round_rates(shifts.size());
+  sim::parallel_for(shifts.size(), 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t r = b; r < e; ++r) {
+      const int shift = shifts[r];
+      const int nic = static_cast<int>(r) % m.node.nics;
+      net::PairList pairs;
+      pairs.reserve(static_cast<std::size_t>(nodes));
+      for (int i = 0; i < nodes; ++i) {
+        const int j = (i + shift) % nodes;
+        pairs.emplace_back(machines::node_endpoint(m, i, nic),
+                           machines::node_endpoint(m, j, nic));
+      }
+      round_rates[r] = fabric.steady_rates(pairs);
     }
-    for (double rate : fabric.steady_rates(pairs)) h.add(rate / 1e9);
-  }
+  });
+  for (const auto& rates : round_rates)
+    for (double rate : rates) h.add(rate / 1e9);
   return h;
 }
 
@@ -56,7 +69,8 @@ void summarize(const char* name, const sim::Histogram& h) {
 int main(int argc, char** argv) {
   xscale::obs::BenchObs obs(argc, argv);  // shared flags: --trace <file>, --metrics
   std::printf("== Reproducing Figure 6: mpiGraph per-NIC measurements ==\n\n");
-  const int rounds = 48;
+  // --quick (golden harness): fewer shift rounds, same histograms/format.
+  const int rounds = obs::quick() ? 8 : 48;
 
   const auto frontier = machines::frontier();
   auto ff = frontier.build_fabric();

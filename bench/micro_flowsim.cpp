@@ -22,7 +22,9 @@
 #include "net/fabric.hpp"
 #include "net/flowsim.hpp"
 #include "obs/options.hpp"
+#include "resil/jobsim.hpp"
 #include "sim/engine.hpp"
+#include "sim/parallel.hpp"
 #include "sim/rng.hpp"
 #include "topo/topology.hpp"
 
@@ -117,6 +119,49 @@ void BM_FlowChurn(benchmark::State& state, Pattern p, bool incremental) {
   state.counters["stale"] = static_cast<double>(stale);
 }
 
+// Thread-scaling (ISSUE 4): full-solve all-to-all churn at 4,096 endpoints.
+// All-to-all is one connected component, so the win comes from the parallel
+// min-share scan inside the water-filling loop (engaged at >= 4096 active
+// links); results are bit-identical at any thread count, only wall clock
+// changes. Sweep XSCALE_THREADS-equivalents via the Arg.
+void BM_FlowChurnThreads(benchmark::State& state) {
+  const int prev_threads = sim::thread_count();
+  sim::set_thread_count(static_cast<int>(state.range(0)));
+  const int n = 4096;
+  const auto fabric = build_fabric(n);
+  const auto target = static_cast<std::uint64_t>(2 * n);
+  for (auto _ : state) {
+    sim::Engine eng;
+    net::FlowSim fs(eng, fabric, {.incremental = false});
+    const auto done = churn(fs, eng, Pattern::AllToAll, n, target);
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(target));
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  sim::set_thread_count(prev_threads);
+}
+
+// Thread-scaling companion for the resiliency Monte Carlo paths (trial-
+// sharded job replay); lives here so one binary produces both scaling
+// curves for EXPERIMENTS.md.
+void BM_JobReplayThreads(benchmark::State& state) {
+  const int prev_threads = sim::thread_count();
+  sim::set_thread_count(static_cast<int>(state.range(0)));
+  const resil::ResiliencyModel model;
+  resil::JobSimConfig cfg;
+  cfg.work_hours = 24.0;
+  const int trials = 20000;
+  for (auto _ : state) {
+    const auto s = resil::replay_jobs(model, 0x5EED, trials, cfg);
+    benchmark::DoNotOptimize(s.mean.efficiency);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          trials);
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  sim::set_thread_count(prev_threads);
+}
+
 // Engine-level churn: the reschedule pattern (schedule, cancel, schedule)
 // that used to accumulate stale heap entries without bound.
 void BM_EngineCancelChurn(benchmark::State& state) {
@@ -154,6 +199,10 @@ BENCHMARK_CAPTURE(BM_FlowChurn, incast_incremental, Pattern::Incast, true)
 BENCHMARK_CAPTURE(BM_FlowChurn, incast_full, Pattern::Incast, false)
     ->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EngineCancelChurn)->Arg(4)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FlowChurnThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_JobReplayThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
 // Expanded BENCHMARK_MAIN() so the shared obs flags (--trace <file>,
 // --metrics) are stripped before google-benchmark parses argv.

@@ -8,6 +8,7 @@
 //   * HACC: "consistent timings between the 4096-8192 node Frontier runs".
 #include <cstdio>
 #include <numeric>
+#include <optional>
 
 #include "core/xscale.hpp"
 
@@ -29,12 +30,16 @@ int main(int argc, char** argv) {
   xscale::obs::BenchObs obs(argc, argv);  // shared flags: --trace <file>, --metrics
   std::printf("== Reproducing Section 4.4 scaling claims ==\n\n");
   const auto m = machines::frontier();
-  auto fabric = m.build_fabric();
+  // --quick (golden harness): analytic communication fallback skips the
+  // full-machine flow solves; same sections, same format.
+  std::optional<net::Fabric> built;
+  if (!obs::quick()) built.emplace(m.build_fabric());
+  const net::Fabric* fabric_p = built ? &*built : nullptr;
 
   std::printf("--- WarpX weak scaling (per-GCD rate vs 1 node) ---\n");
   for (int nodes : {8, 64, 512, 4096, 9216}) {
     std::printf("  %5d nodes: %.1f%% of ideal\n", nodes,
-                100.0 * weak_eff(apps::warpx(), m, &fabric, nodes));
+                100.0 * weak_eff(apps::warpx(), m, fabric_p, nodes));
   }
   std::printf("  (paper: near-ideal over multiple orders of magnitude)\n\n");
 
@@ -49,7 +54,7 @@ int main(int argc, char** argv) {
       spec.work_units_per_gpu = base_spec.work_units_per_gpu * n0 / nodes;
       spec.comm.halo_bytes =
           base_spec.comm.halo_bytes * std::pow(static_cast<double>(n0) / nodes, 2.0 / 3.0);
-      const auto r = apps::run_app(spec, m, &fabric, nodes);
+      const auto r = apps::run_app(spec, m, fabric_p, nodes);
       if (t0 == 0) t0 = r.step_time * nodes;
       std::printf("  %5d nodes: speedup %5.2fx of %4.1fx ideal (step %s)\n", nodes,
                   t0 / (r.step_time * nodes) * nodes / n0,
@@ -60,16 +65,16 @@ int main(int argc, char** argv) {
   std::printf("  (paper: realistic strong-scaling over an order of magnitude)\n\n");
 
   std::printf("--- Shift (ExaSMR) weak scaling ---\n");
-  const double shift_eff = weak_eff(apps::exasmr_shift(), m, &fabric, 8192);
+  const double shift_eff = weak_eff(apps::exasmr_shift(), m, fabric_p, 8192);
   std::printf("  1 -> 8192 nodes: %.1f%% (paper: 97.8%%)\n\n", 100.0 * shift_eff);
 
   std::printf("--- PIConGPU weak scaling ---\n");
   std::printf("  1 -> 9216 nodes: %.1f%% (paper: 90%%)\n\n",
-              100.0 * weak_eff(apps::picongpu(), m, &fabric, 9216));
+              100.0 * weak_eff(apps::picongpu(), m, fabric_p, 9216));
 
   std::printf("--- HACC 4096 vs 8192 node consistency ---\n");
-  const auto h4 = apps::run_app(apps::hacc(), m, &fabric, 4096);
-  const auto h8 = apps::run_app(apps::hacc(), m, &fabric, 8192);
+  const auto h4 = apps::run_app(apps::hacc(), m, fabric_p, 4096);
+  const auto h8 = apps::run_app(apps::hacc(), m, fabric_p, 8192);
   std::printf("  step time: %s vs %s (%.1f%% apart; paper: 'consistent timings')\n",
               units::fmt_time(h4.step_time).c_str(),
               units::fmt_time(h8.step_time).c_str(),

@@ -27,13 +27,29 @@ int main(int argc, char** argv) {
                     : "");
   }
 
-  sim::Rng rng(2023);
-  const auto intervals = model.sample_intervals(10000, rng);
+  // Sharded sampling: drawn on the thread pool from per-shard counter-based
+  // streams; the vector is bit-identical for any XSCALE_THREADS.
+  const auto intervals = model.sample_intervals_sharded(10000, 2023);
   sim::SampleSet s;
   for (double x : intervals) s.add(x);
   std::printf("\nMonte Carlo failure injection (10,000 intervals):\n");
   std::printf("  mean %.2f h, median %.2f h, p5 %.2f h, p95 %.2f h\n", s.mean(),
               s.percentile(50), s.percentile(5), s.percentile(95));
+
+  // Event-driven job replay (trial-sharded across the pool, trial-order
+  // merge): the *distribution* of outcomes behind the Young/Daly mean.
+  resil::JobSimConfig jcfg;
+  jcfg.work_hours = 24.0;
+  const int trials = obs::quick() ? 200 : 5000;
+  const auto replay = resil::replay_jobs(model, 0x5EED, trials, jcfg);
+  std::printf("\nJob replay (%d trials, 24 h of work, Young/Daly interval):\n",
+              trials);
+  std::printf("  mean wall %.1f h, %d failures, %.1f h lost per job\n",
+              replay.mean.wall_hours, replay.mean.failures,
+              replay.mean.lost_work_hours);
+  std::printf("  efficiency mean %.1f%%  [p5 %.1f%%, p95 %.1f%%]\n",
+              100.0 * replay.mean.efficiency, 100.0 * replay.efficiency_p5,
+              100.0 * replay.efficiency_p95);
 
   storage::Orion orion;
   const auto plan = model.plan_checkpoints(orion, units::TB(776), 9408);

@@ -33,6 +33,12 @@ int main(int argc, char** argv) {
   auto fabric = m.build_fabric();
 
   mpi::GpcnetConfig cfg;
+  if (obs::quick()) {
+    // Golden harness: a smaller rank count and fewer latency samples keep
+    // the same three tables at a fraction of the solve time.
+    cfg.nodes = 1200;
+    cfg.latency_samples = 512;
+  }
   cfg.ppn = 8;
   auto r8 = mpi::run_gpcnet(m, fabric, cfg);
   print_result("--- 8 PPN (paper's Table 5: congested == isolated) ---", r8);

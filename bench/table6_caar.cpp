@@ -2,6 +2,8 @@
 // run on the simulated machines with the fabric-backed communication model.
 #include <cstdio>
 
+#include <optional>
+
 #include "core/xscale.hpp"
 
 using namespace xscale;
@@ -11,10 +13,16 @@ int main(int argc, char** argv) {
   std::printf("== Reproducing Table 6: CAAR/INCITE application results ==\n\n");
   const auto fm = machines::frontier();
   const auto sm = machines::summit();
-  auto ff = fm.build_fabric();
-  auto sf = sm.build_fabric();
-
-  const auto results = apps::run_rows(apps::table6_rows(), &ff, &sf);
+  // --quick (golden harness): the analytic communication fallback (null
+  // fabric) keeps the table format identical while skipping the full-machine
+  // flow solves.
+  std::optional<net::Fabric> ff, sf;
+  if (!obs::quick()) {
+    ff.emplace(fm.build_fabric());
+    sf.emplace(sm.build_fabric());
+  }
+  const auto results = apps::run_rows(apps::table6_rows(), ff ? &*ff : nullptr,
+                                      sf ? &*sf : nullptr);
 
   sim::Table t("CAAR/INCITE speedups over Summit");
   t.header({"Application", "Baseline", "Target", "Paper", "Model", "KPP met"});

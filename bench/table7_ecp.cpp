@@ -1,6 +1,8 @@
 // Table 7 — ECP application speedups vs pre-exascale baselines (KPP 50x).
 #include <cstdio>
 
+#include <optional>
+
 #include "core/xscale.hpp"
 
 using namespace xscale;
@@ -9,9 +11,12 @@ int main(int argc, char** argv) {
   xscale::obs::BenchObs obs(argc, argv);  // shared flags: --trace <file>, --metrics
   std::printf("== Reproducing Table 7: ECP application results ==\n\n");
   const auto fm = machines::frontier();
-  auto ff = fm.build_fabric();
+  // --quick (golden harness): analytic fallback, see table6_caar.cpp.
+  std::optional<net::Fabric> ff;
+  if (!obs::quick()) ff.emplace(fm.build_fabric());
 
-  const auto results = apps::run_rows(apps::table7_rows(), &ff, nullptr);
+  const auto results =
+      apps::run_rows(apps::table7_rows(), ff ? &*ff : nullptr, nullptr);
 
   sim::Table t("ECP speedups (KPP target 50x)");
   t.header({"Application", "Baseline", "Target", "Paper", "Model", "KPP met"});

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "sim/parallel.hpp"
+
 namespace xscale::apps {
 
 std::vector<SpeedupRow> table6_rows() {
@@ -31,27 +33,34 @@ std::vector<SpeedupResult> run_rows(const std::vector<SpeedupRow>& rows,
                                     const net::Fabric* frontier_fabric,
                                     const net::Fabric* summit_fabric) {
   const auto frontier = machines::frontier();
-  std::vector<SpeedupResult> out;
-  for (const auto& row : rows) {
-    SpeedupResult r;
-    r.row = row;
-    const auto baseline = machines::by_name(row.baseline_machine).value();
-    const net::Fabric* base_fabric =
-        row.baseline_machine == "Summit" ? summit_fabric : nullptr;
+  // Rows are independent (the shared fabrics are only read), so they run on
+  // the pool with indexed result writes — row order in the output never
+  // depends on the thread count.
+  std::vector<SpeedupResult> out(rows.size());
+  sim::parallel_for(rows.size(), 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      const SpeedupRow& row = rows[i];
+      SpeedupResult r;
+      r.row = row;
+      const auto baseline = machines::by_name(row.baseline_machine).value();
+      const net::Fabric* base_fabric =
+          row.baseline_machine == "Summit" ? summit_fabric : nullptr;
 
-    double harmonic_sum = 0;
-    for (const auto& spec : row.specs) {
-      const auto fr = run_app(spec, frontier, frontier_fabric, row.frontier_nodes);
-      const auto br = run_app(spec, baseline, base_fabric, row.baseline_nodes);
-      double s = fr.fom / br.fom;
-      if (row.per_gpu) s = (fr.fom / fr.gpus) / (br.fom / br.gpus);
-      harmonic_sum += 1.0 / s;
-      r.frontier_runs.push_back(fr);
-      r.baseline_runs.push_back(br);
+      double harmonic_sum = 0;
+      for (const auto& spec : row.specs) {
+        const auto fr =
+            run_app(spec, frontier, frontier_fabric, row.frontier_nodes);
+        const auto br = run_app(spec, baseline, base_fabric, row.baseline_nodes);
+        double s = fr.fom / br.fom;
+        if (row.per_gpu) s = (fr.fom / fr.gpus) / (br.fom / br.gpus);
+        harmonic_sum += 1.0 / s;
+        r.frontier_runs.push_back(fr);
+        r.baseline_runs.push_back(br);
+      }
+      r.speedup = static_cast<double>(row.specs.size()) / harmonic_sum;
+      out[i] = std::move(r);
     }
-    r.speedup = static_cast<double>(row.specs.size()) / harmonic_sum;
-    out.push_back(std::move(r));
-  }
+  });
   return out;
 }
 

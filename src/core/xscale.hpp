@@ -29,6 +29,7 @@
 #include "perf/host_stream.hpp"
 #include "perf/roofline.hpp"
 #include "power/power.hpp"
+#include "resil/jobsim.hpp"
 #include "resil/resiliency.hpp"
 #include "sched/slurm.hpp"
 #include "sim/engine.hpp"

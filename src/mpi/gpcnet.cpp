@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "net/patterns.hpp"
+#include "sim/parallel.hpp"
 #include "sim/stats.hpp"
 
 namespace xscale::mpi {
@@ -38,36 +39,56 @@ FlowSet build_flows(const machines::Machine& m, const GpcnetConfig& cfg,
 
   if (with_congestion) {
     // Four congestor cohorts: all-to-all (random permutation shifts), incast,
-    // one-sided incast, broadcast — the GPCNeT pattern mix.
+    // one-sided incast, broadcast — the GPCNeT pattern mix. Each cohort's
+    // flows are a pure function of the source index, so generation fans out
+    // over the pool with sim::parallel_emit; chunk-ordered concatenation
+    // keeps the flow list byte-identical to the serial loop at any thread
+    // count (the solve downstream is order-sensitive only in tie-breaking,
+    // so the order must not drift).
+    struct Rec {
+      int src, dst;
+    };
+    auto emit_all = [&](const std::vector<Rec>& recs) {
+      for (const Rec& r : recs) push(r.src, r.dst, w, congestor_cap);
+    };
     const std::size_t n = congestors.size();
     const std::size_t cohort = n / 4;
     // Cohort 0+1: permutation traffic among congestors (all-to-all phase).
-    for (std::size_t i = 0; i < 2 * cohort; ++i) {
-      const int a = congestors[i];
-      const int b = congestors[(i + 7 * cohort / 3 + 1) % (2 * cohort)];
-      if (a == b) continue;
-      for (int k = 0; k < nics; ++k)
-        push(machines::node_endpoint(m, a, k), machines::node_endpoint(m, b, k),
-             w, congestor_cap);
-    }
+    emit_all(sim::parallel_emit<Rec>(
+        2 * cohort, 512, [&](std::size_t i, std::vector<Rec>& out) {
+          const int a = congestors[i];
+          const int b = congestors[(i + 7 * cohort / 3 + 1) % (2 * cohort)];
+          if (a == b) return;
+          for (int k = 0; k < nics; ++k)
+            out.push_back({machines::node_endpoint(m, a, k),
+                           machines::node_endpoint(m, b, k)});
+        }));
     // Cohort 2: incast groups of 64 sources onto one target NIC.
-    for (std::size_t base = 2 * cohort; base + 65 <= 3 * cohort; base += 65) {
-      const int target = congestors[base];
-      for (int s = 1; s <= 64; ++s) {
-        const int src = congestors[base + static_cast<std::size_t>(s)];
-        push(machines::node_endpoint(m, src, s % nics),
-             machines::node_endpoint(m, target, 0), w, congestor_cap);
-      }
-    }
+    const std::size_t incast_groups = cohort >= 65 ? (cohort - 65) / 65 + 1 : 0;
+    emit_all(sim::parallel_emit<Rec>(
+        incast_groups, 8, [&](std::size_t g, std::vector<Rec>& out) {
+          const std::size_t base = 2 * cohort + g * 65;
+          const int target = congestors[base];
+          for (int s = 1; s <= 64; ++s) {
+            const int src = congestors[base + static_cast<std::size_t>(s)];
+            out.push_back({machines::node_endpoint(m, src, s % nics),
+                           machines::node_endpoint(m, target, 0)});
+          }
+        }));
     // Cohort 3: broadcasts, 1 root to 64 leaves.
-    for (std::size_t base = 3 * cohort; base + 65 <= n; base += 65) {
-      const int root = congestors[base];
-      for (int s = 1; s <= 64; ++s) {
-        const int dst = congestors[base + static_cast<std::size_t>(s)];
-        push(machines::node_endpoint(m, root, s % nics),
-             machines::node_endpoint(m, dst, s % nics), w, congestor_cap);
-      }
-    }
+    const std::size_t bcast_span = n - 3 * cohort;
+    const std::size_t bcast_groups =
+        bcast_span >= 65 ? (bcast_span - 65) / 65 + 1 : 0;
+    emit_all(sim::parallel_emit<Rec>(
+        bcast_groups, 8, [&](std::size_t g, std::vector<Rec>& out) {
+          const std::size_t base = 3 * cohort + g * 65;
+          const int root = congestors[base];
+          for (int s = 1; s <= 64; ++s) {
+            const int dst = congestors[base + static_cast<std::size_t>(s)];
+            out.push_back({machines::node_endpoint(m, root, s % nics),
+                           machines::node_endpoint(m, dst, s % nics)});
+          }
+        }));
   }
 
   fs.victim_begin = fs.pairs.size();

@@ -197,9 +197,9 @@ std::vector<double> Fabric::steady_rates(const std::vector<std::pair<int, int>>&
       capped_paths[f].push_back(static_cast<int>(cap.size()));
       cap.push_back(c);  // bounds the flow's total rate
     }
-    rates = max_min_rates(cap, capped_paths, weights);
+    rates = max_min_rates_components(cap, capped_paths, weights);
   } else {
-    rates = max_min_rates(eff_cap_, paths, weights);
+    rates = max_min_rates_components(eff_cap_, paths, weights);
   }
   if (!cfg_.congestion_control) apply_hol_blocking(paths, rates);
   if (paths_out) *paths_out = std::move(paths);

@@ -7,6 +7,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/parallel.hpp"
 
 namespace xscale::net {
 
@@ -206,11 +207,16 @@ void FlowSim::resolve_and_schedule() {
     solved.reserve(flows_.size());
     for (const auto& [id, f] : flows_) solved.push_back(id);
     std::sort(solved.begin(), solved.end());
-    std::vector<std::vector<int>> paths;
-    paths.reserve(solved.size());
-    for (auto id : solved) paths.push_back(flows_.at(id).path);
-    const auto rates = max_min_rates(fabric_.effective_capacities(), paths,
-                                     nullptr, &ss);
+    // Indexed parallel copy — pure reads of the flow table, disjoint writes.
+    std::vector<std::vector<int>> paths(solved.size());
+    sim::parallel_for(solved.size(), 256, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) paths[i] = flows_.at(solved[i]).path;
+    });
+    // Component-parallel solve; the union of per-component solutions is the
+    // global solution bit-for-bit (the incremental path's oracle tests pin
+    // this), and the decomposition itself is thread-count independent.
+    const auto rates = max_min_rates_components(fabric_.effective_capacities(),
+                                                paths, nullptr, &ss);
     for (std::size_t i = 0; i < solved.size(); ++i)
       set_rate(solved[i], flows_.at(solved[i]), rates[i]);
   } else if (!comp.empty()) {
@@ -232,7 +238,7 @@ void FlowSim::resolve_and_schedule() {
   {
     static obs::Counter& resolves = obs::metrics().counter("net.resolves");
     static obs::Counter& fulls = obs::metrics().counter("net.full_solves");
-    static sim::OnlineStats& comp_size =
+    static obs::ShardedStats& comp_size =
         obs::metrics().stats("net.solve_component_flows");
     static obs::Gauge& active = obs::metrics().gauge("net.active_flows");
     resolves.inc();

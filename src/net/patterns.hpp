@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/parallel.hpp"
 #include "sim/rng.hpp"
 
 namespace xscale::net {
@@ -11,11 +12,18 @@ namespace xscale::net {
 using PairList = std::vector<std::pair<int, int>>;
 
 // mpiGraph's schedule: at step `shift`, endpoint i sends to (i + shift) % n.
+// Filled in parallel with indexed writes — pair i depends only on i, so the
+// list is identical at any thread count.
 inline PairList shift_pattern(int n, int shift, int first = 0) {
-  PairList p;
-  p.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i)
-    p.emplace_back(first + i, first + (i + shift) % n);
+  if (n <= 0) return {};
+  PairList p(static_cast<std::size_t>(n));
+  sim::parallel_for(static_cast<std::size_t>(n), 4096,
+                    [&](std::size_t b, std::size_t e) {
+                      for (std::size_t i = b; i < e; ++i) {
+                        const int ii = static_cast<int>(i);
+                        p[i] = {first + ii, first + (ii + shift) % n};
+                      }
+                    });
   return p;
 }
 

@@ -4,18 +4,24 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <numeric>
 #include <stdexcept>
+#include <unordered_map>
+
+#include "sim/parallel.hpp"
 
 namespace xscale::net {
+namespace {
 
-std::vector<double> max_min_rates(const std::vector<double>& capacities,
-                                  const std::vector<std::vector<int>>& paths,
-                                  const std::vector<double>* weights,
-                                  SolveStats* stats) {
-  const std::size_t nf = paths.size();
-  std::vector<double> rate(nf, 0.0);
-  if (nf == 0) return rate;
+// Below this many active links the serial min-scan wins; above it the scan
+// is farmed out in fixed 2048-link chunks (min over doubles is exact and
+// order-independent, so the parallel reduce returns the same bits).
+constexpr std::size_t kParallelScanThreshold = 4096;
+constexpr std::size_t kScanGrain = 2048;
 
+void validate(const std::vector<double>& capacities,
+              const std::vector<std::vector<int>>& paths,
+              const std::vector<double>* weights) {
   // Malformed inputs must not silently become garbage rates (NaN capacities
   // survive the share arithmetic as 0 via std::max, and with -DNDEBUG the old
   // bare assert vanished entirely). These checks hold in release builds.
@@ -23,12 +29,21 @@ std::vector<double> max_min_rates(const std::vector<double>& capacities,
     if (!std::isfinite(c) || c < 0.0)
       throw std::invalid_argument("max_min_rates: capacities must be finite and >= 0");
   if (weights) {
-    if (weights->size() != nf)
+    if (weights->size() != paths.size())
       throw std::invalid_argument("max_min_rates: weights/paths size mismatch");
     for (double w : *weights)
       if (!std::isfinite(w) || w < 0.0)
         throw std::invalid_argument("max_min_rates: weights must be finite and >= 0");
   }
+}
+
+// Water-filling core; inputs already validated.
+std::vector<double> solve_core(const std::vector<double>& capacities,
+                               const std::vector<std::vector<int>>& paths,
+                               const std::vector<double>* weights,
+                               SolveStats* stats) {
+  const std::size_t nf = paths.size();
+  std::vector<double> rate(nf, 0.0);
 
   // Per-link: residual capacity, total unfrozen weight, flows crossing it.
   std::vector<double> residual = capacities;
@@ -49,18 +64,30 @@ std::vector<double> max_min_rates(const std::vector<double>& capacities,
     }
   }
 
+  const double inf = std::numeric_limits<double>::infinity();
+  auto scan_min = [&](std::size_t b, std::size_t e) {
+    double m = inf;
+    for (std::size_t i = b; i < e; ++i) {
+      const auto lu = static_cast<std::size_t>(active_links[i]);
+      if (active_w[lu] <= 0.0) continue;
+      m = std::min(m, std::max(0.0, residual[lu]) / active_w[lu]);
+    }
+    return m;
+  };
+
   std::size_t remaining = nf;
   int iterations = 0;
   int bottlenecks = 0;
   while (remaining > 0) {
     ++iterations;
     // Find the smallest per-weight share among links with unfrozen flows.
-    double min_share = std::numeric_limits<double>::infinity();
-    for (int l : active_links) {
-      const auto lu = static_cast<std::size_t>(l);
-      if (active_w[lu] <= 0.0) continue;
-      min_share = std::min(min_share, std::max(0.0, residual[lu]) / active_w[lu]);
-    }
+    // min is exact for doubles, so chunked parallel scan == serial scan.
+    const double min_share =
+        active_links.size() >= kParallelScanThreshold
+            ? sim::parallel_reduce(
+                  active_links.size(), kScanGrain, inf, scan_min,
+                  [](double a, double b) { return std::min(a, b); })
+            : scan_min(0, active_links.size());
     // No link constrains the remaining flows (e.g. every unfrozen flow has
     // weight 0, so its links never activate): there is no finite max-min
     // allocation. Throwing beats the former `assert`, which disappeared under
@@ -99,6 +126,121 @@ std::vector<double> max_min_rates(const std::vector<double>& capacities,
   if (stats) {
     stats->iterations = iterations;
     stats->bottleneck_links = bottlenecks;
+  }
+  return rate;
+}
+
+// Union-find over link ids, path-halving.
+struct LinkDsu {
+  std::vector<int> parent;
+  explicit LinkDsu(std::size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  int find(int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+  void unite(int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent[static_cast<std::size_t>(b)] = a;
+  }
+};
+
+}  // namespace
+
+std::vector<double> max_min_rates(const std::vector<double>& capacities,
+                                  const std::vector<std::vector<int>>& paths,
+                                  const std::vector<double>* weights,
+                                  SolveStats* stats) {
+  if (paths.empty()) {
+    if (stats) *stats = SolveStats{};
+    return {};
+  }
+  validate(capacities, paths, weights);
+  return solve_core(capacities, paths, weights, stats);
+}
+
+std::vector<double> max_min_rates_components(
+    const std::vector<double>& capacities,
+    const std::vector<std::vector<int>>& paths,
+    const std::vector<double>* weights, SolveStats* stats) {
+  const std::size_t nf = paths.size();
+  if (nf == 0) {
+    if (stats) *stats = SolveStats{};
+    return {};
+  }
+  validate(capacities, paths, weights);
+
+  // Link-connectivity union-find; two flows are coupled iff their paths
+  // transitively share a link.
+  LinkDsu dsu(capacities.size());
+  for (const auto& p : paths) {
+    assert(!p.empty());
+    for (std::size_t i = 1; i < p.size(); ++i) dsu.unite(p[0], p[i]);
+  }
+
+  // Dense component ids in first-flow order — deterministic regardless of
+  // thread count; each component's flow list is ascending by construction.
+  std::vector<int> comp_of_root(capacities.size(), -1);
+  std::vector<std::vector<int>> comp_flows;
+  for (std::size_t f = 0; f < nf; ++f) {
+    const int root = dsu.find(paths[f][0]);
+    int& c = comp_of_root[static_cast<std::size_t>(root)];
+    if (c < 0) {
+      c = static_cast<int>(comp_flows.size());
+      comp_flows.emplace_back();
+    }
+    comp_flows[static_cast<std::size_t>(c)].push_back(static_cast<int>(f));
+  }
+
+  const std::size_t nc = comp_flows.size();
+  if (nc == 1) return solve_core(capacities, paths, weights, stats);
+
+  std::vector<double> rate(nf, 0.0);
+  std::vector<SolveStats> comp_stats(nc);
+  sim::parallel_for(nc, 1, [&](std::size_t cb, std::size_t ce) {
+    for (std::size_t c = cb; c < ce; ++c) {
+      const std::vector<int>& flows = comp_flows[c];
+      // Compact subproblem: links renumbered in first-encounter order (the
+      // same order the global solve would visit them, so the per-link
+      // arithmetic sequence — and hence every output bit — matches).
+      std::unordered_map<int, int> link_id;
+      std::vector<double> sub_caps;
+      std::vector<std::vector<int>> sub_paths;
+      std::vector<double> sub_w;
+      sub_paths.reserve(flows.size());
+      if (weights) sub_w.reserve(flows.size());
+      for (int f : flows) {
+        const auto fu = static_cast<std::size_t>(f);
+        std::vector<int> sp;
+        sp.reserve(paths[fu].size());
+        for (int l : paths[fu]) {
+          auto [it, fresh] =
+              link_id.try_emplace(l, static_cast<int>(sub_caps.size()));
+          if (fresh) sub_caps.push_back(capacities[static_cast<std::size_t>(l)]);
+          sp.push_back(it->second);
+        }
+        sub_paths.push_back(std::move(sp));
+        if (weights) sub_w.push_back((*weights)[fu]);
+      }
+      const std::vector<double> sub_rate = solve_core(
+          sub_caps, sub_paths, weights ? &sub_w : nullptr, &comp_stats[c]);
+      for (std::size_t i = 0; i < flows.size(); ++i)
+        rate[static_cast<std::size_t>(flows[i])] = sub_rate[i];
+    }
+  });
+
+  if (stats) {
+    *stats = SolveStats{};
+    for (const SolveStats& cs : comp_stats) {
+      stats->iterations += cs.iterations;
+      stats->bottleneck_links += cs.bottleneck_links;
+    }
   }
   return rate;
 }

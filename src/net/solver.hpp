@@ -27,4 +27,21 @@ std::vector<double> max_min_rates(const std::vector<double>& capacities,
                                   const std::vector<double>* weights = nullptr,
                                   SolveStats* stats = nullptr);
 
+// Same allocation, computed by decomposing the flow graph into connected
+// components (flows transitively sharing links) and solving each component
+// independently on the global thread pool (sim::parallel_for). Components
+// never exchange bandwidth, so the union of per-component solutions equals
+// the global solution — the incremental FlowSim re-solve has relied on that
+// bit-for-bit since PR 1. Determinism: component ids are assigned in
+// first-flow order, rates are written to index-disjoint slots, and `stats`
+// are summed in ascending component id — output is byte-identical for any
+// thread count, including 1. `stats->iterations` counts the per-component
+// total, which can exceed the single-solve count (ties across unrelated
+// components no longer collapse into one global iteration).
+std::vector<double> max_min_rates_components(
+    const std::vector<double>& capacities,
+    const std::vector<std::vector<int>>& paths,
+    const std::vector<double>* weights = nullptr,
+    SolveStats* stats = nullptr);
+
 }  // namespace xscale::net

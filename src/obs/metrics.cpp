@@ -23,23 +23,27 @@ void MetricsRegistry::check_unique(const std::string& name,
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(m_);
   check_unique(name, Kind::Counter);
   return counters_[name];
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(m_);
   check_unique(name, Kind::Gauge);
   return gauges_[name];
 }
 
-sim::OnlineStats& MetricsRegistry::stats(const std::string& name) {
+ShardedStats& MetricsRegistry::stats(const std::string& name) {
+  std::lock_guard<std::mutex> lk(m_);
   check_unique(name, Kind::Stats);
   return stats_[name];
 }
 
 std::vector<MetricsRegistry::Entry> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lk(m_);
   std::vector<Entry> out;
-  out.reserve(instrument_count());
+  out.reserve(counters_.size() + gauges_.size() + stats_.size());
   for (const auto& [name, c] : counters_) {
     Entry e;
     e.name = name;
@@ -56,14 +60,15 @@ std::vector<MetricsRegistry::Entry> MetricsRegistry::snapshot() const {
     out.push_back(std::move(e));
   }
   for (const auto& [name, s] : stats_) {
+    const sim::OnlineStats m = s.merged();
     Entry e;
     e.name = name;
     e.kind = Kind::Stats;
-    e.value = s.mean();
-    e.count = s.count();
-    e.min = s.min();
-    e.max = s.max();
-    e.stddev = s.stddev();
+    e.value = m.mean();
+    e.count = m.count();
+    e.min = m.min();
+    e.max = m.max();
+    e.stddev = m.stddev();
     out.push_back(std::move(e));
   }
   // The three maps are each sorted; merge into one name-sorted view.
@@ -153,9 +158,10 @@ std::string MetricsRegistry::dump_json() const {
 }
 
 void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lk(m_);
   for (auto& [name, c] : counters_) c.reset();
   for (auto& [name, g] : gauges_) g.reset();
-  for (auto& [name, s] : stats_) s = sim::OnlineStats{};
+  for (auto& [name, s] : stats_) s.reset();
 }
 
 }  // namespace xscale::obs

@@ -14,15 +14,27 @@
 // Metrics never feed back into simulation decisions — they are purely
 // observational, like the tracer.
 //
+// Thread safety (DESIGN.md §7): every instrument may be hit from pool
+// workers. Counters and gauges are atomics; distributions are sharded per
+// thread ordinal and merged on snapshot; registry lookups take the registry
+// mutex (cold path — probes cache their reference). Snapshot values are
+// independent of which worker recorded what only when recording itself is
+// deterministic — the deterministic hot paths record from the merge points
+// on the calling thread, so their snapshots are byte-identical at any thread
+// count.
+//
 // Naming convention: dotted `subsystem.metric` (e.g. `sched.idle_nodes`),
 // which keeps the name-sorted snapshot grouped by subsystem.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "obs/shard.hpp"
 #include "sim/stats.hpp"
 
 namespace xscale::obs {
@@ -30,24 +42,69 @@ namespace xscale::obs {
 // Monotonically increasing event count.
 class Counter {
  public:
-  void inc(std::uint64_t by = 1) { v_ += by; }
-  std::uint64_t value() const { return v_; }
-  void reset() { v_ = 0; }
+  void inc(std::uint64_t by = 1) { v_.fetch_add(by, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::uint64_t v_ = 0;
+  std::atomic<std::uint64_t> v_{0};
 };
 
 // Last-written level (queue depth, idle nodes, ...).
 class Gauge {
  public:
-  void set(double v) { v_ = v; }
-  void add(double by) { v_ += by; }
-  double value() const { return v_; }
-  void reset() { v_ = 0; }
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double by) { v_.fetch_add(by, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
 
  private:
-  double v_ = 0;
+  std::atomic<double> v_{0};
+};
+
+// An OnlineStats distribution that tolerates concurrent writers: each thread
+// adds into its own shard (per-shard mutex — threads sharing an ordinal
+// modulo kShards stay safe) and readers merge the shards in fixed shard
+// order. A distribution recorded by one thread lives entirely in one shard,
+// so `merged()` returns the sequential accumulator bit-for-bit.
+class ShardedStats {
+ public:
+  static constexpr int kShards = 16;
+
+  void add(double x) {
+    Shard& sh = shards_[thread_ordinal() % kShards];
+    std::lock_guard<std::mutex> lk(sh.m);
+    sh.s.add(x);
+  }
+
+  sim::OnlineStats merged() const {
+    sim::OnlineStats out;
+    for (const Shard& sh : shards_) {
+      std::lock_guard<std::mutex> lk(sh.m);
+      out.merge(sh.s);
+    }
+    return out;
+  }
+
+  std::size_t count() const { return merged().count(); }
+  double mean() const { return merged().mean(); }
+  double stddev() const { return merged().stddev(); }
+  double min() const { return merged().min(); }
+  double max() const { return merged().max(); }
+
+  void reset() {
+    for (Shard& sh : shards_) {
+      std::lock_guard<std::mutex> lk(sh.m);
+      sh.s.reset();
+    }
+  }
+
+ private:
+  struct alignas(64) Shard {
+    mutable std::mutex m;
+    sim::OnlineStats s;
+  };
+  Shard shards_[kShards];
 };
 
 class MetricsRegistry {
@@ -71,7 +128,7 @@ class MetricsRegistry {
   // sharing a name across kinds is a bug worth failing loudly on).
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
-  sim::OnlineStats& stats(const std::string& name);
+  ShardedStats& stats(const std::string& name);
 
   // Flat, name-sorted view of every registered instrument.
   std::vector<Entry> snapshot() const;
@@ -84,6 +141,7 @@ class MetricsRegistry {
   void reset();
 
   std::size_t instrument_count() const {
+    std::lock_guard<std::mutex> lk(m_);
     return counters_.size() + gauges_.size() + stats_.size();
   }
 
@@ -91,9 +149,12 @@ class MetricsRegistry {
   void check_unique(const std::string& name, Kind requested) const;
 
   // std::map: stable references and name-sorted iteration for free.
+  // m_ guards the maps themselves; instrument values have their own
+  // synchronization.
+  mutable std::mutex m_;
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
-  std::map<std::string, sim::OnlineStats> stats_;
+  std::map<std::string, ShardedStats> stats_;
 };
 
 inline MetricsRegistry& metrics() { return MetricsRegistry::instance(); }

@@ -1,12 +1,30 @@
 #include "obs/options.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/parallel.hpp"
 
 namespace xscale::obs {
+
+namespace {
+bool g_quick = false;
+
+void apply_threads(const char* s) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end != s && *end == '\0' && v >= 1) {
+    sim::set_thread_count(static_cast<int>(v));
+  } else {
+    std::fprintf(stderr, "--threads: ignoring invalid value '%s'\n", s);
+  }
+}
+}  // namespace
+
+bool quick() { return g_quick; }
 
 BenchObs::BenchObs(int& argc, char** argv) {
   int out = 1;
@@ -18,6 +36,13 @@ BenchObs::BenchObs(int& argc, char** argv) {
       trace_path_ = arg + 8;
     } else if (std::strcmp(arg, "--metrics") == 0) {
       metrics_ = true;
+    } else if (std::strcmp(arg, "--quick") == 0) {
+      quick_ = true;
+      g_quick = true;
+    } else if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
+      apply_threads(argv[++i]);
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      apply_threads(arg + 10);
     } else {
       argv[out++] = argv[i];
     }

@@ -5,6 +5,12 @@
 //                                     trace_event JSON to <file> at exit
 //   --metrics                         print the metrics registry (text) to
 //                                     stdout at exit
+//   --quick                           downscaled run for the golden-output
+//                                     regression harness (benches consult
+//                                     obs::quick(); same tables, smaller
+//                                     inputs)
+//   --threads <n> | --threads=<n>     set the sim::ThreadPool size for this
+//                                     run (overrides XSCALE_THREADS)
 //
 // Usage — first line of main(), before any other argv consumer:
 //
@@ -36,10 +42,17 @@ class BenchObs {
   bool tracing() const { return !trace_path_.empty(); }
   const std::string& trace_path() const { return trace_path_; }
   bool metrics_requested() const { return metrics_; }
+  bool quick() const { return quick_; }
 
  private:
   std::string trace_path_;
   bool metrics_ = false;
+  bool quick_ = false;
 };
+
+// True when the current bench was started with --quick (set by BenchObs);
+// benches consult this to shrink node counts / trial counts while keeping
+// the output format identical for the golden diff.
+bool quick();
 
 }  // namespace xscale::obs

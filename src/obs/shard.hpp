@@ -1,0 +1,20 @@
+// Thread → shard assignment shared by the sharded obs:: instruments.
+#pragma once
+
+#include <atomic>
+
+namespace xscale::obs {
+
+// Stable small ordinal for the calling thread: 0 for the first thread that
+// ever asks (the main thread, in practice — pool workers only reach obs::
+// code from inside a region), then 1, 2, ... in first-use order. Sharded
+// instruments key their shard choice on this so a single-threaded run puts
+// everything in shard 0 and merge-on-snapshot reproduces the unsharded
+// result bit-for-bit.
+inline int thread_ordinal() {
+  static std::atomic<int> next{0};
+  thread_local const int ord = next.fetch_add(1, std::memory_order_relaxed);
+  return ord;
+}
+
+}  // namespace xscale::obs

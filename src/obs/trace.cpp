@@ -15,32 +15,72 @@ Tracer& Tracer::instance() {
 
 void Tracer::enable(std::size_t capacity) {
   if (capacity == 0) capacity = 1;
-  if (ring_.size() != capacity) {
-    ring_.assign(capacity, Event{});
-    head_ = 0;
-    recorded_ = 0;
+  owner_ordinal_ = thread_ordinal();
+  if (shards_[0].ring.size() != capacity) {
+    const std::size_t worker_cap = std::max<std::size_t>(capacity / kShards, 1);
+    for (std::size_t i = 0; i < kShards; ++i) {
+      Shard& sh = shards_[i];
+      std::lock_guard<std::mutex> lk(sh.m);
+      sh.ring.assign(i == 0 ? capacity : worker_cap, Event{});
+      sh.head = 0;
+      sh.recorded = 0;
+    }
   }
-  enabled_ = true;
+  enabled_.store(true, std::memory_order_relaxed);
 }
 
 void Tracer::clear() {
-  head_ = 0;
-  recorded_ = 0;
+  for (Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lk(sh.m);
+    sh.head = 0;
+    sh.recorded = 0;
+  }
 }
 
 std::size_t Tracer::size() const {
-  return std::min<std::uint64_t>(recorded_, ring_.size());
+  std::size_t n = 0;
+  for (const Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lk(sh.m);
+    n += shard_size(sh);
+  }
+  return n;
 }
 
-const Tracer::Event& Tracer::at(std::size_t i) const {
-  // Oldest held event sits at head_ once the ring has wrapped, else at 0.
-  const std::size_t base = recorded_ > ring_.size() ? head_ : 0;
-  return ring_[(base + i) % ring_.size()];
+std::size_t Tracer::capacity() const {
+  std::size_t n = 0;
+  for (const Shard& sh : shards_) n += sh.ring.size();
+  return n;
+}
+
+std::uint64_t Tracer::recorded() const {
+  std::uint64_t n = 0;
+  for (const Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lk(sh.m);
+    n += sh.recorded;
+  }
+  return n;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::uint64_t n = 0;
+  for (const Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lk(sh.m);
+    if (sh.recorded > sh.ring.size()) n += sh.recorded - sh.ring.size();
+  }
+  return n;
 }
 
 void Tracer::record(const char* cat, const char* name, double ts, double dur,
                     std::initializer_list<Arg> args) {
-  Event& e = ring_[head_];
+  const int ord = thread_ordinal();
+  const std::size_t idx =
+      ord == owner_ordinal_
+          ? 0
+          : 1 + static_cast<std::size_t>(ord) % (kShards - 1);
+  Shard& sh = shards_[idx];
+  std::lock_guard<std::mutex> lk(sh.m);
+  if (sh.ring.empty()) return;  // enable() never ran; nothing to write into
+  Event& e = sh.ring[sh.head];
   e.cat = cat;
   e.name = name;
   e.ts = ts;
@@ -50,8 +90,8 @@ void Tracer::record(const char* cat, const char* name, double ts, double dur,
     if (e.nargs == kMaxArgs) break;
     e.args[e.nargs++] = a;
   }
-  head_ = (head_ + 1) % ring_.size();
-  ++recorded_;
+  sh.head = (sh.head + 1) % sh.ring.size();
+  ++sh.recorded;
 }
 
 namespace {

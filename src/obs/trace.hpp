@@ -1,7 +1,7 @@
 // Structured tracing in *simulated* time.
 //
 // The tracer records typed events — spans `{ts, dur, category, name, args}`
-// and zero-duration instants — into a preallocated ring buffer and exports
+// and zero-duration instants — into preallocated ring buffers and exports
 // them as Chrome `trace_event` JSON, loadable in chrome://tracing and
 // Perfetto. Timestamps are simulated seconds (written as microseconds, the
 // trace_event convention), so a dumped run replays as a timeline of what the
@@ -9,26 +9,40 @@
 // scheduler went idle, which collective phase straggled.
 //
 // Cost contract (see DESIGN.md §6):
-//   * disabled (the default): every probe is an inlined `enabled_` load and
-//     a predicted-not-taken branch — no allocation, no formatting, no store.
-//   * enabled: one bounded-size struct store into a preallocated ring; when
-//     the ring wraps, the oldest events are overwritten (`dropped()` counts
-//     them) rather than growing memory under multi-million-event runs.
+//   * disabled (the default): every probe is an inlined relaxed-atomic load
+//     and a predicted-not-taken branch — no allocation, no formatting, no
+//     store.
+//   * enabled: one bounded-size struct store into a preallocated per-shard
+//     ring under that shard's (uncontended, in the deterministic paths)
+//     mutex; when a ring wraps, its oldest events are overwritten
+//     (`dropped()` counts them) rather than growing memory under
+//     multi-million-event runs.
+//
+// Thread safety (DESIGN.md §7): probes may fire from pool workers. Each
+// thread records into the shard picked by its `obs::thread_ordinal()`; the
+// thread that called `enable()` owns shard 0, which holds the full requested
+// capacity. Exports visit shards in fixed shard order, oldest-first within a
+// shard — a run that records only from the enabling thread (every
+// deterministic hot path does) therefore exports byte-identically to the
+// pre-sharding single-ring tracer, at any thread count.
 //
 // Tracing is purely observational: probes never read tracer state back into
 // simulation decisions, so enabling it cannot change any simulated result
 // (tests/test_obs.cpp asserts bit-identical runs either way).
 //
-// The tracer is process-global (`obs::tracer()`) and single-threaded, like
-// the engine it observes. Category/name/arg-key strings must outlive the
-// tracer — pass string literals.
+// The tracer is process-global (`obs::tracer()`). Category/name/arg-key
+// strings must outlive the tracer — pass string literals.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <initializer_list>
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <vector>
+
+#include "obs/shard.hpp"
 
 namespace xscale::obs {
 
@@ -42,6 +56,7 @@ struct Arg {
 class Tracer {
  public:
   static constexpr std::size_t kMaxArgs = 4;
+  static constexpr std::size_t kShards = 8;
 
   struct Event {
     const char* cat = nullptr;
@@ -55,10 +70,12 @@ class Tracer {
   // The process-wide tracer every probe reports to.
   static Tracer& instance();
 
-  // Preallocates the ring (default ~256k events) and starts recording.
+  // Preallocates the rings (default ~256k events in the caller's shard) and
+  // starts recording. The calling thread claims shard 0; other threads share
+  // the remaining shards, each sized capacity / kShards (min 1).
   void enable(std::size_t capacity = std::size_t{1} << 18);
-  void disable() { enabled_ = false; }
-  bool enabled() const { return enabled_; }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   // Record a span covering [ts, ts+dur] of simulated time. Inlined disabled
   // check: when tracing is off this is a load and a branch. Negative or
@@ -66,33 +83,37 @@ class Tracer {
   // internal instant marker).
   void span(const char* cat, const char* name, double ts, double dur,
             std::initializer_list<Arg> args = {}) {
-    if (!enabled_) return;
+    if (!enabled()) return;
     record(cat, name, ts, dur >= 0 ? dur : 0, args);
   }
 
   // Record a point-in-time event.
   void instant(const char* cat, const char* name, double ts,
                std::initializer_list<Arg> args = {}) {
-    if (!enabled_) return;
+    if (!enabled()) return;
     record(cat, name, ts, -1.0, args);
   }
 
-  // Events currently held (<= capacity) / ever recorded / overwritten.
+  // Events currently held (<= capacity) / ever recorded / overwritten,
+  // summed across shards.
   std::size_t size() const;
-  std::size_t capacity() const { return ring_.size(); }
-  std::uint64_t recorded() const { return recorded_; }
-  std::uint64_t dropped() const {
-    return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
-  }
+  std::size_t capacity() const;
+  std::uint64_t recorded() const;
+  std::uint64_t dropped() const;
 
-  // Drop all recorded events (keeps the ring allocation and enabled state).
+  // Drop all recorded events (keeps the ring allocations and enabled state).
   void clear();
 
-  // Visit held events oldest-first (tests and custom exporters).
+  // Visit held events in shard order, oldest-first within each shard (tests
+  // and custom exporters). With a single recording thread this is exactly
+  // oldest-first overall.
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    const std::size_t n = size();
-    for (std::size_t i = 0; i < n; ++i) fn(at(i));
+    for (const Shard& sh : shards_) {
+      std::lock_guard<std::mutex> lk(sh.m);
+      const std::size_t n = shard_size(sh);
+      for (std::size_t i = 0; i < n; ++i) fn(shard_at(sh, i));
+    }
   }
 
   // Chrome trace_event JSON: {"traceEvents":[...]} with "X" (span) and "i"
@@ -102,14 +123,28 @@ class Tracer {
   bool write_json_file(const std::string& path) const;
 
  private:
+  struct Shard {
+    mutable std::mutex m;
+    std::vector<Event> ring;
+    std::size_t head = 0;  // next write slot
+    std::uint64_t recorded = 0;
+  };
+
   void record(const char* cat, const char* name, double ts, double dur,
               std::initializer_list<Arg> args);
-  const Event& at(std::size_t i) const;  // i-th oldest held event
+  static std::size_t shard_size(const Shard& sh) {
+    return sh.recorded < sh.ring.size() ? static_cast<std::size_t>(sh.recorded)
+                                        : sh.ring.size();
+  }
+  // i-th oldest held event of a shard (caller holds the shard mutex).
+  static const Event& shard_at(const Shard& sh, std::size_t i) {
+    const std::size_t base = sh.recorded > sh.ring.size() ? sh.head : 0;
+    return sh.ring[(base + i) % sh.ring.size()];
+  }
 
-  bool enabled_ = false;
-  std::vector<Event> ring_;
-  std::size_t head_ = 0;  // next write slot
-  std::uint64_t recorded_ = 0;
+  std::atomic<bool> enabled_{false};
+  int owner_ordinal_ = 0;  // thread_ordinal() of the enable() caller
+  Shard shards_[kShards];
 };
 
 inline Tracer& tracer() { return Tracer::instance(); }

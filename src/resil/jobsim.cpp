@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/parallel.hpp"
 #include "sim/stats.hpp"
 
 namespace xscale::resil {
@@ -47,12 +48,22 @@ JobSimResult replay_job(const ResiliencyModel& model, sim::Rng& rng,
 JobSimSummary replay_jobs(const ResiliencyModel& model, std::uint64_t seed,
                           int trials, JobSimConfig cfg) {
   JobSimSummary s;
+  // Trials are independent by construction — each one draws from its own
+  // counter-based stream keyed by (seed, trial) — so they shard across the
+  // pool with indexed result writes and a trial-order merge below. The
+  // summary is bit-identical for any thread count.
+  std::vector<JobSimResult> results(
+      trials > 0 ? static_cast<std::size_t>(trials) : 0);
+  sim::parallel_for(results.size(), 16, [&](std::size_t b, std::size_t e) {
+    for (std::size_t t = b; t < e; ++t) {
+      sim::Rng rng(sim::splitmix64(seed ^ static_cast<std::uint64_t>(t)));
+      results[t] = replay_job(model, rng, cfg);
+    }
+  });
   sim::SampleSet eff;
   double wall = 0, lost = 0;
   int fails = 0, ckpts = 0;
-  for (int t = 0; t < trials; ++t) {
-    sim::Rng rng(sim::splitmix64(seed ^ static_cast<std::uint64_t>(t)));
-    const auto r = replay_job(model, rng, cfg);
+  for (const JobSimResult& r : results) {
     eff.add(r.efficiency);
     wall += r.wall_hours;
     lost += r.lost_work_hours;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/parallel.hpp"
+
 namespace xscale::resil {
 
 std::vector<ComponentClass> frontier_census() {
@@ -55,6 +57,25 @@ std::vector<double> ResiliencyModel::sample_intervals(int n, sim::Rng& rng) cons
   std::vector<double> out;
   out.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) out.push_back(rng.exponential(rate));
+  return out;
+}
+
+std::vector<double> ResiliencyModel::sample_intervals_sharded(
+    int n, std::uint64_t seed, int shard) const {
+  if (n <= 0) return {};
+  if (shard <= 0) shard = 1;
+  const double rate = interrupts_per_hour();
+  std::vector<double> out(static_cast<std::size_t>(n));
+  // Shard boundaries depend on (n, shard) only; each shard owns its own
+  // counter-based stream, so sample i is the same double no matter which
+  // worker draws it.
+  sim::parallel_for(
+      out.size(), static_cast<std::size_t>(shard),
+      [&](std::size_t b, std::size_t e) {
+        sim::Rng rng(sim::splitmix64(
+            seed ^ sim::splitmix64(b / static_cast<std::size_t>(shard))));
+        for (std::size_t i = b; i < e; ++i) out[i] = rng.exponential(rate);
+      });
   return out;
 }
 

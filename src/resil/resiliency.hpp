@@ -54,6 +54,16 @@ class ResiliencyModel {
   // Exponential superposition across classes; returns hours.
   std::vector<double> sample_intervals(int n, sim::Rng& rng) const;
 
+  // Same distribution, sharded across the thread pool: samples are drawn in
+  // fixed shards of `shard` draws, each from its own counter-based stream
+  // `Rng(splitmix64(seed ^ splitmix64(shard_index)))`, and written to
+  // index-disjoint slots — the returned vector is bit-identical for any
+  // XSCALE_THREADS, including 1. Note the streams differ from the single
+  // `sample_intervals(n, rng)` sequence by construction; what is invariant
+  // is the (seed, shard) -> samples mapping.
+  std::vector<double> sample_intervals_sharded(int n, std::uint64_t seed,
+                                               int shard = 4096) const;
+
   // Young/Daly: optimal checkpoint interval (s) given checkpoint write time
   // `delta_s`, and the resulting application efficiency.
   double optimal_checkpoint_interval_s(double delta_s) const;

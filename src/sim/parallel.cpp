@@ -1,0 +1,167 @@
+#include "sim/parallel.hpp"
+
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace xscale::sim {
+namespace {
+
+// Set while a thread is executing chunks of some region; reentrant
+// for_chunks calls from such a thread run inline instead of deadlocking on
+// the pool (the outer region's workers are busy).
+thread_local bool in_region = false;
+
+// Saves/restores in_region so a nested inline region doesn't clear the flag
+// while its enclosing region is still running on this thread (which would
+// let the *next* nested call publish a fresh region on the pool and clobber
+// the outer region's cursor). Restoring in the destructor also keeps the
+// flag correct when fn throws out of the inline path.
+struct RegionFlag {
+  bool prev;
+  RegionFlag() : prev(in_region) { in_region = true; }
+  ~RegionFlag() { in_region = prev; }
+};
+
+int env_thread_count() {
+  if (const char* env = std::getenv("XSCALE_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 1024)
+      return static_cast<int>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+int g_override = 0;  // 0 = no programmatic override
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) : threads_(threads < 1 ? 1 : threads) {
+  workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int i = 1; i < threads_; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_chunks(
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  for (;;) {
+    const std::size_t b = cursor_.fetch_add(grain_, std::memory_order_relaxed);
+    if (b >= n_) return;
+    const std::size_t e = b + grain_ < n_ ? b + grain_ : n_;
+    try {
+      fn(b, e);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(m_);
+      if (!error_) error_ = std::current_exception();
+      // Keep draining chunks so the region still covers [0, n); the caller
+      // rethrows after the barrier.
+    }
+  }
+}
+
+void ThreadPool::worker_loop(int /*slot*/) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      cv_.wait(lk, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      fn = fn_;
+    }
+    {
+      RegionFlag flag;
+      run_chunks(*fn);
+    }
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      --workers_in_region_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::for_chunks(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+
+  // Inline paths: single-threaded pool, nested region, or a region so small
+  // that waking workers costs more than the work. Chunk boundaries stay
+  // identical either way — only who runs them changes.
+  if (threads_ == 1 || in_region || n <= grain) {
+    RegionFlag flag;
+    for (std::size_t b = 0; b < n; b += grain) {
+      const std::size_t e = b + grain < n ? b + grain : n;
+      fn(b, e);  // exceptions propagate directly
+    }
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    fn_ = &fn;
+    n_ = n;
+    grain_ = grain;
+    cursor_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    workers_in_region_ = static_cast<int>(workers_.size());
+    ++epoch_;
+  }
+  cv_.notify_all();
+
+  {
+    RegionFlag flag;
+    run_chunks(fn);
+  }
+
+  std::unique_lock<std::mutex> lk(m_);
+  done_cv_.wait(lk, [&] { return workers_in_region_ == 0; });
+  fn_ = nullptr;
+  if (error_) {
+    auto err = error_;
+    error_ = nullptr;
+    lk.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+int thread_count() { return g_override > 0 ? g_override : env_thread_count(); }
+
+namespace {
+std::unique_ptr<ThreadPool>& pool_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+}  // namespace
+
+void set_thread_count(int n) {
+  if (n < 1) throw std::invalid_argument("set_thread_count: n must be >= 1");
+  g_override = n;
+  auto& slot = pool_slot();
+  if (slot && slot->threads() != n) slot.reset();
+}
+
+ThreadPool& global_pool() {
+  auto& slot = pool_slot();
+  const int want = thread_count();
+  if (!slot || slot->threads() != want)
+    slot = std::make_unique<ThreadPool>(want);
+  return *slot;
+}
+
+}  // namespace xscale::sim

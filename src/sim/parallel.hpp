@@ -1,0 +1,147 @@
+// Deterministic parallel execution layer.
+//
+// xscale's simulations must produce byte-identical tables, histograms, and
+// metrics snapshots at any thread count (DESIGN.md §7) — a sweep run on a
+// 64-core node has to reproduce the single-core reference exactly, or the
+// differential tests that gate every solver change lose their oracle. The
+// primitives here are therefore *structured*: work is split into chunks whose
+// boundaries depend only on the problem size and an explicit grain, never on
+// the thread count or on which worker ran what, and every merge the caller
+// performs is in chunk-index order.
+//
+//   * `ThreadPool` — a small fork-join pool. Workers pull fixed-size chunks
+//     off a shared atomic cursor (load balancing), the caller participates,
+//     and the region ends when every chunk has run. Exceptions propagate to
+//     the caller (first thrown wins). Nested regions from a worker thread run
+//     inline on that worker — no deadlock, same results.
+//   * `parallel_for(n, grain, fn)` — fn(begin, end) over disjoint chunks
+//     covering [0, n). Writes to index-disjoint slots need no synchronization
+//     and are bit-deterministic by construction.
+//   * `parallel_reduce(n, grain, map, combine)` — maps fixed chunks to
+//     partial values, then combines them **in ascending chunk order** on the
+//     caller. Identical chunk boundaries + ordered combine = bit-identical
+//     results for any thread count, even for non-associative floating-point
+//     reductions.
+//
+// Thread count resolution: `XSCALE_THREADS` env var if set (>= 1), else the
+// hardware concurrency; `set_thread_count()` overrides programmatically (the
+// determinism sweep tests run the same workload at 1/2/8 threads in one
+// process). A pool of size 1 executes everything inline on the caller.
+//
+// Determinism contract for RNG-bearing work: shard the stream by *task index*
+// — `rng.substream(i)` or `Rng(splitmix64(seed ^ i))` — never by thread id,
+// so sample i is the same number regardless of which worker draws it.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xscale::sim {
+
+class ThreadPool {
+ public:
+  // `threads` counts the caller: a pool of N runs regions on N-1 workers plus
+  // the calling thread. threads <= 1 means fully inline execution.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const { return threads_; }
+
+  // Run fn(begin, end) over chunks of `grain` indices covering [0, n).
+  // Chunk boundaries are (k*grain, min(n, (k+1)*grain)) — independent of the
+  // thread count. Blocks until every chunk has run; rethrows the first
+  // exception any chunk threw. Reentrant calls from inside a region run
+  // inline on the calling worker.
+  void for_chunks(std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop(int slot);
+  void run_chunks(const std::function<void(std::size_t, std::size_t)>& fn);
+
+  const int threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex m_;
+  std::condition_variable cv_;       // workers wait for a region
+  std::condition_variable done_cv_;  // caller waits for workers to finish
+  std::uint64_t epoch_ = 0;          // bumped to publish a region
+  bool shutdown_ = false;
+  int workers_in_region_ = 0;  // workers that have not yet finished the region
+
+  // Current region (valid while workers_in_region_ > 0).
+  const std::function<void(std::size_t, std::size_t)>* fn_ = nullptr;
+  std::size_t n_ = 0;
+  std::size_t grain_ = 1;
+  std::atomic<std::size_t> cursor_{0};
+  std::exception_ptr error_;  // first exception, guarded by m_
+};
+
+// Thread count configured for this process: the programmatic override if
+// set_thread_count() was called, else XSCALE_THREADS (clamped to >= 1), else
+// std::thread::hardware_concurrency().
+int thread_count();
+
+// Override the thread count (tests, bench --threads). Takes effect on the
+// next global_pool() access; must not be called while a region is running.
+void set_thread_count(int n);
+
+// Process-wide pool, built lazily at the configured thread count and rebuilt
+// when set_thread_count() changes it.
+ThreadPool& global_pool();
+
+// fn(begin, end) over fixed chunks of [0, n) on the global pool.
+inline void parallel_for(std::size_t n, std::size_t grain,
+                         const std::function<void(std::size_t, std::size_t)>& fn) {
+  global_pool().for_chunks(n, grain, fn);
+}
+
+// Ordered reduction: partial results per fixed chunk, combined in ascending
+// chunk order on the caller. `map` is T(begin, end); `combine` is
+// T(T acc, T partial). Bit-deterministic for any thread count.
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(std::size_t n, std::size_t grain, T init, Map&& map,
+                  Combine&& combine) {
+  if (n == 0) return init;
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = (n + grain - 1) / grain;
+  std::vector<T> partial(chunks);
+  parallel_for(n, grain, [&](std::size_t b, std::size_t e) {
+    partial[b / grain] = map(b, e);
+  });
+  T acc = std::move(init);
+  for (auto& p : partial) acc = combine(std::move(acc), std::move(p));
+  return acc;
+}
+
+// Ordered emit: each index appends a variable number of items to a per-chunk
+// buffer; buffers are concatenated in chunk order. The parallel analogue of
+//   for (i in [0,n)) fn(i, out);
+// with byte-identical output for any thread count.
+template <typename T, typename Fn>
+std::vector<T> parallel_emit(std::size_t n, std::size_t grain, Fn&& fn) {
+  return parallel_reduce<std::vector<T>>(
+      n, grain, {},
+      [&](std::size_t b, std::size_t e) {
+        std::vector<T> local;
+        for (std::size_t i = b; i < e; ++i) fn(i, local);
+        return local;
+      },
+      [](std::vector<T> acc, std::vector<T> part) {
+        if (acc.empty()) return part;
+        acc.insert(acc.end(), std::make_move_iterator(part.begin()),
+                   std::make_move_iterator(part.end()));
+        return acc;
+      });
+}
+
+}  // namespace xscale::sim

@@ -25,6 +25,29 @@ class OnlineStats {
     max_ = std::max(max_, x);
   }
 
+  // Fold another accumulator in (Chan's parallel Welford update). Merging an
+  // empty accumulator is an exact no-op and merging *into* an empty one is an
+  // exact copy, so per-shard stats that only ever saw one writer reproduce
+  // the sequential bits (the determinism contract in DESIGN.md §7 relies on
+  // this).
+  void merge(const OnlineStats& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(o.n_);
+    const double d = o.mean_ - mean_;
+    mean_ += d * (nb / (na + nb));
+    m2_ += o.m2_ + d * d * (na * nb / (na + nb));
+    n_ += o.n_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+
+  void reset() { *this = OnlineStats{}; }
+
   std::size_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
   double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }

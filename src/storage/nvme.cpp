@@ -26,7 +26,7 @@ double NodeLocalNvme::io_time(double bytes, double block_size, bool read,
   obs::tracer().span("storage", read ? "nvme_read" : "nvme_write", 0.0, t,
                      {{"bytes", bytes}, {"block", block_size}});
   static obs::Counter& reqs = obs::metrics().counter("storage.nvme_requests");
-  static sim::OnlineStats& times = obs::metrics().stats("storage.nvme_io_time_s");
+  static obs::ShardedStats& times = obs::metrics().stats("storage.nvme_io_time_s");
   reqs.inc();
   times.add(t);
   return t;

@@ -121,7 +121,7 @@ double Orion::campaign_time(double total_bytes, double file_size, int client_nod
                       {"clients", static_cast<double>(client_nodes)},
                       {"bw", bw}});
   static obs::Counter& campaigns = obs::metrics().counter("storage.orion_campaigns");
-  static sim::OnlineStats& bws = obs::metrics().stats("storage.orion_campaign_bw");
+  static obs::ShardedStats& bws = obs::metrics().stats("storage.orion_campaign_bw");
   campaigns.inc();
   if (bw > 0) bws.add(bw);
   return t;

@@ -1,0 +1,214 @@
+// Golden-output regression checker (ISSUE 4 satellite).
+//
+// Runs a bench binary, captures stdout, and diffs it against a recorded
+// golden file with per-field numeric tolerance: both texts are normalized
+// into a non-numeric "skeleton" plus an ordered list of parsed numbers; the
+// skeletons must match exactly and each number pair must satisfy
+//   |a - b| <= atol + rtol * max(|a|, |b|).
+// That makes the harness robust to last-digit float-formatting jitter while
+// still catching any structural or numeric drift in the reproduced tables.
+//
+// Usage:
+//   golden_check <bench-binary> <golden-file> [--rtol X] [--atol Y]
+//                [--update] [-- <bench args...>]
+//
+// --update rewrites the golden file from the current output instead of
+// diffing (used by scripts/update_goldens.sh). Exit codes: 0 match,
+// 1 mismatch, 2 usage/run error.
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Normalized {
+  std::string skeleton;          // text with every number replaced by '\x01'
+  std::vector<double> numbers;   // parsed values, in order of appearance
+};
+
+bool starts_number(const std::string& s, std::size_t i) {
+  const char c = s[i];
+  if (std::isdigit(static_cast<unsigned char>(c))) return true;
+  if ((c == '+' || c == '-' || c == '.') && i + 1 < s.size())
+    return std::isdigit(static_cast<unsigned char>(s[i + 1])) ||
+           (c != '.' && s[i + 1] == '.' && i + 2 < s.size() &&
+            std::isdigit(static_cast<unsigned char>(s[i + 2])));
+  return false;
+}
+
+Normalized normalize(const std::string& text) {
+  Normalized n;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (starts_number(text, i)) {
+      const char* begin = text.c_str() + i;
+      char* end = nullptr;
+      const double v = std::strtod(begin, &end);
+      if (end != begin) {
+        n.numbers.push_back(v);
+        n.skeleton.push_back('\x01');
+        i += static_cast<std::size_t>(end - begin);
+        continue;
+      }
+    }
+    n.skeleton.push_back(text[i]);
+    ++i;
+  }
+  return n;
+}
+
+// Line/column of the k-th placeholder (or character mismatch) for messages.
+std::string context_at(const std::string& skeleton, std::size_t pos) {
+  std::size_t line = 1, start = 0;
+  for (std::size_t i = 0; i < pos && i < skeleton.size(); ++i) {
+    if (skeleton[i] == '\n') {
+      ++line;
+      start = i + 1;
+    }
+  }
+  std::size_t stop = skeleton.find('\n', start);
+  if (stop == std::string::npos) stop = skeleton.size();
+  std::string snippet = skeleton.substr(start, stop - start);
+  for (char& c : snippet)
+    if (c == '\x01') c = '#';
+  return "line " + std::to_string(line) + ": " + snippet;
+}
+
+std::string run_capture(const std::string& cmd) {
+  FILE* p = popen(cmd.c_str(), "r");
+  if (!p) {
+    std::fprintf(stderr, "golden_check: cannot run: %s\n", cmd.c_str());
+    std::exit(2);
+  }
+  std::string out;
+  char buf[4096];
+  std::size_t got;
+  while ((got = fread(buf, 1, sizeof buf, p)) > 0) out.append(buf, got);
+  const int rc = pclose(p);
+  if (rc != 0) {
+    std::fprintf(stderr, "golden_check: command exited with status %d: %s\n",
+                 rc, cmd.c_str());
+    std::exit(2);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: golden_check <bench-binary> <golden-file> "
+                 "[--rtol X] [--atol Y] [--update] [-- <bench args...>]\n");
+    return 2;
+  }
+  const std::string binary = argv[1];
+  const std::string golden_path = argv[2];
+  double rtol = 1e-6, atol = 1e-9;
+  bool update = false;
+  std::string bench_args;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rtol") == 0 && i + 1 < argc) {
+      rtol = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--atol") == 0 && i + 1 < argc) {
+      atol = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--update") == 0) {
+      update = true;
+    } else if (std::strcmp(argv[i], "--") == 0) {
+      for (int j = i + 1; j < argc; ++j) {
+        bench_args += ' ';
+        bench_args += argv[j];
+      }
+      break;
+    } else {
+      std::fprintf(stderr, "golden_check: unknown option %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  // stderr is deliberately not captured: trace/metrics notes and warnings
+  // don't participate in the golden contract.
+  const std::string actual =
+      run_capture("'" + binary + "'" + bench_args + " 2>/dev/null");
+
+  if (update) {
+    std::ofstream out(golden_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "golden_check: cannot write %s\n", golden_path.c_str());
+      return 2;
+    }
+    out << actual;
+    std::fprintf(stderr, "golden_check: wrote %zu bytes to %s\n", actual.size(),
+                 golden_path.c_str());
+    return 0;
+  }
+
+  std::ifstream in(golden_path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr,
+                 "golden_check: missing golden file %s\n"
+                 "  (run scripts/update_goldens.sh to record it)\n",
+                 golden_path.c_str());
+    return 2;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string expected = ss.str();
+
+  const Normalized a = normalize(actual);
+  const Normalized e = normalize(expected);
+
+  if (a.skeleton != e.skeleton) {
+    std::size_t pos = 0;
+    const std::size_t n = std::min(a.skeleton.size(), e.skeleton.size());
+    while (pos < n && a.skeleton[pos] == e.skeleton[pos]) ++pos;
+    std::fprintf(stderr,
+                 "golden_check: FAIL %s — output structure diverges from "
+                 "golden\n  expected %s\n  actual   %s\n",
+                 binary.c_str(), context_at(e.skeleton, pos).c_str(),
+                 context_at(a.skeleton, pos).c_str());
+    return 1;
+  }
+  if (a.numbers.size() != e.numbers.size()) {
+    std::fprintf(stderr,
+                 "golden_check: FAIL %s — %zu numbers vs %zu in golden\n",
+                 binary.c_str(), a.numbers.size(), e.numbers.size());
+    return 1;
+  }
+
+  int failures = 0;
+  std::size_t placeholder = 0, pos = 0;
+  for (std::size_t k = 0; k < a.numbers.size(); ++k) {
+    // Advance to the k-th placeholder for error context.
+    while (pos < e.skeleton.size() && placeholder <= k) {
+      if (e.skeleton[pos] == '\x01') ++placeholder;
+      ++pos;
+    }
+    const double x = a.numbers[k], y = e.numbers[k];
+    const double tol = atol + rtol * std::max(std::fabs(x), std::fabs(y));
+    if (!(std::fabs(x - y) <= tol)) {
+      if (failures < 10) {
+        std::fprintf(stderr,
+                     "golden_check: field %zu: actual %.17g vs golden %.17g "
+                     "(tol %.3g)\n  %s\n",
+                     k, x, y, tol, context_at(e.skeleton, pos - 1).c_str());
+      }
+      ++failures;
+    }
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "golden_check: FAIL %s — %d numeric field(s) out of "
+                 "tolerance (rtol %.3g atol %.3g)\n",
+                 binary.c_str(), failures, rtol, atol);
+    return 1;
+  }
+  std::printf("golden_check: OK %s (%zu numeric fields, rtol %.3g)\n",
+              binary.c_str(), a.numbers.size(), rtol);
+  return 0;
+}

@@ -212,10 +212,10 @@ TEST(Metrics, CounterGaugeStatsRoundTrip) {
   auto& reg = obs::MetricsRegistry::instance();
   obs::Counter& c = reg.counter("test.counter");
   obs::Gauge& g = reg.gauge("test.gauge");
-  sim::OnlineStats& s = reg.stats("test.stats");
+  obs::ShardedStats& s = reg.stats("test.stats");
   c.reset();
   g.reset();
-  s = sim::OnlineStats{};
+  s.reset();
   c.inc();
   c.inc(4);
   g.set(2.5);

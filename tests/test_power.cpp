@@ -1,0 +1,85 @@
+// Power model tests: node/system composition, the paper's §5.1 headline
+// (1.102 EF at ~21.1 MW -> ~52 GF/W), and the 2008-report straw-man
+// comparison (ISSUE 4 satellite).
+#include <gtest/gtest.h>
+
+#include "power/power.hpp"
+
+using namespace xscale;
+
+TEST(Power, NodePowerComposesPerComponentDraw) {
+  power::NodePowerModel node;
+  // At zero activity every component sits at its idle draw (note
+  // idle_activity() keeps a small residual duty cycle, so use exact zero).
+  power::Activity zero;
+  zero.gpu = zero.cpu = zero.memory = zero.nic = 0.0;
+  const double expect_idle =
+      node.cpu_idle + node.gpu_modules * node.gpu_module_idle +
+      node.dimms * node.dimm_idle + node.nics * node.nic_idle +
+      node.node_overhead;
+  EXPECT_NEAR(node.node_power(zero), expect_idle, 1e-6);
+
+  power::Activity full;
+  full.gpu = full.cpu = full.memory = full.nic = 1.0;
+  const double expect_full =
+      node.cpu_peak + node.gpu_modules * node.gpu_module_peak +
+      node.dimms * node.dimm_peak + node.nics * node.nic_peak +
+      node.node_overhead;
+  EXPECT_NEAR(node.node_power(full), expect_full, 1e-6);
+  EXPECT_GT(node.node_power(full), node.node_power(zero));
+}
+
+TEST(Power, WorkloadOrderingIdleStreamHpl) {
+  power::SystemPowerModel sys;
+  const double p_idle = sys.system_power(power::idle_activity());
+  const double p_stream = sys.system_power(power::stream_activity());
+  const double p_hpl = sys.system_power(power::hpl_activity());
+  EXPECT_LT(p_idle, p_stream);
+  EXPECT_LT(p_stream, p_hpl);
+  // Facility overhead and storage mean even idle is megawatts.
+  EXPECT_GT(p_idle, 1e6);
+}
+
+TEST(Power, HplLandsAtPaperHeadline) {
+  // §5.1: HPL at 1.102 EF drew ~21.1 MW -> 52.2 GF/W (Green500 #1). The
+  // calibrated model must land within ~3% of both.
+  power::SystemPowerModel sys;
+  const double hpl_mw = sys.system_power(power::hpl_activity()) / 1e6;
+  EXPECT_NEAR(hpl_mw, 21.1, 0.03 * 21.1);
+
+  const auto g = power::frontier_green500();
+  EXPECT_DOUBLE_EQ(g.rmax_flops, 1.102e18);
+  EXPECT_NEAR(g.power_w / 1e6, 21.1, 0.03 * 21.1);
+  EXPECT_NEAR(g.gf_per_watt, 52.0, 0.03 * 52.0);
+  // Beats the 2008 report's 50 GF/W target.
+  EXPECT_GT(g.gf_per_watt, 50.0);
+}
+
+TEST(Power, GflopsPerWattIsConsistentWithSystemPower) {
+  power::SystemPowerModel sys;
+  const auto a = power::hpl_activity();
+  const double p = sys.system_power(a);
+  EXPECT_DOUBLE_EQ(sys.gflops_per_watt(1.102e18, a), 1.102e18 / 1e9 / p);
+}
+
+TEST(Power, StrawmanComparisonMeetsSpiritOfTwentyMwTarget) {
+  const auto c = power::strawman_comparison();
+  EXPECT_DOUBLE_EQ(c.report_low_mw_per_ef, 68);
+  EXPECT_DOUBLE_EQ(c.report_high_mw_per_ef, 155);
+  EXPECT_DOUBLE_EQ(c.report_target_mw_per_ef, 20);
+  // Frontier achieved ~19.3 MW/EF(Rmax): at least 3.5x better than the
+  // best straw man and under the 20 MW target the paper says it meets in
+  // spirit.
+  EXPECT_NEAR(c.frontier_mw_per_ef, 19.3, 0.03 * 19.3);
+  EXPECT_LT(c.frontier_mw_per_ef, c.report_target_mw_per_ef);
+  EXPECT_GT(c.report_low_mw_per_ef / c.frontier_mw_per_ef, 3.4);
+}
+
+TEST(Power, CoolingOverheadScalesSystemPower) {
+  power::SystemPowerModel warm;  // PUE ~1.02 (warm-water cooling)
+  power::SystemPowerModel chilled = warm;
+  chilled.cooling_overhead = 0.30;  // conventional chilled-water PUE ~1.3
+  const auto a = power::hpl_activity();
+  EXPECT_NEAR(chilled.system_power(a),
+              warm.system_power(a) * 1.30 / 1.02, 1e-3 * warm.system_power(a));
+}

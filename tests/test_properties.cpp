@@ -7,6 +7,7 @@
 
 #include "apps/catalog.hpp"
 #include "core/xscale.hpp"
+#include "sim/parallel.hpp"
 
 namespace {
 
@@ -58,6 +59,18 @@ TEST_P(SolverProperty, MaxMinInvariantsHold) {
         saturated = true;
     EXPECT_TRUE(saturated) << "flow " << f;
   }
+
+  // 4. The component-parallel solver satisfies the same invariants and is
+  //    bit-identical to the global serial solve at every thread count.
+  const int prev_threads = sim::thread_count();
+  for (int threads : {1, 2, 8}) {
+    sim::set_thread_count(threads);
+    const auto rc = net::max_min_rates_components(cap, paths);
+    ASSERT_EQ(rc.size(), r.size());
+    for (std::size_t f = 0; f < r.size(); ++f)
+      EXPECT_EQ(rc[f], r[f]) << "flow " << f << " at threads=" << threads;
+  }
+  sim::set_thread_count(prev_threads);
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, SolverProperty,

@@ -1,0 +1,143 @@
+// Resiliency model tests: FIT/MTTI census math, contributor ordering,
+// Young/Daly optimum, and the Monte Carlo replay paths — serial and sharded
+// (ISSUE 4 satellite).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "resil/jobsim.hpp"
+#include "resil/resiliency.hpp"
+#include "sim/rng.hpp"
+
+using namespace xscale;
+
+TEST(Resiliency, InterruptRateIsSumOfCensusRates) {
+  resil::ResiliencyModel model;
+  double expect = 0;
+  for (const auto& c : model.census())
+    expect += c.count * c.fit * 1e-9 * c.interrupt_fraction;
+  EXPECT_DOUBLE_EQ(model.interrupts_per_hour(), expect);
+  EXPECT_DOUBLE_EQ(model.mtti_hours(), 1.0 / expect);
+}
+
+TEST(Resiliency, MttiLandsInPaperFewHoursBand) {
+  // §5.4: "not much better than the projected four-hour target" — the
+  // calibrated census must land MTTI in a few-hours band, not minutes or
+  // days.
+  resil::ResiliencyModel model;
+  EXPECT_GT(model.mtti_hours(), 2.0);
+  EXPECT_LT(model.mtti_hours(), 10.0);
+}
+
+TEST(Resiliency, HbmAndPowerSuppliesLeadTheBreakdown) {
+  // §5.4 names HBM uncorrectable errors and power supplies as the leading
+  // hardware contributors; the lumped software class aside, they must top
+  // the sorted breakdown.
+  resil::ResiliencyModel model;
+  auto b = model.breakdown();
+  ASSERT_GE(b.size(), 3u);
+  // Sorted descending.
+  for (std::size_t i = 1; i < b.size(); ++i)
+    EXPECT_GE(b[i - 1].second, b[i].second);
+  std::vector<std::string> hw_order;
+  for (const auto& [name, rate] : b)
+    if (name != "Software/other") hw_order.push_back(name);
+  ASSERT_GE(hw_order.size(), 2u);
+  EXPECT_EQ(hw_order[0], "HBM2e stack");
+  EXPECT_EQ(hw_order[1], "Power supply");
+}
+
+TEST(Resiliency, YoungDalyOptimumMatchesClosedForm) {
+  resil::ResiliencyModel model;
+  const double mtti_s = model.mtti_hours() * 3600.0;
+  for (double delta : {30.0, 180.0, 600.0}) {
+    const double tau = model.optimal_checkpoint_interval_s(delta);
+    EXPECT_DOUBLE_EQ(tau, std::sqrt(2.0 * delta * mtti_s));
+    const double eff = model.checkpoint_efficiency(delta);
+    EXPECT_DOUBLE_EQ(eff, std::max(0.0, 1.0 - delta / tau - tau / (2 * mtti_s)));
+    EXPECT_GT(eff, 0.0);
+    EXPECT_LT(eff, 1.0);
+  }
+  // Longer checkpoint writes can only hurt efficiency.
+  EXPECT_GT(model.checkpoint_efficiency(30.0),
+            model.checkpoint_efficiency(180.0));
+  EXPECT_GT(model.checkpoint_efficiency(180.0),
+            model.checkpoint_efficiency(600.0));
+}
+
+TEST(Resiliency, BetterFitRatesImproveMtti) {
+  auto census = resil::frontier_census();
+  for (auto& c : census) c.fit /= 2.0;
+  resil::ResiliencyModel base, improved(census);
+  EXPECT_NEAR(improved.mtti_hours(), 2.0 * base.mtti_hours(),
+              1e-9 * base.mtti_hours());
+  EXPECT_GT(improved.checkpoint_efficiency(180.0),
+            base.checkpoint_efficiency(180.0));
+}
+
+TEST(Resiliency, SampledIntervalsMatchCensusRate) {
+  // Mean of exponential inter-arrivals must approach 1/rate (law of large
+  // numbers; 200k draws keeps the sampling error well under 2%).
+  resil::ResiliencyModel model;
+  const auto xs = model.sample_intervals_sharded(200000, 0xC0FFEE);
+  const double mean = std::accumulate(xs.begin(), xs.end(), 0.0) /
+                      static_cast<double>(xs.size());
+  EXPECT_NEAR(mean, model.mtti_hours(), 0.02 * model.mtti_hours());
+  for (double x : xs) EXPECT_GT(x, 0.0);
+}
+
+TEST(Resiliency, ShardedSamplingIsDeterministicInSeedAndN) {
+  resil::ResiliencyModel model;
+  const auto a = model.sample_intervals_sharded(10000, 42);
+  const auto b = model.sample_intervals_sharded(10000, 42);
+  EXPECT_EQ(a, b);
+  // A prefix of a longer run is identical: sample i depends only on
+  // (seed, i / shard, i % shard), never on n.
+  const auto longer = model.sample_intervals_sharded(20000, 42);
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), longer.begin()));
+  // Different seeds give different streams.
+  const auto c = model.sample_intervals_sharded(10000, 43);
+  EXPECT_NE(a, c);
+}
+
+TEST(Resiliency, ReplayJobAccountsWorkAndLostTime) {
+  resil::ResiliencyModel model;
+  resil::JobSimConfig cfg;
+  cfg.work_hours = 12.0;
+  sim::Rng rng(7);
+  const auto r = resil::replay_job(model, rng, cfg);
+  EXPECT_GE(r.wall_hours, cfg.work_hours);
+  EXPECT_GE(r.failures, 0);
+  EXPECT_GE(r.lost_work_hours, 0.0);
+  EXPECT_NEAR(r.efficiency, cfg.work_hours / r.wall_hours, 1e-12);
+}
+
+TEST(Resiliency, ReplayJobsSummaryIsConsistent) {
+  resil::ResiliencyModel model;
+  resil::JobSimConfig cfg;
+  cfg.work_hours = 6.0;
+  const auto s = resil::replay_jobs(model, 0xABCD, 400, cfg);
+  EXPECT_GT(s.mean.efficiency, 0.0);
+  EXPECT_LE(s.mean.efficiency, 1.0);
+  EXPECT_LE(s.efficiency_p5, s.efficiency_p95);
+  EXPECT_GE(s.mean.wall_hours, cfg.work_hours);
+  // Monte Carlo mean should track the Young/Daly expectation loosely —
+  // same model, first-order formula, so within a 10-point band.
+  const double yd = model.checkpoint_efficiency(cfg.checkpoint_write_s);
+  EXPECT_NEAR(s.mean.efficiency, yd, 0.10);
+}
+
+TEST(Resiliency, ReplayJobsIsDeterministicInSeed) {
+  resil::ResiliencyModel model;
+  resil::JobSimConfig cfg;
+  cfg.work_hours = 6.0;
+  const auto a = resil::replay_jobs(model, 99, 100, cfg);
+  const auto b = resil::replay_jobs(model, 99, 100, cfg);
+  EXPECT_EQ(a.mean.wall_hours, b.mean.wall_hours);
+  EXPECT_EQ(a.mean.efficiency, b.mean.efficiency);
+  EXPECT_EQ(a.mean.failures, b.mean.failures);
+  EXPECT_EQ(a.efficiency_p5, b.efficiency_p5);
+  EXPECT_EQ(a.efficiency_p95, b.efficiency_p95);
+}

@@ -1,10 +1,80 @@
 #include "net/fabric.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
+#include <mutex>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace xscale::net {
+
+namespace {
+
+obs::Counter& route_cache_hit() {
+  static obs::Counter& c = obs::metrics().counter("net.route_cache.hit");
+  return c;
+}
+
+obs::Counter& route_cache_miss() {
+  static obs::Counter& c = obs::metrics().counter("net.route_cache.miss");
+  return c;
+}
+
+// SplitMix64 finalizer: spreads the (src<<32 | dst) key over the
+// direct-mapped table so shift patterns don't alias into one stripe.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+// Two-level minimal-route memo (DESIGN.md §8).
+//
+// Level 1: dense switch-pair table. One entry per ordered (sa, sb) pair,
+// filled lazily under std::call_once (a throwing computation — no live
+// inter-group route — leaves the flag unset, so the next caller retries and
+// observes the same throw). The switch segment of a minimal path is at most
+// 5 links (worst case, failure detour: local hop to gateway, global,
+// intra-detour-group local, global, local hop from gateway). Only built when
+// the pair count is small enough to commit the table up front; the full
+// Frontier fabric (~2,450 switches) skips it and relies on level 2.
+//
+// Level 2: direct-mapped endpoint-pair table, key (src<<32)|dst, holding the
+// complete path (<= 7 links: injection + segment + ejection). Collisions
+// overwrite — it is a cache, not a map. Entries are guarded by sharded
+// mutexes (slot -> shard) so concurrent steady_rates callers can probe and
+// fill without a global lock.
+struct Fabric::RouteCache {
+  static constexpr std::uint64_t kEmptyKey = ~0ULL;
+  static constexpr std::size_t kMaxDenseSwitchPairs = std::size_t{1} << 19;
+  static constexpr std::size_t kShards = 64;
+
+  struct SwSeg {
+    std::once_flag once;
+    int n = 0;
+    int links[5];
+  };
+
+  struct EpEntry {
+    std::uint64_t key = kEmptyKey;
+    int n = 0;
+    int links[8];
+  };
+
+  int num_switches = 0;
+  std::unique_ptr<SwSeg[]> sw;  // num_switches^2 entries; null when gated off
+
+  std::uint64_t ep_mask = 0;
+  std::vector<EpEntry> ep;
+  std::array<std::mutex, kShards> mu;
+};
 
 const char* to_string(Routing r) {
   switch (r) {
@@ -24,61 +94,158 @@ Fabric::Fabric(topo::Topology topology, FabricConfig cfg)
                           l.kind == topo::LinkKind::Ejection;
     eff_cap_.push_back(terminal ? l.capacity * cfg_.nic_efficiency : l.capacity);
   }
+  reset_route_cache();
 }
 
-std::vector<int> Fabric::minimal_path(int src_ep, int dst_ep) const {
+Fabric::~Fabric() = default;
+Fabric::Fabric(Fabric&&) noexcept = default;
+Fabric& Fabric::operator=(Fabric&&) noexcept = default;
+
+void Fabric::reset_route_cache() {
+  if (!cfg_.route_cache) {
+    cache_.reset();
+    return;
+  }
+  auto rc = std::make_unique<RouteCache>();
+  rc->num_switches = topo_.num_switches();
+  const std::size_t nsw = static_cast<std::size_t>(rc->num_switches);
+  if (nsw * nsw <= RouteCache::kMaxDenseSwitchPairs)
+    rc->sw = std::make_unique<RouteCache::SwSeg[]>(nsw * nsw);
+  // Endpoint-pair slots: ~8 per endpoint, power of two, bounded so a
+  // Frontier-scale fabric commits a few tens of MB at most.
+  std::size_t want = static_cast<std::size_t>(topo_.num_endpoints()) * 8;
+  want = std::clamp<std::size_t>(want, std::size_t{1} << 12, std::size_t{1} << 20);
+  std::size_t slots = 1;
+  while (slots < want) slots <<= 1;
+  rc->ep_mask = slots - 1;
+  rc->ep.resize(slots);
+  cache_ = std::move(rc);
+}
+
+int Fabric::compute_switch_segment(int sa, int sb, int* out) const {
+  assert(sa != sb);
+  if (topo_.is_fat_tree()) {
+    const int core = topo_.num_switches() - 1;
+    out[0] = topo_.switch_link(sa, core);
+    out[1] = topo_.switch_link(core, sb);
+    return 2;
+  }
+  const int ga = topo_.group_of_switch(sa);
+  const int gb = topo_.group_of_switch(sb);
+  if (ga == gb) {
+    out[0] = topo_.switch_link(sa, sb);
+    return 1;
+  }
+  const int gl = topo_.global_link(ga, gb);
+  if (gl < 0) throw std::runtime_error("groups not connected");
+  if (failed_[static_cast<std::size_t>(gl)]) {
+    // Fabric-manager reroute: the direct bundle is down; take the
+    // first live one-intermediate-group detour (deterministic sweep).
+    for (int gi = 0; gi < topo_.num_groups(); ++gi) {
+      if (gi == ga || gi == gb) continue;
+      const int l1 = topo_.global_link(ga, gi);
+      const int l2 = topo_.global_link(gi, gb);
+      if (l1 < 0 || l2 < 0) continue;
+      if (failed_[static_cast<std::size_t>(l1)] ||
+          failed_[static_cast<std::size_t>(l2)])
+        continue;
+      int n = 0;
+      const int gw_a = topo_.gateway_switch(ga, gi);
+      if (sa != gw_a) out[n++] = topo_.switch_link(sa, gw_a);
+      out[n++] = l1;
+      const int in_i = topo_.gateway_switch(gi, ga);
+      const int out_i = topo_.gateway_switch(gi, gb);
+      if (in_i != out_i) out[n++] = topo_.switch_link(in_i, out_i);
+      out[n++] = l2;
+      const int gw_b = topo_.gateway_switch(gb, gi);
+      if (gw_b != sb) out[n++] = topo_.switch_link(gw_b, sb);
+      return n;
+    }
+    throw std::runtime_error("no live route between groups");
+  }
+  int n = 0;
+  const int gwa = topo_.gateway_switch(ga, gb);
+  const int gwb = topo_.gateway_switch(gb, ga);
+  if (sa != gwa) out[n++] = topo_.switch_link(sa, gwa);
+  out[n++] = gl;
+  if (gwb != sb) out[n++] = topo_.switch_link(gwb, sb);
+  return n;
+}
+
+void Fabric::append_switch_segment(int sa, int sb, std::vector<int>& out) const {
+  int seg[5];
+  const int n = compute_switch_segment(sa, sb, seg);
+  out.insert(out.end(), seg, seg + n);
+}
+
+void Fabric::minimal_path_fresh(int src_ep, int dst_ep,
+                                std::vector<int>& out) const {
   assert(src_ep != dst_ep);
-  std::vector<int> path;
-  path.push_back(topo_.injection_link(src_ep));
+  out.push_back(topo_.injection_link(src_ep));
+  const int sa = topo_.endpoint_switch(src_ep);
+  const int sb = topo_.endpoint_switch(dst_ep);
+  if (sa != sb) append_switch_segment(sa, sb, out);
+  out.push_back(topo_.ejection_link(dst_ep));
+}
+
+void Fabric::minimal_path_into(int src_ep, int dst_ep,
+                               std::vector<int>& out) const {
+  out.clear();
+  RouteCache* rc = cache_.get();
+  if (rc == nullptr) {
+    minimal_path_fresh(src_ep, dst_ep, out);
+    return;
+  }
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src_ep)) << 32) |
+      static_cast<std::uint32_t>(dst_ep);
+  const std::size_t slot = static_cast<std::size_t>(mix64(key) & rc->ep_mask);
+  RouteCache::EpEntry& e = rc->ep[slot];
+  std::mutex& mu = rc->mu[slot & (RouteCache::kShards - 1)];
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    if (e.key == key) {
+      out.assign(e.links, e.links + e.n);
+      route_cache_hit().inc();
+      return;
+    }
+  }
+  // Assemble into a stack buffer, serving the switch segment from the dense
+  // table when available. compute_switch_segment may throw ("no live route");
+  // nothing is cached in that case.
+  assert(src_ep != dst_ep);
+  int buf[8];
+  int n = 0;
+  buf[n++] = topo_.injection_link(src_ep);
   const int sa = topo_.endpoint_switch(src_ep);
   const int sb = topo_.endpoint_switch(dst_ep);
   if (sa != sb) {
-    if (topo_.is_fat_tree()) {
-      const int core = topo_.num_switches() - 1;
-      path.push_back(topo_.switch_link(sa, core));
-      path.push_back(topo_.switch_link(core, sb));
+    if (rc->sw != nullptr) {
+      RouteCache::SwSeg& seg =
+          rc->sw[static_cast<std::size_t>(sa) *
+                     static_cast<std::size_t>(rc->num_switches) +
+                 static_cast<std::size_t>(sb)];
+      std::call_once(seg.once,
+                     [&] { seg.n = compute_switch_segment(sa, sb, seg.links); });
+      for (int i = 0; i < seg.n; ++i) buf[n++] = seg.links[i];
     } else {
-      const int ga = topo_.group_of_switch(sa);
-      const int gb = topo_.group_of_switch(sb);
-      if (ga == gb) {
-        path.push_back(topo_.switch_link(sa, sb));
-      } else {
-        const int gl = topo_.global_link(ga, gb);
-        if (gl < 0) throw std::runtime_error("groups not connected");
-        if (failed_[static_cast<std::size_t>(gl)]) {
-          // Fabric-manager reroute: the direct bundle is down; take the
-          // first live one-intermediate-group detour (deterministic sweep).
-          for (int gi = 0; gi < topo_.num_groups(); ++gi) {
-            if (gi == ga || gi == gb) continue;
-            const int l1 = topo_.global_link(ga, gi);
-            const int l2 = topo_.global_link(gi, gb);
-            if (l1 < 0 || l2 < 0) continue;
-            if (failed_[static_cast<std::size_t>(l1)] ||
-                failed_[static_cast<std::size_t>(l2)])
-              continue;
-            const int gw_a = topo_.gateway_switch(ga, gi);
-            if (sa != gw_a) path.push_back(topo_.switch_link(sa, gw_a));
-            path.push_back(l1);
-            const int in_i = topo_.gateway_switch(gi, ga);
-            const int out_i = topo_.gateway_switch(gi, gb);
-            if (in_i != out_i) path.push_back(topo_.switch_link(in_i, out_i));
-            path.push_back(l2);
-            const int gw_b = topo_.gateway_switch(gb, gi);
-            if (gw_b != sb) path.push_back(topo_.switch_link(gw_b, sb));
-            path.push_back(topo_.ejection_link(dst_ep));
-            return path;
-          }
-          throw std::runtime_error("no live route between groups");
-        }
-        const int gwa = topo_.gateway_switch(ga, gb);
-        const int gwb = topo_.gateway_switch(gb, ga);
-        if (sa != gwa) path.push_back(topo_.switch_link(sa, gwa));
-        path.push_back(gl);
-        if (gwb != sb) path.push_back(topo_.switch_link(gwb, sb));
-      }
+      n += compute_switch_segment(sa, sb, buf + n);
     }
   }
-  path.push_back(topo_.ejection_link(dst_ep));
+  buf[n++] = topo_.ejection_link(dst_ep);
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    e.key = key;
+    e.n = n;
+    std::copy(buf, buf + n, e.links);
+  }
+  out.assign(buf, buf + n);
+  route_cache_miss().inc();
+}
+
+std::vector<int> Fabric::minimal_path(int src_ep, int dst_ep) const {
+  std::vector<int> path;
+  minimal_path_into(src_ep, dst_ep, path);
   return path;
 }
 
@@ -138,18 +305,21 @@ std::vector<int> Fabric::valiant_path(int src_ep, int dst_ep, sim::Rng& rng) con
   return path;
 }
 
-std::vector<int> Fabric::route(int src_ep, int dst_ep, sim::Rng& rng,
-                               const std::vector<int>* global_load) const {
+void Fabric::route_into(int src_ep, int dst_ep, sim::Rng& rng,
+                        const std::vector<int>* global_load,
+                        std::vector<int>& out) const {
   switch (cfg_.routing) {
     case Routing::Minimal:
-      return minimal_path(src_ep, dst_ep);
+      minimal_path_into(src_ep, dst_ep, out);
+      return;
     case Routing::Valiant:
-      return valiant_path(src_ep, dst_ep, rng);
+      out = valiant_path(src_ep, dst_ep, rng);
+      return;
     case Routing::Adaptive: {
-      auto min_p = minimal_path(src_ep, dst_ep);
-      if (topo_.is_fat_tree() || global_load == nullptr) return min_p;
+      minimal_path_into(src_ep, dst_ep, out);
+      if (topo_.is_fat_tree() || global_load == nullptr) return;
       auto val_p = valiant_path(src_ep, dst_ep, rng);
-      if (val_p.size() == min_p.size()) return min_p;  // intra-group or fallback
+      if (val_p.size() == out.size()) return;  // intra-group or fallback
       // UGAL: compare queue-depth proxies (flow counts) on the switch-switch
       // links; the detour uses more hops, so it must look at least
       // `ugal_threshold` times emptier to win.
@@ -162,15 +332,22 @@ std::vector<int> Fabric::route(int src_ep, int dst_ep, sim::Rng& rng,
         }
         return worst;
       };
-      const int lm = load_of(min_p);
+      const int lm = load_of(out);
       const int lv = load_of(val_p);
-      return static_cast<double>(lm) >
-                     cfg_.ugal_threshold * static_cast<double>(lv + 1)
-                 ? val_p
-                 : min_p;
+      if (static_cast<double>(lm) >
+          cfg_.ugal_threshold * static_cast<double>(lv + 1))
+        out = std::move(val_p);
+      return;
     }
   }
-  return minimal_path(src_ep, dst_ep);
+  minimal_path_into(src_ep, dst_ep, out);
+}
+
+std::vector<int> Fabric::route(int src_ep, int dst_ep, sim::Rng& rng,
+                               const std::vector<int>* global_load) const {
+  std::vector<int> out;
+  route_into(src_ep, dst_ep, rng, global_load, out);
+  return out;
 }
 
 std::vector<double> Fabric::steady_rates(const std::vector<std::pair<int, int>>& pairs,
@@ -247,6 +424,7 @@ void Fabric::apply_hol_blocking(const std::vector<std::vector<int>>& paths,
 void Fabric::fail_link(int link_id) {
   failed_[static_cast<std::size_t>(link_id)] = 1;
   eff_cap_[static_cast<std::size_t>(link_id)] = 0.0;
+  reset_route_cache();
 }
 
 void Fabric::restore_link(int link_id) {
@@ -256,6 +434,7 @@ void Fabric::restore_link(int link_id) {
       l.kind == topo::LinkKind::Injection || l.kind == topo::LinkKind::Ejection;
   eff_cap_[static_cast<std::size_t>(link_id)] =
       terminal ? l.capacity * cfg_.nic_efficiency : l.capacity;
+  reset_route_cache();
 }
 
 int Fabric::failed_links() const {
@@ -266,13 +445,17 @@ int Fabric::failed_links() const {
 }
 
 double Fabric::base_latency(int src_ep, int dst_ep) const {
+  static thread_local std::vector<int> scratch;
+  minimal_path_into(src_ep, dst_ep, scratch);
   double lat = 0;
-  for (int l : minimal_path(src_ep, dst_ep)) lat += topo_.link(l).latency_s;
+  for (int l : scratch) lat += topo_.link(l).latency_s;
   return lat;
 }
 
 int Fabric::minimal_hops(int src_ep, int dst_ep) const {
-  return static_cast<int>(minimal_path(src_ep, dst_ep).size());
+  static thread_local std::vector<int> scratch;
+  minimal_path_into(src_ep, dst_ep, scratch);
+  return static_cast<int>(scratch.size());
 }
 
 }  // namespace xscale::net

@@ -5,8 +5,20 @@
 // max-min fair rates for a set of concurrent flows; the event-driven
 // `FlowSim` (flowsim.hpp) layers byte-counted dynamics on top for I/O and
 // app traces.
+//
+// Routing is memoised (DESIGN.md §8): minimal paths are served from a
+// two-level route cache — a dense switch-pair table (lazily filled, one
+// entry per ordered switch pair, gated to topologies small enough for it)
+// plus a direct-mapped endpoint-pair map holding full link lists — so
+// repeated patterns (mpiGraph shifts, GPCNeT cohorts, storage campaigns,
+// FlowSim churn) stop re-deriving dragonfly routes per flow. The cache is
+// invalidated wholesale on fail_link/restore_link and is safe to hit from
+// concurrent steady_rates callers; cached paths are bit-identical to fresh
+// computation (the route-invariant property tests pin this). Disable with
+// FabricConfig::route_cache = false.
 #pragma once
 
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -37,12 +49,18 @@ struct FabricConfig {
   // UGAL bias: take the non-minimal path when the minimal global link already
   // carries more than `ugal_threshold` times the flows of the detour path.
   double ugal_threshold = 2.0;
+  // Memoise (src, dst) -> link-list expansion; off forces every route to be
+  // computed fresh (the cache-vs-fresh differential tests use this).
+  bool route_cache = true;
   std::uint64_t seed = 0xF2011EA5;
 };
 
 class Fabric {
  public:
   Fabric(topo::Topology topology, FabricConfig cfg);
+  ~Fabric();
+  Fabric(Fabric&&) noexcept;
+  Fabric& operator=(Fabric&&) noexcept;
 
   const topo::Topology& topology() const { return topo_; }
   const FabricConfig& config() const { return cfg_; }
@@ -51,6 +69,13 @@ class Fabric {
   // assigned per link) when provided.
   std::vector<int> route(int src_ep, int dst_ep, sim::Rng& rng,
                          const std::vector<int>* global_load = nullptr) const;
+
+  // Same, writing into a caller-owned vector (cleared first). A cached
+  // minimal route lands here without any allocation once `out` has warmed to
+  // the path length — the FlowSim hot path relies on that.
+  void route_into(int src_ep, int dst_ep, sim::Rng& rng,
+                  const std::vector<int>* global_load,
+                  std::vector<int>& out) const;
 
   // Routes every pair (adaptive decisions see earlier flows' load) and
   // solves for steady-state max-min rates (B/s per flow). Optional `weights`
@@ -76,22 +101,36 @@ class Fabric {
   // The Slingshot Fabric Manager sweeps for failures and pushes new routing
   // tables. Failing a global bundle makes minimal routing between its two
   // groups fall back to a one-intermediate-group detour; failing a local or
-  // terminal link degrades its capacity to zero.
+  // terminal link degrades its capacity to zero. Both invalidate the route
+  // cache (like a fabric-manager table push); they must not race concurrent
+  // routing, the same contract the capacity update always had.
   void fail_link(int link_id);
   void restore_link(int link_id);
   bool is_failed(int link_id) const { return failed_[static_cast<std::size_t>(link_id)] != 0; }
   int failed_links() const;
 
  private:
+  struct RouteCache;  // defined in fabric.cpp
+
   std::vector<int> minimal_path(int src_ep, int dst_ep) const;
+  void minimal_path_into(int src_ep, int dst_ep, std::vector<int>& out) const;
+  void minimal_path_fresh(int src_ep, int dst_ep, std::vector<int>& out) const;
+  // Switch-switch portion of the minimal path (<= 5 links); returns the
+  // count written to `out5`. Throws when no live inter-group route exists.
+  int compute_switch_segment(int sa, int sb, int* out5) const;
+  void append_switch_segment(int sa, int sb, std::vector<int>& out) const;
   std::vector<int> valiant_path(int src_ep, int dst_ep, sim::Rng& rng) const;
   void apply_hol_blocking(const std::vector<std::vector<int>>& paths,
                           std::vector<double>& rates) const;
+  void reset_route_cache();
 
   topo::Topology topo_;
   FabricConfig cfg_;
   std::vector<double> eff_cap_;
   std::vector<char> failed_;
+  // Mutated only under the cache's own synchronization (lookups) or from the
+  // non-const fail/restore methods (wholesale replacement).
+  mutable std::unique_ptr<RouteCache> cache_;
 };
 
 }  // namespace xscale::net

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -20,6 +21,22 @@ void FlowSim::ensure_sized() {
   link_visit_epoch_.assign(n, 0);
   link_local_id_.assign(n, 0);
   link_remap_epoch_.assign(n, 0);
+  // Floor rarely-grown scratch capacities so one-off spikes (several flows
+  // completing at the same instant) don't allocate mid-run.
+  done_slots_.reserve(16);
+  done_callbacks_.reserve(16);
+  dropped_slots_.reserve(16);
+  dropped_ids_.reserve(16);
+}
+
+int FlowSim::alloc_slot() {
+  if (!free_slots_.empty()) {
+    const int s = free_slots_.back();
+    free_slots_.pop_back();
+    return s;
+  }
+  slots_.emplace_back();
+  return static_cast<int>(slots_.size() - 1);
 }
 
 void FlowSim::mark_dirty(int link) {
@@ -36,71 +53,114 @@ void FlowSim::clear_dirty() {
 
 std::uint64_t FlowSim::start(int src, int dst, double bytes, Done on_done) {
   ensure_sized();
-  auto path = fabric_.route(src, dst, rng_, &link_load_);
-  return start_on_path(std::move(path), bytes, std::move(on_done));
+  const int slot = alloc_slot();
+  // Route straight into the slot's reusable path buffer. Floor its capacity
+  // at the route cache's max entry length so a reused slot never grows
+  // through the 2→3→…→7 exact-size steps `assign` would otherwise take —
+  // after one warm pass over the arena, routing touches no allocator.
+  auto& path = slots_[static_cast<std::size_t>(slot)].path;
+  if (path.capacity() < 8) path.reserve(8);
+  fabric_.route_into(src, dst, rng_, &link_load_, path);
+  return start_slot(slot, bytes, std::move(on_done));
 }
 
 std::uint64_t FlowSim::start_on_path(std::vector<int> path, double bytes,
                                      Done on_done) {
   assert(!path.empty());
   ensure_sized();
-  advance_to_now();
+  const int slot = alloc_slot();
+  slots_[static_cast<std::size_t>(slot)].path = std::move(path);
+  return start_slot(slot, bytes, std::move(on_done));
+}
+
+std::uint64_t FlowSim::start_slot(int slot, double bytes, Done on_done) {
+  Flow& f = slots_[static_cast<std::size_t>(slot)];
+  assert(!f.path.empty());
   const std::uint64_t id = next_id_++;
   const double total = std::max(bytes, 1.0);
-  auto [it, inserted] = flows_.emplace(
-      id, Flow{std::move(path), total, 0.0, false, 0, eng_.now(), total,
-               std::move(on_done)});
-  assert(inserted);
-  obs::tracer().instant(
-      "net", "flow_start", eng_.now(),
-      {{"flow", static_cast<double>(id)},
-       {"bytes", total},
-       {"hops", static_cast<double>(it->second.path.size())}});
+  f.id = id;
+  f.remaining = total;
+  f.rate = 0.0;
+  f.accrued_at = eng_.now();
+  f.start_time = eng_.now();
+  f.total_bytes = total;
+  f.stalled = false;
+  f.visit_epoch = 0;
+  f.on_done = std::move(on_done);
+  ++active_count_;
+  obs::tracer().instant("net", "flow_start", eng_.now(),
+                        {{"flow", static_cast<double>(id)},
+                         {"bytes", total},
+                         {"hops", static_cast<double>(f.path.size())}});
   static obs::Counter& started = obs::metrics().counter("net.flows_started");
   started.inc();
-  insert_flow_links(id, it->second);
+  insert_flow_links(slot, f);
   resolve_and_schedule();
   return id;
 }
 
-void FlowSim::insert_flow_links(std::uint64_t id, const Flow& f) {
+void FlowSim::insert_flow_links(int slot, const Flow& f) {
   for (int l : f.path) {
     const auto lu = static_cast<std::size_t>(l);
     ++link_load_[lu];
-    flows_on_link_[lu].push_back(id);
+    auto& on_link = flows_on_link_[lu];
+    // Seed a link's incidence capacity on first growth: skips the 1→2→4→8
+    // doubling chain every busy link would otherwise walk through, which is
+    // the bulk of residual steady-state allocations under churn (capacities
+    // are grow-only, so each link allocates here at most a handful of times
+    // over a whole run).
+    if (on_link.size() == on_link.capacity() && on_link.capacity() < 16)
+      on_link.reserve(16);
+    on_link.push_back(slot);
     mark_dirty(l);
   }
 }
 
-void FlowSim::remove_flow(std::uint64_t id) {
-  auto it = flows_.find(id);
-  assert(it != flows_.end());
-  Flow& f = it->second;
+void FlowSim::remove_flow(int slot) {
+  Flow& f = slots_[static_cast<std::size_t>(slot)];
   for (int l : f.path) {
     const auto lu = static_cast<std::size_t>(l);
     --link_load_[lu];
     auto& on = flows_on_link_[lu];
-    on.erase(std::find(on.begin(), on.end(), id));
+    auto it = std::find(on.begin(), on.end(), slot);
+    assert(it != on.end());
+    *it = on.back();  // order within a link's list is irrelevant (BFS sorts)
+    on.pop_back();
     mark_dirty(l);
   }
-  if (f.stalled) --stalled_;
-  flows_.erase(it);
+  if (f.stalled) {
+    f.stalled = false;
+    --stalled_;
+  }
+  f.id = 0;
+  f.rate = 0.0;
+  f.on_done = nullptr;
+  f.path.clear();  // keep capacity for slot reuse
+  free_slots_.push_back(slot);
+  --active_count_;
 }
 
-void FlowSim::advance_to_now() {
-  const double dt = eng_.now() - last_update_;
-  if (dt > 0) {
-    for (auto& [id, f] : flows_) f.remaining -= f.rate * dt;
-  }
-  last_update_ = eng_.now();
+void FlowSim::accrue(Flow& f) {
+  const double now = eng_.now();
+  if (f.rate > 0.0 && now > f.accrued_at)
+    f.remaining -= f.rate * (now - f.accrued_at);
+  f.accrued_at = now;
 }
 
 void FlowSim::set_rate(std::uint64_t id, Flow& f, double rate) {
   // No 1 B/s floor: a zero rate means every byte is stuck behind a failed
   // link, and pretending otherwise hides the failure (satellite fix — the
   // old floor made such flows "complete" after simulated centuries).
-  if (rate <= 0.0) {
-    rate = 0.0;
+  if (rate <= 0.0) rate = 0.0;
+  // Unchanged rate: skip the write-back entirely. The drain law stays the
+  // same linear function, so deferring accrual is exact — and because a
+  // full re-solve recomputes untouched components to bitwise-equal rates,
+  // incremental and full modes take this early-out at identical times,
+  // keeping their remaining-byte arithmetic (and completion times)
+  // bit-for-bit equal.
+  if (rate == f.rate && (rate > 0.0 || f.stalled)) return;
+  accrue(f);
+  if (rate == 0.0) {
     if (!f.stalled) {
       f.stalled = true;
       ++stalled_;
@@ -119,47 +179,95 @@ void FlowSim::set_rate(std::uint64_t id, Flow& f, double rate) {
   f.rate = rate;
 }
 
-std::vector<std::uint64_t> FlowSim::affected_component() {
-  std::vector<std::uint64_t> comp;
+void FlowSim::affected_component() {
+  comp_slots_.clear();
   ++visit_epoch_;
-  std::vector<int> link_q = dirty_links_;
-  for (int l : link_q) link_visit_epoch_[static_cast<std::size_t>(l)] = visit_epoch_;
-  while (!link_q.empty()) {
-    const int l = link_q.back();
-    link_q.pop_back();
-    for (std::uint64_t id : flows_on_link_[static_cast<std::size_t>(l)]) {
-      Flow& f = flows_.find(id)->second;
+  link_q_.clear();
+  for (int l : dirty_links_) {
+    link_visit_epoch_[static_cast<std::size_t>(l)] = visit_epoch_;
+    link_q_.push_back(l);
+  }
+  while (!link_q_.empty()) {
+    const int l = link_q_.back();
+    link_q_.pop_back();
+    for (int s : flows_on_link_[static_cast<std::size_t>(l)]) {
+      Flow& f = slots_[static_cast<std::size_t>(s)];
       if (f.visit_epoch == visit_epoch_) continue;
       f.visit_epoch = visit_epoch_;
-      comp.push_back(id);
+      comp_slots_.push_back(s);
       for (int pl : f.path) {
         const auto plu = static_cast<std::size_t>(pl);
         if (link_visit_epoch_[plu] != visit_epoch_) {
           link_visit_epoch_[plu] = visit_epoch_;
-          link_q.push_back(pl);
+          link_q_.push_back(pl);
         }
       }
     }
   }
-  std::sort(comp.begin(), comp.end());
-  return comp;
+  std::sort(comp_slots_.begin(), comp_slots_.end(), [this](int a, int b) {
+    return slots_[static_cast<std::size_t>(a)].id <
+           slots_[static_cast<std::size_t>(b)].id;
+  });
 }
 
-void FlowSim::solve_component(const std::vector<std::uint64_t>& comp,
-                              SolveStats* ss) {
-  // Build a compact sub-problem: only the component's links, densely
-  // renumbered in first-encounter order (ascending flow id), which makes the
-  // restricted solve's arithmetic identical to the full solve's — within a
-  // component the full solver performs exactly the same operations in the
-  // same order, and flows outside it never touch these links.
+void FlowSim::component_from(int seed) {
+  // Connected component containing `seed`, under the caller's current
+  // `visit_epoch_` (marks persist across calls so a full-solve sweep visits
+  // each component exactly once). Same traversal and ordering as
+  // `affected_component`, seeded from a flow instead of dirty links.
+  comp_slots_.clear();
+  link_q_.clear();
+  Flow& sf = slots_[static_cast<std::size_t>(seed)];
+  sf.visit_epoch = visit_epoch_;
+  comp_slots_.push_back(seed);
+  for (int pl : sf.path) {
+    const auto plu = static_cast<std::size_t>(pl);
+    if (link_visit_epoch_[plu] != visit_epoch_) {
+      link_visit_epoch_[plu] = visit_epoch_;
+      link_q_.push_back(pl);
+    }
+  }
+  while (!link_q_.empty()) {
+    const int l = link_q_.back();
+    link_q_.pop_back();
+    for (int s : flows_on_link_[static_cast<std::size_t>(l)]) {
+      Flow& f = slots_[static_cast<std::size_t>(s)];
+      if (f.visit_epoch == visit_epoch_) continue;
+      f.visit_epoch = visit_epoch_;
+      comp_slots_.push_back(s);
+      for (int pl : f.path) {
+        const auto plu = static_cast<std::size_t>(pl);
+        if (link_visit_epoch_[plu] != visit_epoch_) {
+          link_visit_epoch_[plu] = visit_epoch_;
+          link_q_.push_back(pl);
+        }
+      }
+    }
+  }
+  std::sort(comp_slots_.begin(), comp_slots_.end(), [this](int a, int b) {
+    return slots_[static_cast<std::size_t>(a)].id <
+           slots_[static_cast<std::size_t>(b)].id;
+  });
+}
+
+void FlowSim::solve_component(const std::vector<int>& comp, SolveStats* ss) {
+  // Pack a compact sub-problem into the persistent CSR arena: only the
+  // component's links, densely renumbered in first-encounter order
+  // (ascending flow id), which makes the restricted solve's arithmetic
+  // identical to the full solve's — within a component the full solver
+  // performs exactly the same operations in the same order, and flows
+  // outside it never touch these links. The link remap is epoch-stamped, so
+  // packing costs O(component nnz) with no clearing pass.
   ++remap_epoch_;
+  const std::size_t caps_cap = comp_caps_.capacity();
+  const std::size_t ids_cap = comp_csr_.link_ids.capacity();
+  const std::size_t off_cap = comp_csr_.offsets.capacity();
+  const std::size_t rates_cap = comp_rates_.capacity();
   comp_caps_.clear();
-  comp_paths_.resize(comp.size());
+  comp_csr_.clear();
   const auto& caps = fabric_.effective_capacities();
-  for (std::size_t i = 0; i < comp.size(); ++i) {
-    const Flow& f = flows_.find(comp[i])->second;
-    auto& lp = comp_paths_[i];
-    lp.clear();
+  for (int s : comp) {
+    const Flow& f = slots_[static_cast<std::size_t>(s)];
     for (int l : f.path) {
       const auto lu = static_cast<std::size_t>(l);
       if (link_remap_epoch_[lu] != remap_epoch_) {
@@ -167,12 +275,28 @@ void FlowSim::solve_component(const std::vector<std::uint64_t>& comp,
         link_local_id_[lu] = static_cast<int>(comp_caps_.size());
         comp_caps_.push_back(caps[lu]);
       }
-      lp.push_back(link_local_id_[lu]);
+      comp_csr_.push_link(link_local_id_[lu]);
     }
+    comp_csr_.end_path();
   }
-  const auto rates = max_min_rates(comp_caps_, comp_paths_, nullptr, ss);
-  for (std::size_t i = 0; i < comp.size(); ++i)
-    set_rate(comp[i], flows_.find(comp[i])->second, rates[i]);
+  comp_rates_.resize(comp.size());
+  max_min_rates_csr(comp_caps_.data(), comp_caps_.size(), comp_csr_, nullptr,
+                    comp_rates_.data(), ss, solve_scratch_);
+  // A steady-state re-solve touches no allocator at all; count it. (The
+  // count is thread-count independent — everything here runs on the
+  // simulator's own thread against its own buffers.)
+  const bool grew = solve_scratch_.last_solve_allocated ||
+                    comp_caps_.capacity() != caps_cap ||
+                    comp_csr_.link_ids.capacity() != ids_cap ||
+                    comp_csr_.offsets.capacity() != off_cap ||
+                    comp_rates_.capacity() != rates_cap;
+  static obs::Counter& reuse =
+      obs::metrics().counter("net.solver.scratch_reuse");
+  if (!grew) reuse.inc();
+  for (std::size_t i = 0; i < comp.size(); ++i) {
+    Flow& f = slots_[static_cast<std::size_t>(comp[i])];
+    set_rate(f.id, f, comp_rates_[i]);
+  }
 }
 
 void FlowSim::resolve_and_schedule() {
@@ -180,50 +304,60 @@ void FlowSim::resolve_and_schedule() {
     eng_.cancel(pending_event_);
     has_pending_event_ = false;
   }
-  if (flows_.empty()) {
+  if (active_count_ == 0) {
     clear_dirty();
     return;
   }
   ++stats_.resolves;
 
   bool full = !cfg_.incremental;
-  std::vector<std::uint64_t> comp;
   if (full) {
     ++stats_.full_solves;
+    comp_slots_.clear();
   } else {
-    comp = affected_component();
-    stats_.largest_component = std::max<std::uint64_t>(stats_.largest_component, comp.size());
-    if (static_cast<double>(comp.size()) >
-        cfg_.fallback_fraction * static_cast<double>(flows_.size())) {
+    affected_component();
+    stats_.largest_component =
+        std::max<std::uint64_t>(stats_.largest_component, comp_slots_.size());
+    if (static_cast<double>(comp_slots_.size()) >
+        cfg_.fallback_fraction * static_cast<double>(active_count_)) {
       full = true;
       ++stats_.fallback_solves;
     }
   }
 
   SolveStats ss;
-  std::vector<std::uint64_t> solved;
   if (full) {
-    // Re-solve rates for the whole active set (deterministic order by id).
-    solved.reserve(flows_.size());
-    for (const auto& [id, f] : flows_) solved.push_back(id);
-    std::sort(solved.begin(), solved.end());
-    // Indexed parallel copy — pure reads of the flow table, disjoint writes.
-    std::vector<std::vector<int>> paths(solved.size());
-    sim::parallel_for(solved.size(), 256, [&](std::size_t b, std::size_t e) {
-      for (std::size_t i = b; i < e; ++i) paths[i] = flows_.at(solved[i]).path;
+    // Re-solve the whole active set, decomposed into connected components
+    // (flows transitively sharing links) discovered in ascending
+    // first-flow-id order. Per-component solutions equal the global solution
+    // bit-for-bit (the PR 4 component-vs-global property pins this), each
+    // component goes through the persistent CSR path, and stats sum in
+    // component order — same rates and same counts as the old
+    // `max_min_rates_components` route, but a fallback solve now allocates
+    // nothing once warm either.
+    order_.clear();
+    for (std::size_t s = 0; s < slots_.size(); ++s)
+      if (slots_[s].id != 0) order_.push_back(static_cast<int>(s));
+    std::sort(order_.begin(), order_.end(), [this](int a, int b) {
+      return slots_[static_cast<std::size_t>(a)].id <
+             slots_[static_cast<std::size_t>(b)].id;
     });
-    // Component-parallel solve; the union of per-component solutions is the
-    // global solution bit-for-bit (the incremental path's oracle tests pin
-    // this), and the decomposition itself is thread-count independent.
-    const auto rates = max_min_rates_components(fabric_.effective_capacities(),
-                                                paths, nullptr, &ss);
-    for (std::size_t i = 0; i < solved.size(); ++i)
-      set_rate(solved[i], flows_.at(solved[i]), rates[i]);
-  } else if (!comp.empty()) {
+    ++visit_epoch_;
+    for (int seed : order_) {
+      if (slots_[static_cast<std::size_t>(seed)].visit_epoch == visit_epoch_)
+        continue;
+      component_from(seed);
+      SolveStats cs;
+      solve_component(comp_slots_, &cs);
+      ss.iterations += cs.iterations;
+      ss.bottleneck_links += cs.bottleneck_links;
+    }
+    comp_slots_ = order_;  // solved set, for the drop sweep below
+  } else if (!comp_slots_.empty()) {
     ++stats_.component_solves;
-    solve_component(comp, &ss);
-    solved = std::move(comp);
+    solve_component(comp_slots_, &ss);
   }
+  const std::vector<int>& solved = comp_slots_;
   stats_.flows_solved += solved.size();
   stats_.solver_iterations += static_cast<std::uint64_t>(ss.iterations);
   stats_.bottleneck_links += static_cast<std::uint64_t>(ss.bottleneck_links);
@@ -233,93 +367,118 @@ void FlowSim::resolve_and_schedule() {
   obs::tracer().instant("net", full ? "resolve_full" : "resolve_component",
                         eng_.now(),
                         {{"flows", static_cast<double>(solved.size())},
-                         {"active", static_cast<double>(flows_.size())},
+                         {"active", static_cast<double>(active_count_)},
                          {"iterations", static_cast<double>(ss.iterations)}});
   {
     static obs::Counter& resolves = obs::metrics().counter("net.resolves");
     static obs::Counter& fulls = obs::metrics().counter("net.full_solves");
+    static obs::Counter& iters =
+        obs::metrics().counter("net.solver.iterations");
+    static obs::Counter& bnecks =
+        obs::metrics().counter("net.solver.bottleneck_links");
     static obs::ShardedStats& comp_size =
         obs::metrics().stats("net.solve_component_flows");
     static obs::Gauge& active = obs::metrics().gauge("net.active_flows");
     resolves.inc();
     if (full) fulls.inc();
+    iters.inc(static_cast<std::uint64_t>(ss.iterations));
+    bnecks.inc(static_cast<std::uint64_t>(ss.bottleneck_links));
     comp_size.add(static_cast<double>(solved.size()));
-    active.set(static_cast<double>(flows_.size()));
+    active.set(static_cast<double>(active_count_));
   }
 
   // Zero-rate flows: under Drop, remove them now. Their rate is 0, so they
   // consume no capacity — removal provably leaves every other rate unchanged
   // (in the water-filling they freeze at share 0 in the first iteration and
   // subtract nothing), so no re-solve is needed.
-  std::vector<std::uint64_t> dropped_ids;
+  dropped_slots_.clear();
+  dropped_ids_.clear();
   if (cfg_.stall_policy == StallPolicy::Drop) {
-    for (std::uint64_t id : solved)
-      if (flows_.at(id).rate <= 0.0) dropped_ids.push_back(id);
-    for (std::uint64_t id : dropped_ids) {
+    for (int s : solved)
+      if (slots_[static_cast<std::size_t>(s)].rate <= 0.0)
+        dropped_slots_.push_back(s);
+    for (int s : dropped_slots_) {
+      const std::uint64_t id = slots_[static_cast<std::size_t>(s)].id;
       obs::tracer().instant("net", "flow_drop", eng_.now(),
                             {{"flow", static_cast<double>(id)}});
-      remove_flow(id);
+      dropped_ids_.push_back(id);
+      remove_flow(s);
       ++dropped_;
     }
     static obs::Counter& drops = obs::metrics().counter("net.flows_dropped");
-    drops.inc(dropped_ids.size());
+    drops.inc(dropped_slots_.size());
   }
 
+  const double now = eng_.now();
   double next_done = std::numeric_limits<double>::infinity();
-  for (const auto& [id, f] : flows_)
-    if (f.rate > 0.0) next_done = std::min(next_done, f.remaining / f.rate);
+  for (const Flow& f : slots_)
+    if (f.id != 0 && f.rate > 0.0)
+      next_done = std::min(next_done, remaining_at(f, now) / f.rate);
 
   clear_dirty();
 
   if (std::isfinite(next_done)) {
     pending_event_ = eng_.schedule_in(std::max(next_done, 0.0), [this] {
       has_pending_event_ = false;
-      advance_to_now();
+      const double t = eng_.now();
       // Complete every flow that has drained (ties finish together).
-      std::vector<std::uint64_t> done;
-      for (auto& [id, f] : flows_)
-        if (f.rate > 0.0 && f.remaining <= 1e-6 * std::max(1.0, f.rate))
-          done.push_back(id);
-      std::sort(done.begin(), done.end());
-      std::vector<Done> callbacks;
-      callbacks.reserve(done.size());
+      done_slots_.clear();
+      for (std::size_t s = 0; s < slots_.size(); ++s) {
+        const Flow& f = slots_[s];
+        if (f.id == 0 || f.rate <= 0.0) continue;
+        if (remaining_at(f, t) <= 1e-6 * std::max(1.0, f.rate))
+          done_slots_.push_back(static_cast<int>(s));
+      }
+      std::sort(done_slots_.begin(), done_slots_.end(), [this](int a, int b) {
+        return slots_[static_cast<std::size_t>(a)].id <
+               slots_[static_cast<std::size_t>(b)].id;
+      });
+      done_callbacks_.clear();
       static obs::Counter& completed =
           obs::metrics().counter("net.flows_completed");
-      for (auto id : done) {
-        Flow& f = flows_.at(id);
+      for (int s : done_slots_) {
+        Flow& f = slots_[static_cast<std::size_t>(s)];
         // The flow's whole lifetime as one span: start -> last byte drained.
-        obs::tracer().span("net", "flow", f.start_time,
-                           eng_.now() - f.start_time,
-                           {{"flow", static_cast<double>(id)},
+        obs::tracer().span("net", "flow", f.start_time, t - f.start_time,
+                           {{"flow", static_cast<double>(f.id)},
                             {"bytes", f.total_bytes},
                             {"hops", static_cast<double>(f.path.size())}});
         completed.inc();
-        callbacks.push_back(std::move(f.on_done));
-        remove_flow(id);
+        done_callbacks_.push_back(std::move(f.on_done));
+        remove_flow(s);
       }
       resolve_and_schedule();
-      for (auto& cb : callbacks)
+      for (auto& cb : done_callbacks_)
         if (cb) cb();
+      done_callbacks_.clear();
     });
     has_pending_event_ = true;
   }
   // else: every active flow is stalled; nothing to schedule. They recover
   // when a future add/remove dirties their component after link repair.
 
-  if (stall_hook_ && !dropped_ids.empty())
-    for (std::uint64_t id : dropped_ids) stall_hook_(id);
+  if (stall_hook_ && !dropped_ids_.empty()) {
+    // Steal the list: the hook may re-enter (start replacement flows) and
+    // clobber the member buffer mid-iteration.
+    auto ids = std::move(dropped_ids_);
+    dropped_ids_ = {};
+    for (std::uint64_t id : ids) stall_hook_(id);
+  }
 }
 
 void FlowSim::for_each_flow(
     const std::function<void(std::uint64_t, const std::vector<int>&, double,
                              double)>& fn) const {
-  std::vector<std::uint64_t> ids;
-  ids.reserve(flows_.size());
-  for (const auto& [id, f] : flows_) ids.push_back(id);
+  std::vector<std::pair<std::uint64_t, int>> ids;
+  ids.reserve(active_count_);
+  for (std::size_t s = 0; s < slots_.size(); ++s)
+    if (slots_[s].id != 0)
+      ids.emplace_back(slots_[s].id, static_cast<int>(s));
   std::sort(ids.begin(), ids.end());
-  for (auto id : ids) {
-    const Flow& f = flows_.at(id);
-    fn(id, f.path, f.remaining, f.rate);
+  const double now = eng_.now();
+  for (auto [id, s] : ids) {
+    const Flow& f = slots_[static_cast<std::size_t>(s)];
+    fn(id, f.path, remaining_at(f, now), f.rate);
   }
 }
 

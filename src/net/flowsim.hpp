@@ -15,11 +15,20 @@
 // fraction of the active set, it falls back to the full `max_min_rates`
 // solve, which also serves as the reference oracle in the differential tests
 // (tests/test_flowsim.cpp asserts bit-for-bit equality on randomized churn).
+//
+// Storage is flat (DESIGN.md §8): flows live in a slot arena with a free
+// list, per-link incidence holds slot indices, and the restricted re-solve
+// packs into a persistent `PathsCsr` + `SolveScratch` — so a steady-state
+// churn event (complete one flow, start another, re-solve the component)
+// performs zero heap allocations once the arena has warmed. Byte accrual is
+// lazy: a flow's `remaining` is only materialised when its rate changes
+// (rates for untouched components are bitwise unchanged, so skipping them is
+// exact, and incremental and full modes accrue on identical schedules —
+// which keeps their completion times bit-for-bit equal).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "net/fabric.hpp"
@@ -55,14 +64,15 @@ class FlowSim {
 
   // Start a flow of `bytes` from endpoint `src` to `dst`; `on_done` fires at
   // the simulated completion time (transfer time only; callers add software
-  // overheads and propagation latency).
+  // overheads and propagation latency). Routes directly into the slot's
+  // reusable path buffer (allocation-free on minimal routing).
   std::uint64_t start(int src, int dst, double bytes, Done on_done);
 
   // Start a flow along an explicit path (e.g. storage traffic to OST
   // endpoints with custom capacities).
   std::uint64_t start_on_path(std::vector<int> path, double bytes, Done on_done);
 
-  std::size_t active_flows() const { return flows_.size(); }
+  std::size_t active_flows() const { return active_count_; }
 
   // Zero-rate flows currently parked (StallPolicy::Stall) / removed so far
   // (StallPolicy::Drop). Stalled flows still count as active.
@@ -87,52 +97,79 @@ class FlowSim {
 
   // Diagnostic/test hook: visits every active flow in ascending id order
   // (the differential tests rebuild the oracle problem from this).
+  // `remaining` is reported as of the current simulated time.
   void for_each_flow(
       const std::function<void(std::uint64_t id, const std::vector<int>& path,
                                double remaining, double rate)>& fn) const;
 
  private:
+  // One arena slot. id == 0 marks a free slot; `path` and `on_done` keep
+  // their buffers across reuse so churn stops allocating once warm.
   struct Flow {
-    std::vector<int> path;
+    std::uint64_t id = 0;
     double remaining = 0;
     double rate = 0;
-    bool stalled = false;
-    std::uint64_t visit_epoch = 0;  // BFS stamp for component discovery
+    double accrued_at = 0;   // sim time `remaining` was last materialised at
     double start_time = 0;   // obs: span begin for the flow's lifetime
     double total_bytes = 0;  // obs: recorded on the completion span
+    bool stalled = false;
+    std::uint64_t visit_epoch = 0;  // BFS stamp for component discovery
+    std::vector<int> path;
     Done on_done;
   };
 
   void ensure_sized();
+  int alloc_slot();
+  std::uint64_t start_slot(int slot, double bytes, Done on_done);
   void mark_dirty(int link);
   void clear_dirty();
-  void advance_to_now();
-  void insert_flow_links(std::uint64_t id, const Flow& f);
-  void remove_flow(std::uint64_t id);  // unlinks + erases; marks links dirty
+  // Bytes drained at simulated time `t` but not yet subtracted from
+  // `remaining` (the write-back happens in `accrue`).
+  double remaining_at(const Flow& f, double t) const {
+    return f.remaining - f.rate * (t - f.accrued_at);
+  }
+  void accrue(Flow& f);
+  void insert_flow_links(int slot, const Flow& f);
+  void remove_flow(int slot);  // unlinks + frees the slot; marks links dirty
   void set_rate(std::uint64_t id, Flow& f, double rate);
-  // Flows reachable from the dirty links via shared-link adjacency,
-  // ascending id order.
-  std::vector<std::uint64_t> affected_component();
-  void solve_component(const std::vector<std::uint64_t>& comp, SolveStats* ss);
+  // Fills `comp_slots_` with the slots of every flow reachable from the
+  // dirty links via shared-link adjacency, ascending flow-id order.
+  void affected_component();
+  // Same, seeded from one flow under the caller's visit epoch — the full
+  // solve sweeps components with this so fallbacks stay allocation-free.
+  void component_from(int seed);
+  void solve_component(const std::vector<int>& comp, SolveStats* ss);
   void resolve_and_schedule();
 
   sim::Engine& eng_;
   const Fabric& fabric_;
   FlowSimConfig cfg_;
   sim::Rng rng_;
-  std::unordered_map<std::uint64_t, Flow> flows_;
+  std::vector<Flow> slots_;
+  std::vector<int> free_slots_;
+  std::size_t active_count_ = 0;
   std::vector<int> link_load_;  // adaptive-routing load proxy
-  std::vector<std::vector<std::uint64_t>> flows_on_link_;
+  std::vector<std::vector<int>> flows_on_link_;  // slot indices
   std::vector<char> link_dirty_;
   std::vector<int> dirty_links_;
   std::vector<std::uint64_t> link_visit_epoch_;
   std::uint64_t visit_epoch_ = 0;
-  // Scratch for the restricted solve (persistent to avoid per-event churn).
+  // Persistent working set for the restricted solve and the event handler —
+  // grow-only, reused every resolve (the zero-allocation contract).
   std::vector<int> link_local_id_;
   std::vector<std::uint64_t> link_remap_epoch_;
   std::uint64_t remap_epoch_ = 0;
   std::vector<double> comp_caps_;
-  std::vector<std::vector<int>> comp_paths_;
+  PathsCsr comp_csr_;
+  std::vector<double> comp_rates_;
+  SolveScratch solve_scratch_;
+  std::vector<int> comp_slots_;
+  std::vector<int> link_q_;      // BFS frontier
+  std::vector<int> order_;       // full solve: active slots by ascending id
+  std::vector<int> dropped_slots_;
+  std::vector<std::uint64_t> dropped_ids_;
+  std::vector<int> done_slots_;
+  std::vector<Done> done_callbacks_;
   std::size_t stalled_ = 0;
   std::uint64_t dropped_ = 0;
   StallHook stall_hook_;
@@ -140,7 +177,6 @@ class FlowSim {
   std::uint64_t next_id_ = 1;
   std::uint64_t pending_event_ = 0;
   bool has_pending_event_ = false;
-  double last_update_ = 0;
 };
 
 }  // namespace xscale::net

@@ -6,7 +6,6 @@
 #include <limits>
 #include <numeric>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "sim/parallel.hpp"
 
@@ -19,29 +18,44 @@ namespace {
 constexpr std::size_t kParallelScanThreshold = 4096;
 constexpr std::size_t kScanGrain = 2048;
 
+// Malformed inputs must not silently become garbage rates (NaN capacities
+// survive the share arithmetic as 0 via std::max, and with -DNDEBUG a bare
+// assert vanishes entirely). These checks hold in release builds.
+void validate_flat(const double* capacities, std::size_t num_links,
+                   const double* weights, std::size_t num_flows) {
+  for (std::size_t l = 0; l < num_links; ++l)
+    if (!std::isfinite(capacities[l]) || capacities[l] < 0.0)
+      throw std::invalid_argument("max_min_rates: capacities must be finite and >= 0");
+  if (weights)
+    for (std::size_t f = 0; f < num_flows; ++f)
+      if (!std::isfinite(weights[f]) || weights[f] < 0.0)
+        throw std::invalid_argument("max_min_rates: weights must be finite and >= 0");
+}
+
 void validate(const std::vector<double>& capacities,
               const std::vector<std::vector<int>>& paths,
               const std::vector<double>* weights) {
-  // Malformed inputs must not silently become garbage rates (NaN capacities
-  // survive the share arithmetic as 0 via std::max, and with -DNDEBUG the old
-  // bare assert vanished entirely). These checks hold in release builds.
-  for (double c : capacities)
-    if (!std::isfinite(c) || c < 0.0)
-      throw std::invalid_argument("max_min_rates: capacities must be finite and >= 0");
-  if (weights) {
-    if (weights->size() != paths.size())
-      throw std::invalid_argument("max_min_rates: weights/paths size mismatch");
-    for (double w : *weights)
-      if (!std::isfinite(w) || w < 0.0)
-        throw std::invalid_argument("max_min_rates: weights must be finite and >= 0");
-  }
+  if (weights && weights->size() != paths.size())
+    throw std::invalid_argument("max_min_rates: weights/paths size mismatch");
+  validate_flat(capacities.data(), capacities.size(),
+                weights ? weights->data() : nullptr, paths.size());
 }
 
-// Water-filling core; inputs already validated.
-std::vector<double> solve_core(const std::vector<double>& capacities,
-                               const std::vector<std::vector<int>>& paths,
-                               const std::vector<double>* weights,
-                               SolveStats* stats) {
+// Grow-only sizing; reports whether the buffer had to allocate, so the
+// scratch-reuse probe can count allocation-free steady-state re-solves.
+template <typename T>
+bool ensure(std::vector<T>& v, std::size_t n) {
+  const bool grew = v.capacity() < n;
+  v.resize(n);
+  return grew;
+}
+
+// The pre-CSR water-filling core, retained verbatim as the differential
+// oracle; inputs already validated.
+std::vector<double> solve_core_reference(
+    const std::vector<double>& capacities,
+    const std::vector<std::vector<int>>& paths,
+    const std::vector<double>* weights, SolveStats* stats) {
   const std::size_t nf = paths.size();
   std::vector<double> rate(nf, 0.0);
 
@@ -76,8 +90,8 @@ std::vector<double> solve_core(const std::vector<double>& capacities,
   };
 
   std::size_t remaining = nf;
-  int iterations = 0;
-  int bottlenecks = 0;
+  std::int64_t iterations = 0;
+  std::int64_t bottlenecks = 0;
   while (remaining > 0) {
     ++iterations;
     // Find the smallest per-weight share among links with unfrozen flows.
@@ -90,8 +104,7 @@ std::vector<double> solve_core(const std::vector<double>& capacities,
             : scan_min(0, active_links.size());
     // No link constrains the remaining flows (e.g. every unfrozen flow has
     // weight 0, so its links never activate): there is no finite max-min
-    // allocation. Throwing beats the former `assert`, which disappeared under
-    // -DNDEBUG and let the loop spin forever.
+    // allocation.
     if (!std::isfinite(min_share))
       throw std::runtime_error(
           "max_min_rates: no finite bottleneck share for remaining flows");
@@ -153,6 +166,122 @@ struct LinkDsu {
 
 }  // namespace
 
+void max_min_rates_csr(const double* capacities, std::size_t num_links,
+                       const PathsCsr& paths, const double* weights,
+                       double* rates_out, SolveStats* stats,
+                       SolveScratch& s) {
+  const std::size_t nf = paths.num_flows();
+  if (stats) *stats = SolveStats{};
+  if (nf == 0) return;
+  validate_flat(capacities, num_links, weights, nf);
+
+  const int* lids = paths.link_ids.data();
+  const int* off = paths.offsets.data();
+  const std::size_t nnz = paths.nnz();
+
+  // Size the scratch first so a warm re-solve is provably allocation-free;
+  // values are (re)written below, so prior contents never leak into output.
+  bool grew = false;
+  grew |= ensure(s.residual, num_links);
+  grew |= ensure(s.active_w, num_links);
+  grew |= ensure(s.frozen, nf);
+  grew |= ensure(s.t_off, num_links + 1);
+  grew |= ensure(s.t_cursor, num_links);
+  grew |= ensure(s.t_flow, nnz);
+  if (s.active_links.capacity() < num_links) {
+    grew = true;
+    s.active_links.reserve(num_links);
+  }
+  s.active_links.clear();
+  // Recorded, not counted here: worker threads each warm a private scratch,
+  // so a process-wide counter incremented per solve would depend on the
+  // thread count and break the byte-identical metrics contract. Owners with
+  // deterministic call sites (FlowSim) feed `net.solver.scratch_reuse`.
+  s.last_solve_allocated = grew;
+
+  std::copy(capacities, capacities + num_links, s.residual.begin());
+  std::fill(s.active_w.begin(), s.active_w.end(), 0.0);
+  std::fill(s.frozen.begin(), s.frozen.end(), 0);
+  std::fill(rates_out, rates_out + nf, 0.0);
+
+  // Transposed link->flow incidence by counting sort. Flows land in
+  // ascending flow order within each link — the same order the reference
+  // builds its per-link flow lists, so the freeze sweep visits flows
+  // identically and every output bit matches.
+  std::fill(s.t_off.begin(), s.t_off.end(), 0);
+  for (std::size_t i = 0; i < nnz; ++i)
+    ++s.t_off[static_cast<std::size_t>(lids[i]) + 1];
+  for (std::size_t l = 1; l <= num_links; ++l) s.t_off[l] += s.t_off[l - 1];
+  std::copy(s.t_off.begin(), s.t_off.end() - 1, s.t_cursor.begin());
+
+  auto w_of = [&](std::size_t f) { return weights ? weights[f] : 1.0; };
+  for (std::size_t f = 0; f < nf; ++f) {
+    assert(off[f] < off[f + 1]);
+    for (int i = off[f]; i < off[f + 1]; ++i) {
+      const auto lu = static_cast<std::size_t>(lids[i]);
+      if (s.active_w[lu] == 0.0) s.active_links.push_back(lids[i]);
+      s.active_w[lu] += w_of(f);
+      s.t_flow[static_cast<std::size_t>(s.t_cursor[lu]++)] =
+          static_cast<int>(f);
+    }
+  }
+
+  const double inf = std::numeric_limits<double>::infinity();
+  auto scan_min = [&](std::size_t b, std::size_t e) {
+    double m = inf;
+    for (std::size_t i = b; i < e; ++i) {
+      const auto lu = static_cast<std::size_t>(s.active_links[i]);
+      if (s.active_w[lu] <= 0.0) continue;
+      m = std::min(m, std::max(0.0, s.residual[lu]) / s.active_w[lu]);
+    }
+    return m;
+  };
+
+  std::size_t remaining = nf;
+  std::int64_t iterations = 0;
+  std::int64_t bottlenecks = 0;
+  while (remaining > 0) {
+    ++iterations;
+    const double min_share =
+        s.active_links.size() >= kParallelScanThreshold
+            ? sim::parallel_reduce(
+                  s.active_links.size(), kScanGrain, inf, scan_min,
+                  [](double a, double b) { return std::min(a, b); })
+            : scan_min(0, s.active_links.size());
+    if (!std::isfinite(min_share))
+      throw std::runtime_error(
+          "max_min_rates: no finite bottleneck share for remaining flows");
+
+    const double cutoff = min_share * (1.0 + 1e-9);
+    for (int l : s.active_links) {
+      const auto lu = static_cast<std::size_t>(l);
+      if (s.active_w[lu] <= 0.0) continue;
+      if (std::max(0.0, s.residual[lu]) / s.active_w[lu] > cutoff) continue;
+      ++bottlenecks;
+      for (int ti = s.t_off[lu]; ti < s.t_off[lu + 1]; ++ti) {
+        const auto fu = static_cast<std::size_t>(s.t_flow[static_cast<std::size_t>(ti)]);
+        if (s.frozen[fu]) continue;
+        s.frozen[fu] = 1;
+        rates_out[fu] = min_share * w_of(fu);
+        --remaining;
+        for (int pi = off[fu]; pi < off[fu + 1]; ++pi) {
+          const auto plu = static_cast<std::size_t>(lids[pi]);
+          s.residual[plu] -= rates_out[fu];
+          s.active_w[plu] -= w_of(fu);
+        }
+      }
+    }
+    std::erase_if(s.active_links, [&](int l) {
+      return s.active_w[static_cast<std::size_t>(l)] <= 1e-12;
+    });
+  }
+
+  if (stats) {
+    stats->iterations = iterations;
+    stats->bottleneck_links = bottlenecks;
+  }
+}
+
 std::vector<double> max_min_rates(const std::vector<double>& capacities,
                                   const std::vector<std::vector<int>>& paths,
                                   const std::vector<double>* weights,
@@ -161,8 +290,34 @@ std::vector<double> max_min_rates(const std::vector<double>& capacities,
     if (stats) *stats = SolveStats{};
     return {};
   }
+  if (weights && weights->size() != paths.size())
+    throw std::invalid_argument("max_min_rates: weights/paths size mismatch");
+  // Adapter: pack into a per-thread CSR arena (component workers and user
+  // threads never share) and run the flat core.
+  static thread_local PathsCsr csr;
+  static thread_local SolveScratch scratch;
+  csr.clear();
+  for (const auto& p : paths) {
+    assert(!p.empty());
+    csr.push_path(p.begin(), p.end());
+  }
+  std::vector<double> rates(paths.size(), 0.0);
+  max_min_rates_csr(capacities.data(), capacities.size(), csr,
+                    weights ? weights->data() : nullptr, rates.data(), stats,
+                    scratch);
+  return rates;
+}
+
+std::vector<double> max_min_rates_reference(
+    const std::vector<double>& capacities,
+    const std::vector<std::vector<int>>& paths,
+    const std::vector<double>* weights, SolveStats* stats) {
+  if (paths.empty()) {
+    if (stats) *stats = SolveStats{};
+    return {};
+  }
   validate(capacities, paths, weights);
-  return solve_core(capacities, paths, weights, stats);
+  return solve_core_reference(capacities, paths, weights, stats);
 }
 
 std::vector<double> max_min_rates_components(
@@ -199,39 +354,57 @@ std::vector<double> max_min_rates_components(
   }
 
   const std::size_t nc = comp_flows.size();
-  if (nc == 1) return solve_core(capacities, paths, weights, stats);
+  if (nc == 1) return max_min_rates(capacities, paths, weights, stats);
 
   std::vector<double> rate(nf, 0.0);
   std::vector<SolveStats> comp_stats(nc);
   sim::parallel_for(nc, 1, [&](std::size_t cb, std::size_t ce) {
+    // Per-worker pack buffers. The link remap is epoch-stamped, so packing a
+    // component costs O(its nnz) with no clearing pass; links are renumbered
+    // in first-encounter order (the same order the global solve would visit
+    // them, so the per-link arithmetic sequence — and hence every output bit
+    // — matches the unsplit solve).
+    struct PackScratch {
+      std::vector<int> local_id;
+      std::vector<std::uint64_t> mark;
+      std::uint64_t epoch = 0;
+      std::vector<double> sub_caps;
+      std::vector<double> sub_w;
+      std::vector<double> sub_rates;
+      PathsCsr sub_csr;
+      SolveScratch solve;
+    };
+    static thread_local PackScratch ps;
+    if (ps.mark.size() < capacities.size()) {
+      ps.mark.resize(capacities.size(), 0);
+      ps.local_id.resize(capacities.size(), 0);
+    }
     for (std::size_t c = cb; c < ce; ++c) {
       const std::vector<int>& flows = comp_flows[c];
-      // Compact subproblem: links renumbered in first-encounter order (the
-      // same order the global solve would visit them, so the per-link
-      // arithmetic sequence — and hence every output bit — matches).
-      std::unordered_map<int, int> link_id;
-      std::vector<double> sub_caps;
-      std::vector<std::vector<int>> sub_paths;
-      std::vector<double> sub_w;
-      sub_paths.reserve(flows.size());
-      if (weights) sub_w.reserve(flows.size());
+      ++ps.epoch;
+      ps.sub_caps.clear();
+      ps.sub_w.clear();
+      ps.sub_csr.clear();
       for (int f : flows) {
         const auto fu = static_cast<std::size_t>(f);
-        std::vector<int> sp;
-        sp.reserve(paths[fu].size());
         for (int l : paths[fu]) {
-          auto [it, fresh] =
-              link_id.try_emplace(l, static_cast<int>(sub_caps.size()));
-          if (fresh) sub_caps.push_back(capacities[static_cast<std::size_t>(l)]);
-          sp.push_back(it->second);
+          const auto lu = static_cast<std::size_t>(l);
+          if (ps.mark[lu] != ps.epoch) {
+            ps.mark[lu] = ps.epoch;
+            ps.local_id[lu] = static_cast<int>(ps.sub_caps.size());
+            ps.sub_caps.push_back(capacities[lu]);
+          }
+          ps.sub_csr.push_link(ps.local_id[lu]);
         }
-        sub_paths.push_back(std::move(sp));
-        if (weights) sub_w.push_back((*weights)[fu]);
+        ps.sub_csr.end_path();
+        if (weights) ps.sub_w.push_back((*weights)[fu]);
       }
-      const std::vector<double> sub_rate = solve_core(
-          sub_caps, sub_paths, weights ? &sub_w : nullptr, &comp_stats[c]);
+      ensure(ps.sub_rates, flows.size());
+      max_min_rates_csr(ps.sub_caps.data(), ps.sub_caps.size(), ps.sub_csr,
+                        weights ? ps.sub_w.data() : nullptr,
+                        ps.sub_rates.data(), &comp_stats[c], ps.solve);
       for (std::size_t i = 0; i < flows.size(); ++i)
-        rate[static_cast<std::size_t>(flows[i])] = sub_rate[i];
+        rate[static_cast<std::size_t>(flows[i])] = ps.sub_rates[i];
     }
   });
 

@@ -5,27 +5,111 @@
 // link, freeze every flow crossing it at the link's equal share, remove that
 // bandwidth, and continue. This is the steady-state a credit-based,
 // congestion-managed fabric like Slingshot converges to for long flows.
+//
+// The hot entry point is `max_min_rates_csr`: paths live in a flat CSR arena
+// (`PathsCsr`), the transposed link->flow incidence is rebuilt into a
+// caller-owned `SolveScratch` by counting sort, and a steady-state re-solve
+// performs zero heap allocations once the scratch has warmed to the problem
+// size (DESIGN.md §8). The `std::vector`-of-`std::vector` entry points are
+// retained as thin adapters (and `max_min_rates_reference` as the original
+// implementation) so differential tests can pin the CSR core bit-for-bit.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace xscale::net {
 
 struct SolveStats {
-  int iterations = 0;
-  int bottleneck_links = 0;
+  // int64: per-component totals accumulated across long churn runs overflow
+  // 32 bits (a week-long storage campaign re-solves billions of times).
+  std::int64_t iterations = 0;
+  std::int64_t bottleneck_links = 0;
 };
+
+// Flat CSR path set: flow f's links are `link_ids[offsets[f] ..
+// offsets[f+1])`. `offsets` always carries num_flows()+1 entries with
+// offsets[0] == 0. Append-only between `clear()`s; the backing vectors only
+// grow, so a reused PathsCsr allocates nothing once warm.
+struct PathsCsr {
+  std::vector<int> link_ids;
+  std::vector<int> offsets{0};
+
+  std::size_t num_flows() const { return offsets.size() - 1; }
+  std::size_t nnz() const { return link_ids.size(); }
+
+  void clear() {
+    link_ids.clear();
+    offsets.clear();
+    offsets.push_back(0);
+  }
+
+  // Append one flow; links must be non-empty and duplicate-free.
+  template <typename It>
+  void push_path(It first, It last) {
+    for (; first != last; ++first) link_ids.push_back(*first);
+    offsets.push_back(static_cast<int>(link_ids.size()));
+  }
+
+  // Incremental append: push links one by one, then seal the flow.
+  void push_link(int l) { link_ids.push_back(l); }
+  void end_path() { offsets.push_back(static_cast<int>(link_ids.size())); }
+};
+
+// Caller-owned, reusable working set for `max_min_rates_csr`. Buffers are
+// grown on demand and never shrunk; a solve against a problem no larger than
+// any previously seen one performs zero heap allocations (the
+// `net.solver.scratch_reuse` counter tracks exactly that). Solver output is
+// independent of prior scratch contents, so one scratch may serve unrelated
+// problems back to back (FlowSim keeps one per simulator; the adapters keep
+// one per thread).
+struct SolveScratch {
+  std::vector<double> residual;   // [num_links] remaining capacity
+  std::vector<double> active_w;   // [num_links] unfrozen weight crossing
+  std::vector<int> active_links;  // links with unfrozen flows, first-seen order
+  std::vector<char> frozen;       // [num_flows]
+  // Transposed incidence (link -> flows), rebuilt per solve by counting sort.
+  std::vector<int> t_off;     // [num_links + 1]
+  std::vector<int> t_cursor;  // [num_links] fill cursors
+  std::vector<int> t_flow;    // [nnz]
+  // Set by `max_min_rates_csr`: whether the last solve had to grow any
+  // buffer. Owners with deterministic call sites use it to feed the
+  // `net.solver.scratch_reuse` counter (the solver itself does not count —
+  // per-worker-thread scratches would make the metric thread-count
+  // dependent, violating the byte-identical metrics contract).
+  bool last_solve_allocated = false;
+};
+
+// Water-filling over a CSR path set. Writes one rate per flow into
+// `rates_out` (size >= paths.num_flows()). Link ids must lie in
+// [0, num_links); `weights` (nullable) has one entry per flow. Validation
+// matches `max_min_rates`: non-finite/negative capacities or weights throw
+// std::invalid_argument, an unbounded allocation throws std::runtime_error.
+// Bit-for-bit identical to `max_min_rates_reference` on the same input — the
+// differential suite pins this at every thread count.
+void max_min_rates_csr(const double* capacities, std::size_t num_links,
+                       const PathsCsr& paths, const double* weights,
+                       double* rates_out, SolveStats* stats,
+                       SolveScratch& scratch);
 
 // `capacities[l]` is the capacity of link l; `paths[f]` lists the links of
 // flow f (must be non-empty, without duplicates). Optional `weights` give
 // weighted fairness (a flow counting as w concurrent streams); default 1.
-// Inputs are validated in all build modes: non-finite or negative capacities
-// or weights throw std::invalid_argument, and an unbounded allocation (no
-// link constrains a remaining flow) throws std::runtime_error.
+// Thin adapter over `max_min_rates_csr` (packs the paths into a thread-local
+// CSR arena); kept as the stable oracle-facing signature.
 std::vector<double> max_min_rates(const std::vector<double>& capacities,
                                   const std::vector<std::vector<int>>& paths,
                                   const std::vector<double>* weights = nullptr,
                                   SolveStats* stats = nullptr);
+
+// The original pointer-chasing implementation (vector-of-vectors incidence,
+// per-solve allocations), retained verbatim as the differential oracle: the
+// CSR core must match it bit-for-bit on every input. Not a hot path.
+std::vector<double> max_min_rates_reference(
+    const std::vector<double>& capacities,
+    const std::vector<std::vector<int>>& paths,
+    const std::vector<double>* weights = nullptr, SolveStats* stats = nullptr);
 
 // Same allocation, computed by decomposing the flow graph into connected
 // components (flows transitively sharing links) and solving each component
@@ -37,7 +121,9 @@ std::vector<double> max_min_rates(const std::vector<double>& capacities,
 // are summed in ascending component id — output is byte-identical for any
 // thread count, including 1. `stats->iterations` counts the per-component
 // total, which can exceed the single-solve count (ties across unrelated
-// components no longer collapse into one global iteration).
+// components no longer collapse into one global iteration). Each worker
+// packs its components into a thread-local CSR arena + scratch, so the
+// steady-state cost is allocation-free here too.
 std::vector<double> max_min_rates_components(
     const std::vector<double>& capacities,
     const std::vector<std::vector<int>>& paths,

@@ -14,27 +14,51 @@ std::uint64_t Engine::schedule_at(Time t, Callback fn) {
   if (!std::isfinite(t))
     throw std::invalid_argument("Engine::schedule_at: non-finite time");
   if (t < now_) t = now_;
-  const std::uint64_t id = next_seq_++;
-  heap_.push_back(Event{t, id});
+  const std::uint64_t seq = next_seq_++;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.live = true;
+  ++live_;
+  heap_.push_back(Event{t, seq, slot, s.gen});
   std::push_heap(heap_.begin(), heap_.end(), After{});
-  callbacks_.emplace(id, std::move(fn));
-  return id;
+  return (static_cast<std::uint64_t>(s.gen) << 32) | slot;
+}
+
+void Engine::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn = nullptr;  // keep the slot inert; the buffer is gone (moved or reset)
+  s.live = false;
+  ++s.gen;  // invalidates every heap entry still pointing here
+  free_slots_.push_back(slot);
+  --live_;
 }
 
 bool Engine::cancel(std::uint64_t id) {
-  if (callbacks_.erase(id) == 0) return false;
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size() || !slots_[slot].live || slots_[slot].gen != gen)
+    return false;  // already ran, already cancelled, or never existed
+  release_slot(slot);
   ++stale_;  // the heap entry stays behind; skipped on pop or compacted away
   obs::tracer().instant("sim", "cancel", now_,
                         {{"id", static_cast<double>(id)}});
   static obs::Counter& cancels = obs::metrics().counter("sim.events_cancelled");
   cancels.inc();
-  if (stale_ > callbacks_.size()) compact();
+  if (stale_ > live_) compact();
   return true;
 }
 
 void Engine::compact() {
   const auto before = static_cast<double>(heap_.size());
-  std::erase_if(heap_, [this](const Event& e) { return !callbacks_.contains(e.seq); });
+  std::erase_if(heap_, [this](const Event& e) { return !is_live(e); });
   std::make_heap(heap_.begin(), heap_.end(), After{});
   stale_ = 0;
   ++compactions_;
@@ -46,7 +70,7 @@ void Engine::compact() {
 }
 
 void Engine::drop_stale_top() {
-  while (!heap_.empty() && !callbacks_.contains(heap_.front().seq)) {
+  while (!heap_.empty() && !is_live(heap_.front())) {
     std::pop_heap(heap_.begin(), heap_.end(), After{});
     heap_.pop_back();
     --stale_;
@@ -58,13 +82,14 @@ bool Engine::step() {
     std::pop_heap(heap_.begin(), heap_.end(), After{});
     const Event ev = heap_.back();
     heap_.pop_back();
-    auto it = callbacks_.find(ev.seq);
-    if (it == callbacks_.end()) {  // cancelled
+    if (!is_live(ev)) {  // cancelled
       --stale_;
       continue;
     }
-    Callback fn = std::move(it->second);
-    callbacks_.erase(it);
+    // Release before invoking: the callback may schedule new events and is
+    // allowed to reuse this slot (its generation has already moved on).
+    Callback fn = std::move(slots_[ev.slot].fn);
+    release_slot(ev.slot);
     now_ = ev.t;
     ++executed_;
     obs::tracer().instant("sim", "execute", ev.t,

@@ -18,7 +18,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 namespace xscale::sim {
@@ -57,7 +56,7 @@ class Engine {
   // Stop a `run()` in progress after the current event returns.
   void stop() { stopped_ = true; }
 
-  std::size_t pending_events() const { return callbacks_.size(); }
+  std::size_t pending_events() const { return live_; }
   std::uint64_t events_executed() const { return executed_; }
   std::uint64_t events_scheduled() const { return next_seq_; }
 
@@ -69,9 +68,24 @@ class Engine {
   std::uint64_t compactions() const { return compactions_; }
 
  private:
+  // Callbacks live in a slot arena with a free list; the public event id
+  // encodes (generation << 32 | slot) so `cancel` resolves in O(1) without a
+  // hash map. Slots (and their std::function buffers) are reused, so a warm
+  // schedule/cancel/fire cycle performs zero heap allocations — part of the
+  // steady-state zero-allocation contract (DESIGN.md §8). Generations bump on
+  // every release; a heap entry whose generation no longer matches its slot
+  // is stale. ABA would need 2^32 reuses of one slot between a cancel and
+  // its pop, which compaction (stale <= live) rules out.
+  struct Slot {
+    Callback fn;
+    std::uint32_t gen = 0;
+    bool live = false;
+  };
   struct Event {
     Time t;
-    std::uint64_t seq;
+    std::uint64_t seq;  // insertion order; ties at equal t fire FIFO
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
   // Comparator for a min-heap on (t, seq) via the std:: heap algorithms
   // (which build max-heaps, hence the inverted comparison).
@@ -81,6 +95,10 @@ class Engine {
     }
   };
 
+  bool is_live(const Event& e) const {
+    return slots_[e.slot].live && slots_[e.slot].gen == e.gen;
+  }
+  void release_slot(std::uint32_t slot);
   bool step();             // execute one event; false when queue empty
   void drop_stale_top();   // pop cancelled entries off the heap top
   void compact();          // rebuild the heap without stale entries
@@ -90,9 +108,11 @@ class Engine {
   std::uint64_t executed_ = 0;
   std::uint64_t compactions_ = 0;
   std::size_t stale_ = 0;
+  std::size_t live_ = 0;
   bool stopped_ = false;
   std::vector<Event> heap_;
-  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace xscale::sim

@@ -69,6 +69,31 @@ Topology Topology::dragonfly(const std::vector<GroupSpec>& groups,
   Topology t;
   t.n_groups_ = static_cast<int>(groups.size());
 
+  // Size everything up front — a Frontier-scale build (74 groups, ~2.5k
+  // switches, ~10k endpoints, ~1M links) would otherwise spend most of its
+  // time in vector regrowth and hash-map rehashes.
+  {
+    std::size_t switches = 0, endpoints = 0, locals = 0;
+    for (const GroupSpec& gs : groups) {
+      const auto s = static_cast<std::size_t>(gs.switches);
+      switches += s;
+      endpoints += s * static_cast<std::size_t>(gs.endpoints_per_switch);
+      locals += s * (s - 1);
+    }
+    const std::size_t globals =
+        static_cast<std::size_t>(t.n_groups_) *
+        static_cast<std::size_t>(t.n_groups_ > 0 ? t.n_groups_ - 1 : 0);
+    t.group_first_switch_.reserve(groups.size());
+    t.group_size_.reserve(groups.size());
+    t.group_of_switch_.reserve(switches);
+    t.endpoint_switch_.reserve(endpoints);
+    t.injection_link_.reserve(endpoints);
+    t.ejection_link_.reserve(endpoints);
+    t.links_.reserve(2 * endpoints + locals + globals);
+    t.switch_link_idx_.reserve(locals);
+    t.global_link_idx_.reserve(globals);
+  }
+
   // Switch ids, grouped contiguously.
   for (int g = 0; g < t.n_groups_; ++g) {
     t.group_first_switch_.push_back(t.num_switches_);
@@ -147,6 +172,14 @@ Topology Topology::fat_tree(int leaves, int eps_per_leaf, double link_bw,
   t.group_size_.push_back(t.num_switches_);
   t.group_of_switch_.assign(static_cast<std::size_t>(t.num_switches_), 0);
   const int core = leaves;
+
+  const auto eps =
+      static_cast<std::size_t>(leaves) * static_cast<std::size_t>(eps_per_leaf);
+  t.endpoint_switch_.reserve(eps);
+  t.injection_link_.reserve(eps);
+  t.ejection_link_.reserve(eps);
+  t.links_.reserve(2 * eps + 2 * static_cast<std::size_t>(leaves));
+  t.switch_link_idx_.reserve(2 * static_cast<std::size_t>(leaves));
 
   for (int l = 0; l < leaves; ++l) {
     for (int e = 0; e < eps_per_leaf; ++e) {

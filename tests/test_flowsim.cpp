@@ -29,7 +29,9 @@ net::Fabric small_dragonfly(net::Routing r, bool cc = true) {
 }
 
 // Rebuild the full problem from the simulator's state and check every active
-// flow's rate against the reference oracle, bit for bit.
+// flow's rate against the retained reference oracle, bit for bit. The CSR
+// adapter (`max_min_rates`) is checked against the reference on the same
+// input, so one call pins live rates == CSR core == original implementation.
 int check_against_oracle(const net::FlowSim& fs, const net::Fabric& fabric) {
   std::vector<std::vector<int>> paths;
   std::vector<double> live_rates;
@@ -38,10 +40,15 @@ int check_against_oracle(const net::FlowSim& fs, const net::Fabric& fabric) {
     paths.push_back(path);
     live_rates.push_back(rate);
   });
-  const auto oracle = net::max_min_rates(fabric.effective_capacities(), paths);
+  const auto oracle =
+      net::max_min_rates_reference(fabric.effective_capacities(), paths);
+  const auto csr = net::max_min_rates(fabric.effective_capacities(), paths);
   EXPECT_EQ(oracle.size(), live_rates.size());
-  for (std::size_t i = 0; i < oracle.size(); ++i)
+  EXPECT_EQ(csr.size(), oracle.size());
+  for (std::size_t i = 0; i < oracle.size(); ++i) {
     EXPECT_EQ(live_rates[i], oracle[i]) << "flow index " << i;
+    EXPECT_EQ(csr[i], oracle[i]) << "csr adapter, flow index " << i;
+  }
   return static_cast<int>(oracle.size());
 }
 

@@ -339,6 +339,60 @@ TEST(DeterminismSweep, FlowSimChurnBitIdenticalAcrossThreadCounts) {
   }
 }
 
+// Differential oracle under the thread sweep: at every thread count the
+// incremental CSR solves must still match `max_min_rates_reference` — the
+// retained original implementation — bit for bit on randomized churn. This
+// is the ISSUE 5 contract: the zero-allocation CSR core and the parallel
+// min-share scan change how rates are computed, never what they are.
+TEST(DeterminismSweep, DifferentialOracleAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  for (int threads : {1, 2, 8}) {
+    sim::set_thread_count(threads);
+    sim::Engine eng;
+    net::FabricConfig cfg;
+    cfg.routing = net::Routing::Adaptive;
+    net::Fabric fabric(topo::Topology::uniform_dragonfly(6, {4, 4}, 1, 25e9, 180e-9),
+                       cfg);
+    net::FlowSim fs(eng, fabric);
+    sim::Rng rng(0xD1FFull + static_cast<std::uint64_t>(threads));
+    const int eps = fabric.topology().num_endpoints();
+    int launched = 0, completed = 0, checks = 0;
+    const int total = 220;
+    std::function<void()> check = [&] {
+      std::vector<std::vector<int>> paths;
+      std::vector<double> live;
+      fs.for_each_flow([&](std::uint64_t, const std::vector<int>& p, double,
+                           double rate) {
+        paths.push_back(p);
+        live.push_back(rate);
+      });
+      const auto ref =
+          net::max_min_rates_reference(fabric.effective_capacities(), paths);
+      ASSERT_EQ(ref.size(), live.size());
+      for (std::size_t i = 0; i < ref.size(); ++i)
+        ASSERT_EQ(live[i], ref[i])
+            << "threads=" << threads << " flow index " << i;
+      ++checks;
+    };
+    std::function<void()> launch = [&] {
+      if (launched >= total) return;
+      ++launched;
+      const int src = static_cast<int>(rng.index(static_cast<std::uint64_t>(eps)));
+      int dst = static_cast<int>(rng.index(static_cast<std::uint64_t>(eps)));
+      if (dst == src) dst = (dst + 1) % eps;
+      fs.start(src, dst, rng.uniform(1e6, 5e8), [&] {
+        ++completed;
+        if (completed % 7 == 0) check();
+        launch();
+      });
+    };
+    for (int i = 0; i < 24; ++i) launch();
+    eng.run();
+    EXPECT_EQ(completed, total);
+    EXPECT_GT(checks, 20);
+  }
+}
+
 TEST(DeterminismSweep, MonteCarloBitIdenticalAcrossThreadCounts) {
   ThreadCountGuard guard;
   const resil::ResiliencyModel model;

@@ -104,7 +104,9 @@ enum class Pattern { Permutation, Incast, AllToAll };
 net::Fabric build_fabric(int endpoints) {
   // Dragonfly shapes sized so groups x switches x endpoints = n.
   int g = 4, s = 4, e = 4;  // 64
-  if (endpoints >= 4096) {
+  if (endpoints >= 9408) {
+    g = 74; s = 16; e = 8;  // 9,472 eps — the paper's 74+6-group Frontier shape
+  } else if (endpoints >= 4096) {
     g = 32; s = 16; e = 8;
   } else if (endpoints >= 1024) {
     g = 16; s = 8; e = 8;
@@ -220,6 +222,17 @@ void BM_FlowChurn(benchmark::State& state, Pattern p, bool incremental) {
           : 0.0;
   state.counters["heap"] = static_cast<double>(heap);
   state.counters["stale"] = static_cast<double>(stale);
+  // Warm-start effectiveness (ISSUE 6): share of resolves taking the warm
+  // whole-set path, and the mean flows actually *iterated* per warm solve
+  // (memo hits and frozen-prefix replays shrink this below comp_avg).
+  state.counters["warm%"] =
+      last.resolves ? 100.0 * static_cast<double>(last.warm_solves) /
+                          static_cast<double>(last.resolves)
+                    : 0.0;
+  state.counters["frontier_avg"] =
+      last.warm_solves ? static_cast<double>(last.frontier_flows) /
+                             static_cast<double>(last.warm_solves)
+                       : 0.0;
   // Whole-run allocations per completed flow, cold start included (engine,
   // simulator, first-touch arena growth) — the trajectory number. The
   // steady-state zero-allocation claim is BM_SteadyResolve's.
@@ -343,15 +356,18 @@ void BM_EngineCancelChurn(benchmark::State& state) {
 }  // namespace
 
 BENCHMARK_CAPTURE(BM_FlowChurn, permutation_incremental, Pattern::Permutation, true)
-    ->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)->Unit(benchmark::kMillisecond);
+    ->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)->Arg(9408)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_FlowChurn, permutation_full, Pattern::Permutation, false)
     ->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_FlowChurn, alltoall_incremental, Pattern::AllToAll, true)
-    ->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)->Unit(benchmark::kMillisecond);
+    ->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)->Arg(9408)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_FlowChurn, alltoall_full, Pattern::AllToAll, false)
     ->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_FlowChurn, incast_incremental, Pattern::Incast, true)
-    ->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+    ->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)->Arg(9408)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_FlowChurn, incast_full, Pattern::Incast, false)
     ->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_SteadyResolve, alltoall, Pattern::AllToAll)

@@ -9,22 +9,33 @@
 # against warm state by BM_SteadyResolve — the steady-state incremental
 # re-solve must report 0.
 #
-# Usage: scripts/record_bench.sh [build-dir] [--quick]
+# Usage: scripts/record_bench.sh [build-dir] [--quick] [--out FILE]
 #   build-dir: CMake build tree with the benches built (default: build)
 #   --quick:   short min_time (0.1s) for smoke runs; default is 0.5s
+#   --out:     write the snapshot to FILE instead of BENCH_flowsim.json
+#              (CI records a fresh snapshot here and diffs it against the
+#              committed one with scripts/check_bench.py)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD="build"
 MIN_TIME="0.5"
+OUT="BENCH_flowsim.json"
+expect_out=0
 for arg in "$@"; do
+  if [[ "$expect_out" == 1 ]]; then
+    OUT="$arg"; expect_out=0; continue
+  fi
   case "$arg" in
     --quick) MIN_TIME="0.1" ;;
+    --out) expect_out=1 ;;
     *) BUILD="$arg" ;;
   esac
 done
-
-OUT="BENCH_flowsim.json"
+if [[ "$expect_out" == 1 ]]; then
+  echo "error: --out requires a file argument" >&2
+  exit 1
+fi
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
@@ -70,7 +81,8 @@ for name in ("micro_flowsim", "micro_simcore"):
         entry = {"real_time_ms": round(b["real_time"] / 1e6, 3)
                  if b.get("time_unit") == "ns" else round(b["real_time"], 3)}
         for k in ("items_per_second", "allocs/resolve", "allocs/op",
-                  "comp_avg", "fallback%", "threads", "heap", "stale"):
+                  "comp_avg", "fallback%", "warm%", "frontier_avg",
+                  "threads", "heap", "stale"):
             if k in b:
                 entry[k] = round(b[k], 6)
         snapshot["benchmarks"][f"{name}/{b['name']}"] = entry

@@ -424,6 +424,7 @@ void Fabric::apply_hol_blocking(const std::vector<std::vector<int>>& paths,
 void Fabric::fail_link(int link_id) {
   failed_[static_cast<std::size_t>(link_id)] = 1;
   eff_cap_[static_cast<std::size_t>(link_id)] = 0.0;
+  ++cap_epoch_;
   reset_route_cache();
 }
 
@@ -434,6 +435,7 @@ void Fabric::restore_link(int link_id) {
       l.kind == topo::LinkKind::Injection || l.kind == topo::LinkKind::Ejection;
   eff_cap_[static_cast<std::size_t>(link_id)] =
       terminal ? l.capacity * cfg_.nic_efficiency : l.capacity;
+  ++cap_epoch_;
   reset_route_cache();
 }
 

@@ -18,6 +18,7 @@
 // FabricConfig::route_cache = false.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -109,6 +110,11 @@ class Fabric {
   bool is_failed(int link_id) const { return failed_[static_cast<std::size_t>(link_id)] != 0; }
   int failed_links() const;
 
+  // Bumped on every fail_link/restore_link. Consumers that cache anything
+  // derived from `effective_capacities()` (FlowSim's warm-start memo and
+  // frozen-prefix metadata) compare epochs instead of diffing the vector.
+  std::uint64_t capacity_epoch() const { return cap_epoch_; }
+
  private:
   struct RouteCache;  // defined in fabric.cpp
 
@@ -128,6 +134,7 @@ class Fabric {
   FabricConfig cfg_;
   std::vector<double> eff_cap_;
   std::vector<char> failed_;
+  std::uint64_t cap_epoch_ = 0;
   // Mutated only under the cache's own synchronization (lookups) or from the
   // non-const fail/restore methods (wholesale replacement).
   mutable std::unique_ptr<RouteCache> cache_;

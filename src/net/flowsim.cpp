@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 #include <utility>
 
 #include "obs/metrics.hpp"
@@ -88,6 +89,8 @@ std::uint64_t FlowSim::start_slot(int slot, double bytes, Done on_done) {
   f.visit_epoch = 0;
   f.on_done = std::move(on_done);
   ++active_count_;
+  active_order_.push_back(slot);  // ids are monotonic: append keeps id order
+  delta_has_add_ = true;
   obs::tracer().instant("net", "flow_start", eng_.now(),
                         {{"flow", static_cast<double>(id)},
                          {"bytes", total},
@@ -100,9 +103,15 @@ std::uint64_t FlowSim::start_slot(int slot, double bytes, Done on_done) {
 }
 
 void FlowSim::insert_flow_links(int slot, const Flow& f) {
+  if (live_link_in_.size() < flows_on_link_.size())
+    live_link_in_.resize(flows_on_link_.size(), 0);
   for (int l : f.path) {
     const auto lu = static_cast<std::size_t>(l);
     ++link_load_[lu];
+    if (!live_link_in_[lu]) {
+      live_link_in_[lu] = 1;
+      live_links_.push_back(l);
+    }
     auto& on_link = flows_on_link_[lu];
     // Seed a link's incidence capacity on first growth: skips the 1→2→4→8
     // doubling chain every busy link would otherwise walk through, which is
@@ -118,16 +127,27 @@ void FlowSim::insert_flow_links(int slot, const Flow& f) {
 
 void FlowSim::remove_flow(int slot) {
   Flow& f = slots_[static_cast<std::size_t>(slot)];
+  warm_record_removal(slot);
+  const auto id_less = [this](int s, std::uint64_t id) {
+    return slots_[static_cast<std::size_t>(s)].id < id;
+  };
   for (int l : f.path) {
     const auto lu = static_cast<std::size_t>(l);
     --link_load_[lu];
     auto& on = flows_on_link_[lu];
-    auto it = std::find(on.begin(), on.end(), slot);
-    assert(it != on.end());
-    *it = on.back();  // order within a link's list is irrelevant (BFS sorts)
-    on.pop_back();
+    // Ordered erase: each link's incidence stays in ascending flow-id order
+    // (inserts append, ids are monotonic), which is the transposed-incidence
+    // order the CSR core freezes flows in — the warm-start solve iterates
+    // these lists directly and must visit flows in exactly that order.
+    auto it = std::lower_bound(on.begin(), on.end(), f.id, id_less);
+    assert(it != on.end() && *it == slot);
+    on.erase(it);
     mark_dirty(l);
   }
+  auto ao = std::lower_bound(active_order_.begin(), active_order_.end(), f.id,
+                             id_less);
+  assert(ao != active_order_.end() && *ao == slot);
+  active_order_.erase(ao);
   if (f.stalled) {
     f.stalled = false;
     --stalled_;
@@ -179,7 +199,8 @@ void FlowSim::set_rate(std::uint64_t id, Flow& f, double rate) {
   f.rate = rate;
 }
 
-void FlowSim::affected_component() {
+void FlowSim::affected_component(double max_flows) {
+  comp_truncated_ = false;
   comp_slots_.clear();
   ++visit_epoch_;
   link_q_.clear();
@@ -195,6 +216,16 @@ void FlowSim::affected_component() {
       if (f.visit_epoch == visit_epoch_) continue;
       f.visit_epoch = visit_epoch_;
       comp_slots_.push_back(s);
+      // Warm-start dispatch only needs to know the component is oversized,
+      // not its full membership: stop the BFS (and skip the sort — contents
+      // become a size witness only) as soon as that is proven, which turns
+      // an incast resolve's O(component) discovery into O(threshold).
+      if (max_flows >= 0.0 &&
+          static_cast<double>(comp_slots_.size()) > max_flows) {
+        comp_truncated_ = true;
+        link_q_.clear();
+        return;
+      }
       for (int pl : f.path) {
         const auto plu = static_cast<std::size_t>(pl);
         if (link_visit_epoch_[plu] != visit_epoch_) {
@@ -299,6 +330,362 @@ void FlowSim::solve_component(const std::vector<int>& comp, SolveStats* ss) {
   }
 }
 
+void FlowSim::warm_record_removal(int slot) {
+  // Extends the delta record consumed by the next warm solve's frozen-prefix
+  // replay (DESIGN.md §9). Only meaningful while the previous resolve was a
+  // warm solve whose metadata is still current.
+  if (!warm_meta_ok_) return;
+  const auto su = static_cast<std::size_t>(slot);
+  if (su < warm_frozen_.size() && warm_frozen_[su] == warm_pass_) {
+    const int lvl = warm_level_[su];
+    if (delta_min_level_ == 0 || lvl < delta_min_level_) delta_min_level_ = lvl;
+  } else {
+    // The flow never went through the last warm solve, so its freeze level
+    // is unknown and the prefix invariant cannot be established.
+    delta_meta_broken_ = true;
+  }
+}
+
+bool FlowSim::warm_memo_lookup() {
+  // The max-min solution is a pure function of (capacities, member paths in
+  // ascending-id order): if the concatenated path stream of the active set
+  // matches a cached generation under the same capacity epoch, its rate
+  // vector applies verbatim — member *ids* may differ (a completed flow
+  // replaced by an identically-routed one), positions and paths are what
+  // determine the arithmetic.
+  const std::uint64_t cap_epoch = fabric_.capacity_epoch();
+  const std::size_t members = active_order_.size();
+  for (WarmMemo& m : memo_) {
+    if (!m.valid || m.cap_epoch != cap_epoch) continue;
+    if (m.offsets.size() != members + 1) continue;
+    bool match = true;
+    for (std::size_t i = 0; i < members && match; ++i) {
+      const Flow& f = slots_[static_cast<std::size_t>(active_order_[i])];
+      const auto b = static_cast<std::size_t>(m.offsets[i]);
+      const auto e = static_cast<std::size_t>(m.offsets[i + 1]);
+      match = (e - b == f.path.size()) &&
+              std::equal(f.path.begin(), f.path.end(), m.stream.begin() + b);
+    }
+    if (!match) continue;
+    for (std::size_t i = 0; i < members; ++i) {
+      Flow& f = slots_[static_cast<std::size_t>(active_order_[i])];
+      set_rate(f.id, f, m.rates[i]);
+    }
+    return true;
+  }
+  return false;
+}
+
+bool FlowSim::warm_single_bottleneck(SolveStats* ss) {
+  // Incast collapses the whole solve into its first iteration: one link is
+  // the unique minimum-share bottleneck and every active flow crosses it, so
+  // the cold solve freezes everybody at min_share in iteration 1 and stops.
+  // Both conditions are checked here against the *initial* state (residual =
+  // capacity, active weight = crosser count — both maintained persistently,
+  // `flows_on_link_` sizes ARE the encounter-pass weights), which makes the
+  // verdict independent of any visit order:
+  //   - min over a set of ratios is exact and order-free, and each ratio
+  //     uses the same expression and the same operands as the cold scan
+  //     (capacity is exact, the accumulated 1.0-sum equals the list size);
+  //   - "exactly one link within cutoff" means the cold firing scan, in
+  //     *whatever* encounter order, skips every link before the firing one
+  //     against unmutated state, fires it, freezes all flows (it crosses
+  //     everyone), and then skips the rest at active weight zero.
+  // Any failed condition returns false and the general path runs instead —
+  // the check costs one O(live links) pass, no per-flow work.
+  const auto& caps = fabric_.effective_capacities();
+  const double inf = std::numeric_limits<double>::infinity();
+  double min_share = inf;
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < live_links_.size(); ++i) {
+    const int l = live_links_[i];
+    const auto lu = static_cast<std::size_t>(l);
+    const std::size_t n = flows_on_link_[lu].size();
+    if (n == 0) {  // lazy compaction of links whose last crosser left
+      live_link_in_[lu] = 0;
+      continue;
+    }
+    live_links_[w++] = l;
+    const double c = caps[lu];
+    if (!std::isfinite(c) || c < 0.0)
+      throw std::invalid_argument(
+          "max_min_rates: capacities must be finite and >= 0");
+    min_share =
+        std::min(min_share, std::max(0.0, c) / static_cast<double>(n));
+  }
+  live_links_.resize(w);
+  if (!std::isfinite(min_share)) return false;  // general path will diagnose
+  const double cutoff = min_share * (1.0 + 1e-9);
+  std::size_t fired_lu = 0;
+  int fired = 0;
+  for (int l : live_links_) {
+    const auto lu = static_cast<std::size_t>(l);
+    const double n = static_cast<double>(flows_on_link_[lu].size());
+    if (std::max(0.0, caps[lu]) / n <= cutoff) {
+      if (++fired > 1) return false;
+      fired_lu = lu;
+    }
+  }
+  if (fired != 1 || flows_on_link_[fired_lu].size() != active_order_.size())
+    return false;
+  if (ss) {
+    ss->iterations = 1;
+    ss->bottleneck_links = 1;
+  }
+  for (int s : active_order_) {
+    Flow& f = slots_[static_cast<std::size_t>(s)];
+    set_rate(f.id, f, min_share);
+  }
+  return true;
+}
+
+void FlowSim::warm_solve(SolveStats* ss) {
+  // Whole-active-set re-solve without leaving the simulator's persistent
+  // state: no BFS completion, no id sort, no CSR re-pack, no link renumber.
+  // `active_order_` is already the cold solve's flow visit order and each
+  // `flows_on_link_` list is already in the cold solve's
+  // transposed-incidence order (ascending flow id), so running the
+  // water-filling loop of `max_min_rates_csr` directly over them performs
+  // the same arithmetic in the same order — rates are bit-identical to the
+  // cold path (the differential suite pins this). Every flow is
+  // unit-weight here; the frozen-prefix replay relies on that.
+  const std::size_t members = active_order_.size();
+  const std::uint64_t cap_epoch = fabric_.capacity_epoch();
+  static obs::Counter& warm_hits =
+      obs::metrics().counter("net.solver.warmstart.hit");
+  static obs::ShardedStats& frontier_stat =
+      obs::metrics().stats("net.solver.frontier_size");
+  warm_hits.inc();
+
+  if (warm_single_bottleneck(ss)) {
+    ++stats_.warm_single_hits;
+    frontier_stat.add(0.0);
+    warm_meta_ok_ = false;  // no fresh freeze metadata this pass
+    return;
+  }
+
+  if (warm_memo_lookup()) {
+    ++stats_.warm_memo_hits;
+    frontier_stat.add(0.0);
+    warm_meta_ok_ = false;  // no fresh freeze metadata this pass
+    return;
+  }
+
+  if (warm_frozen_.size() < slots_.size()) {
+    warm_frozen_.resize(slots_.size(), 0);
+    warm_batch_.resize(slots_.size(), 0);
+    warm_level_.resize(slots_.size(), 0);
+    warm_rate_.resize(slots_.size(), 0.0);
+  }
+  const auto& caps = fabric_.effective_capacities();
+  if (warm_resid_.size() < caps.size()) {
+    warm_resid_.resize(caps.size(), 0.0);
+    warm_aw_.resize(caps.size(), 0.0);
+  }
+
+  // Encounter pass: residual capacity, unfrozen weight and the active-link
+  // list in first-seen order over flows in ascending id — exactly how the
+  // CSR core initialises its scratch from a packed problem.
+  ++remap_epoch_;
+  warm_links_.clear();
+  for (int s : active_order_) {
+    for (int l : slots_[static_cast<std::size_t>(s)].path) {
+      const auto lu = static_cast<std::size_t>(l);
+      if (link_remap_epoch_[lu] != remap_epoch_) {
+        link_remap_epoch_[lu] = remap_epoch_;
+        const double c = caps[lu];
+        if (!std::isfinite(c) || c < 0.0)
+          throw std::invalid_argument(
+              "max_min_rates: capacities must be finite and >= 0");
+        warm_links_.push_back(l);
+        warm_resid_[lu] = c;
+        warm_aw_[lu] = 1.0;
+      } else {
+        warm_aw_[lu] += 1.0;
+      }
+    }
+  }
+
+  ++warm_pass_;
+  std::size_t remaining = members;
+  std::int64_t iterations = 0;
+  std::int64_t bottlenecks = 0;
+  warm_seq2_.clear();
+  warm_seq2_lvl_.clear();
+
+  // Frozen-prefix replay, removal-only deltas: with k* the minimum freeze
+  // level among the flows removed since the previous warm solve, every
+  // freeze below level k* is provably bit-unchanged (DESIGN.md §9 gives the
+  // argument), so re-apply the stored freeze sequence instead of
+  // re-deriving it. `f.rate` still holds the previous solve's rate for
+  // every replayed flow — nothing between two warm solves rewrites rates.
+  std::size_t replayed = 0;
+  if (warm_meta_ok_ && !delta_has_add_ && !delta_meta_broken_ &&
+      cap_epoch == warm_cap_epoch_ && delta_min_level_ > 1) {
+    const int k_star = delta_min_level_;
+    // Levels are nondecreasing along the freeze sequence, and entries at
+    // levels >= k* (which include every removed flow, hence possibly freed
+    // slots) are never touched.
+    for (std::size_t i = 0; i < warm_seq_.size() && warm_seq_lvl_[i] < k_star;
+         ++i) {
+      const int s = warm_seq_[i];
+      const auto su = static_cast<std::size_t>(s);
+      const Flow& f = slots_[su];
+      warm_frozen_[su] = warm_pass_;
+      warm_level_[su] = warm_seq_lvl_[i];
+      warm_rate_[su] = f.rate;
+      warm_seq2_.push_back(s);
+      warm_seq2_lvl_.push_back(warm_seq_lvl_[i]);
+      --remaining;
+      ++replayed;
+      for (int l : f.path) {
+        const auto lu = static_cast<std::size_t>(l);
+        warm_resid_[lu] -= f.rate;
+        warm_aw_[lu] -= 1.0;
+      }
+    }
+    // One stable erase reproduces the incremental per-iteration erases the
+    // cold solve performs across the replayed levels (unit weights make the
+    // threshold exact: active weights are whole numbers, so <= 1e-12 means
+    // exactly zero at every intermediate step too).
+    std::erase_if(warm_links_, [&](int l) {
+      return warm_aw_[static_cast<std::size_t>(l)] <= 1e-12;
+    });
+    // Iteration parity with the cold solve: it would have run k*-1 levels
+    // before reaching new work — or stopped at the last replayed level if
+    // the replay already froze every current member.
+    iterations = (remaining == 0 && !warm_seq2_lvl_.empty())
+                     ? warm_seq2_lvl_.back()
+                     : k_star - 1;
+    if (replayed > 0) ++stats_.warm_prefix_hits;
+  }
+
+  const double inf = std::numeric_limits<double>::infinity();
+  auto scan_min = [&](std::size_t b, std::size_t e) {
+    double m = inf;
+    for (std::size_t i = b; i < e; ++i) {
+      const auto lu = static_cast<std::size_t>(warm_links_[i]);
+      if (warm_aw_[lu] <= 0.0) continue;
+      m = std::min(m, std::max(0.0, warm_resid_[lu]) / warm_aw_[lu]);
+    }
+    return m;
+  };
+
+  while (remaining > 0) {
+    ++iterations;
+    const double min_share =
+        warm_links_.size() >= kParallelScanThreshold
+            ? sim::parallel_reduce(
+                  warm_links_.size(), kScanGrain, inf, scan_min,
+                  [](double a, double b) { return std::min(a, b); })
+            : scan_min(0, warm_links_.size());
+    if (!std::isfinite(min_share))
+      throw std::runtime_error(
+          "max_min_rates: no finite bottleneck share for remaining flows");
+    const double cutoff = min_share * (1.0 + 1e-9);
+    const int level = static_cast<int>(iterations);
+    for (int l : warm_links_) {
+      const auto lu = static_cast<std::size_t>(l);
+      if (warm_aw_[lu] <= 0.0) continue;
+      if (std::max(0.0, warm_resid_[lu]) / warm_aw_[lu] > cutoff) continue;
+      ++bottlenecks;
+      const auto& on = flows_on_link_[lu];
+      // Same serial-vs-batch split as the CSR core (see solver.hpp on why
+      // the batch path is bit-identical); unit rates make the per-link
+      // subtraction values within one batch all equal to min_share.
+      std::size_t batch = 0;
+      if (warm_links_.size() >= kParallelScanThreshold) {
+        for (int s : on)
+          if (warm_frozen_[static_cast<std::size_t>(s)] != warm_pass_) ++batch;
+      }
+      if (batch < kParallelUpdateMin) {
+        for (int s : on) {
+          const auto su = static_cast<std::size_t>(s);
+          if (warm_frozen_[su] == warm_pass_) continue;
+          warm_frozen_[su] = warm_pass_;
+          warm_level_[su] = level;
+          warm_rate_[su] = min_share;
+          warm_seq2_.push_back(s);
+          warm_seq2_lvl_.push_back(level);
+          --remaining;
+          for (int pl : slots_[su].path) {
+            const auto plu = static_cast<std::size_t>(pl);
+            warm_resid_[plu] -= min_share;
+            warm_aw_[plu] -= 1.0;
+          }
+        }
+      } else {
+        ++warm_batch_epoch_;
+        for (int s : on) {
+          const auto su = static_cast<std::size_t>(s);
+          if (warm_frozen_[su] == warm_pass_) continue;
+          warm_frozen_[su] = warm_pass_;
+          warm_level_[su] = level;
+          warm_rate_[su] = min_share;
+          warm_batch_[su] = warm_batch_epoch_;
+          warm_seq2_.push_back(s);
+          warm_seq2_lvl_.push_back(level);
+          --remaining;
+        }
+        sim::parallel_for(
+            warm_links_.size(), kScanGrain, [&](std::size_t b, std::size_t e) {
+              for (std::size_t i = b; i < e; ++i) {
+                const auto lu2 = static_cast<std::size_t>(warm_links_[i]);
+                for (int s : flows_on_link_[lu2]) {
+                  const auto su = static_cast<std::size_t>(s);
+                  if (warm_batch_[su] != warm_batch_epoch_) continue;
+                  warm_resid_[lu2] -= warm_rate_[su];
+                  warm_aw_[lu2] -= 1.0;
+                }
+              }
+            });
+      }
+    }
+    std::erase_if(warm_links_, [&](int l) {
+      return warm_aw_[static_cast<std::size_t>(l)] <= 1e-12;
+    });
+  }
+
+  // Freeze metadata + memo for the next resolve's replay paths, then apply
+  // rates in ascending id order (set_rate early-outs keep accrual schedules
+  // bitwise aligned with the cold path).
+  warm_seq_.swap(warm_seq2_);
+  warm_seq_lvl_.swap(warm_seq2_lvl_);
+  warm_meta_ok_ = true;
+  warm_cap_epoch_ = cap_epoch;
+  delta_has_add_ = false;
+  delta_meta_broken_ = false;
+  delta_min_level_ = 0;
+
+  WarmMemo& m = memo_[memo_next_];
+  memo_next_ ^= 1;
+  m.valid = true;
+  m.cap_epoch = cap_epoch;
+  m.stream.clear();
+  m.offsets.clear();
+  m.rates.clear();
+  m.offsets.push_back(0);
+  for (int s : active_order_) {
+    const Flow& f = slots_[static_cast<std::size_t>(s)];
+    m.stream.insert(m.stream.end(), f.path.begin(), f.path.end());
+    m.offsets.push_back(static_cast<int>(m.stream.size()));
+    m.rates.push_back(warm_rate_[static_cast<std::size_t>(s)]);
+  }
+
+  const std::size_t frontier = members - replayed;
+  stats_.frontier_flows += frontier;
+  frontier_stat.add(static_cast<double>(frontier));
+  if (ss) {
+    ss->iterations = iterations;
+    ss->bottleneck_links = bottlenecks;
+  }
+
+  for (int s : active_order_) {
+    Flow& f = slots_[static_cast<std::size_t>(s)];
+    set_rate(f.id, f, warm_rate_[static_cast<std::size_t>(s)]);
+  }
+}
+
 void FlowSim::resolve_and_schedule() {
   if (has_pending_event_) {
     eng_.cancel(pending_event_);
@@ -311,22 +698,38 @@ void FlowSim::resolve_and_schedule() {
   ++stats_.resolves;
 
   bool full = !cfg_.incremental;
+  bool warm = false;
   if (full) {
     ++stats_.full_solves;
     comp_slots_.clear();
   } else {
-    affected_component();
+    // With warm start enabled the BFS may stop early: it only has to prove
+    // the component oversized — the warm solve re-derives membership from
+    // `active_order_` itself, so `comp_slots_` is just a size lower bound.
+    const double limit =
+        cfg_.fallback_fraction * static_cast<double>(active_count_);
+    affected_component(cfg_.warm_start ? limit : -1.0);
     stats_.largest_component =
         std::max<std::uint64_t>(stats_.largest_component, comp_slots_.size());
-    if (static_cast<double>(comp_slots_.size()) >
-        cfg_.fallback_fraction * static_cast<double>(active_count_)) {
-      full = true;
-      ++stats_.fallback_solves;
+    if (comp_truncated_ ||
+        static_cast<double>(comp_slots_.size()) > limit) {
+      if (cfg_.warm_start) {
+        warm = true;
+        ++stats_.warm_solves;
+      } else {
+        full = true;
+        ++stats_.fallback_solves;
+        static obs::Counter& warm_fb =
+            obs::metrics().counter("net.solver.warmstart.fallback");
+        warm_fb.inc();
+      }
     }
   }
 
   SolveStats ss;
-  if (full) {
+  if (warm) {
+    warm_solve(&ss);
+  } else if (full) {
     // Re-solve the whole active set, decomposed into connected components
     // (flows transitively sharing links) discovered in ascending
     // first-flow-id order. Per-component solutions equal the global solution
@@ -353,22 +756,30 @@ void FlowSim::resolve_and_schedule() {
       ss.bottleneck_links += cs.bottleneck_links;
     }
     comp_slots_ = order_;  // solved set, for the drop sweep below
+    warm_meta_ok_ = false;
   } else if (!comp_slots_.empty()) {
     ++stats_.component_solves;
     solve_component(comp_slots_, &ss);
+    warm_meta_ok_ = false;  // some rates changed outside the warm bookkeeping
   }
-  const std::vector<int>& solved = comp_slots_;
+  const std::vector<int>& solved = warm ? active_order_ : comp_slots_;
   stats_.flows_solved += solved.size();
   stats_.solver_iterations += static_cast<std::uint64_t>(ss.iterations);
   stats_.bottleneck_links += static_cast<std::uint64_t>(ss.bottleneck_links);
 
-  // Per-solve observability: component size, incremental-vs-full choice, and
+  // Per-solve observability: component size, which solve path ran, and
   // solver effort — the numbers that explain where resolve time goes.
-  obs::tracer().instant("net", full ? "resolve_full" : "resolve_component",
-                        eng_.now(),
-                        {{"flows", static_cast<double>(solved.size())},
-                         {"active", static_cast<double>(active_count_)},
-                         {"iterations", static_cast<double>(ss.iterations)}});
+  // `reason` records *why* a full solve was taken: 0 = no fallback (warm or
+  // restricted solve), 1 = incremental disabled, 2 = component exceeded
+  // fallback_fraction with warm start disabled.
+  obs::tracer().instant(
+      "net",
+      warm ? "resolve_warm" : full ? "resolve_full" : "resolve_component",
+      eng_.now(),
+      {{"flows", static_cast<double>(solved.size())},
+       {"active", static_cast<double>(active_count_)},
+       {"iterations", static_cast<double>(ss.iterations)},
+       {"reason", full ? (!cfg_.incremental ? 1.0 : 2.0) : 0.0}});
   {
     static obs::Counter& resolves = obs::metrics().counter("net.resolves");
     static obs::Counter& fulls = obs::metrics().counter("net.full_solves");
@@ -469,16 +880,10 @@ void FlowSim::resolve_and_schedule() {
 void FlowSim::for_each_flow(
     const std::function<void(std::uint64_t, const std::vector<int>&, double,
                              double)>& fn) const {
-  std::vector<std::pair<std::uint64_t, int>> ids;
-  ids.reserve(active_count_);
-  for (std::size_t s = 0; s < slots_.size(); ++s)
-    if (slots_[s].id != 0)
-      ids.emplace_back(slots_[s].id, static_cast<int>(s));
-  std::sort(ids.begin(), ids.end());
   const double now = eng_.now();
-  for (auto [id, s] : ids) {
+  for (int s : active_order_) {
     const Flow& f = slots_[static_cast<std::size_t>(s)];
-    fn(id, f.path, remaining_at(f, now), f.rate);
+    fn(f.id, f.path, remaining_at(f, now), f.rate);
   }
 }
 

@@ -46,10 +46,17 @@ enum class StallPolicy { Stall, Drop };
 
 struct FlowSimConfig {
   bool incremental = true;
-  // Fall back to a full re-solve when the affected component holds more than
-  // this fraction of the active flows (the restricted solve would not be
-  // cheaper, and the full path keeps the oracle exercised).
+  // Hand the resolve to a whole-set solve when the affected component holds
+  // more than this fraction of the active flows (the restricted solve would
+  // not be cheaper).
   double fallback_fraction = 0.5;
+  // Above the fallback fraction, re-solve the whole active set *in place*
+  // over the persistently maintained flow/link incidence (warm start,
+  // DESIGN.md §9): no BFS completion, no id sort, no CSR repack, plus a
+  // solution memo and a removal-only frozen-prefix replay. Rates are
+  // bit-identical to the cold path. `false` restores the PR 5 behaviour —
+  // a cold full re-solve — which stays available as the reference oracle.
+  bool warm_start = true;
   StallPolicy stall_policy = StallPolicy::Stall;
 };
 
@@ -85,9 +92,14 @@ class FlowSim {
   struct Stats {
     std::uint64_t resolves = 0;          // resolve passes over a non-empty set
     std::uint64_t full_solves = 0;       // whole-set solves (incremental off)
-    std::uint64_t fallback_solves = 0;   // component exceeded the threshold
+    std::uint64_t fallback_solves = 0;   // threshold exceeded, cold full solve
+    std::uint64_t warm_solves = 0;       // threshold exceeded, warm-start solve
+    std::uint64_t warm_single_hits = 0;  // single-bottleneck closed-form solves
+    std::uint64_t warm_memo_hits = 0;    // warm solves replayed from the memo
+    std::uint64_t warm_prefix_hits = 0;  // warm solves that replayed a prefix
     std::uint64_t component_solves = 0;  // restricted re-solves
     std::uint64_t flows_solved = 0;      // flows handed to the solver, total
+    std::uint64_t frontier_flows = 0;    // flows actually iterated warm-start
     std::uint64_t solver_iterations = 0;
     std::uint64_t bottleneck_links = 0;
     std::uint64_t largest_component = 0;
@@ -133,8 +145,23 @@ class FlowSim {
   void remove_flow(int slot);  // unlinks + frees the slot; marks links dirty
   void set_rate(std::uint64_t id, Flow& f, double rate);
   // Fills `comp_slots_` with the slots of every flow reachable from the
-  // dirty links via shared-link adjacency, ascending flow-id order.
-  void affected_component();
+  // dirty links via shared-link adjacency, ascending flow-id order. When
+  // `max_flows` >= 0 the BFS stops (and skips the sort — `comp_truncated_`
+  // is set, the contents are only a size witness) as soon as the component
+  // provably exceeds the fallback threshold.
+  void affected_component(double max_flows);
+  // Whole-active-set warm-start solve (DESIGN.md §9): memo lookup, then
+  // removal-only frozen-prefix replay, then in-place water-filling over the
+  // persistent flow/link incidence. Bit-identical to the cold full solve.
+  void warm_solve(SolveStats* ss);
+  void warm_record_removal(int slot);
+  bool warm_memo_lookup();  // true on hit; rates already applied
+  // Single-bottleneck closed form: if exactly one live link fires under the
+  // water-filling cutoff computed against the *initial* state and every
+  // active flow crosses it, the whole solve collapses to rate = min_share
+  // for everyone — order-independent, so it is checked and applied without
+  // the O(flows x hops) passes. True on hit; rates already applied.
+  bool warm_single_bottleneck(SolveStats* ss);
   // Same, seeded from one flow under the caller's visit epoch — the full
   // solve sweeps components with this so fallbacks stay allocation-free.
   void component_from(int seed);
@@ -166,6 +193,52 @@ class FlowSim {
   std::vector<int> comp_slots_;
   std::vector<int> link_q_;      // BFS frontier
   std::vector<int> order_;       // full solve: active slots by ascending id
+  bool comp_truncated_ = false;  // affected_component stopped at max_flows
+  // --- warm start (DESIGN.md §9) ----------------------------------------
+  // Active slots in ascending flow-id order, maintained incrementally
+  // (append on start — ids are monotonic — ordered erase on removal). This
+  // is exactly the order the cold full solve visits flows in, so the warm
+  // pass can skip the per-resolve rebuild + sort.
+  std::vector<int> active_order_;
+  // Links with at least one active crosser, maintained incrementally (append
+  // on first insert, lazily compacted when a scan meets an emptied link).
+  // Only the *set* is meaningful — order is unspecified — which is exactly
+  // enough for the order-free single-bottleneck scan.
+  std::vector<int> live_links_;
+  std::vector<char> live_link_in_;          // [link] membership flag
+  std::vector<int> warm_links_;             // touched links, first-seen order
+  std::vector<double> warm_resid_;          // [link] residual capacity
+  std::vector<double> warm_aw_;             // [link] unfrozen flows crossing
+  std::vector<double> warm_rate_;           // [slot] rate solved this pass
+  std::vector<std::uint64_t> warm_frozen_;  // [slot] == warm_pass_: frozen
+  std::vector<std::uint64_t> warm_batch_;   // [slot] parallel-update stamp
+  std::uint64_t warm_pass_ = 0;
+  std::uint64_t warm_batch_epoch_ = 0;
+  // Frozen-prefix metadata from the previous warm solve (freeze order and
+  // 1-based freeze level per slot), valid while `warm_meta_ok_` holds and
+  // the delta since then is removal-only with min removed level > 1.
+  std::vector<int> warm_level_;     // [slot]
+  std::vector<int> warm_seq_;       // slots in freeze order
+  std::vector<int> warm_seq_lvl_;   // freeze level per warm_seq_ entry
+  std::vector<int> warm_seq2_;      // double buffer for prefix rebuild
+  std::vector<int> warm_seq2_lvl_;
+  bool warm_meta_ok_ = false;
+  std::uint64_t warm_cap_epoch_ = 0;
+  int delta_min_level_ = 0;      // 0 = no removals since last warm solve
+  bool delta_has_add_ = false;
+  bool delta_meta_broken_ = false;
+  // Two-generation solution memo keyed on the exact member path stream (id
+  // order) + capacity epoch: repeated traffic shapes replay their rate
+  // vector wholesale with an empty frontier.
+  struct WarmMemo {
+    bool valid = false;
+    std::uint64_t cap_epoch = 0;
+    std::vector<int> stream;    // concatenated member paths, id order
+    std::vector<int> offsets;   // [members + 1] into stream
+    std::vector<double> rates;  // per member, id order
+  };
+  WarmMemo memo_[2];
+  int memo_next_ = 0;
   std::vector<int> dropped_slots_;
   std::vector<std::uint64_t> dropped_ids_;
   std::vector<int> done_slots_;

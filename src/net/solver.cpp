@@ -12,12 +12,6 @@
 namespace xscale::net {
 namespace {
 
-// Below this many active links the serial min-scan wins; above it the scan
-// is farmed out in fixed 2048-link chunks (min over doubles is exact and
-// order-independent, so the parallel reduce returns the same bits).
-constexpr std::size_t kParallelScanThreshold = 4096;
-constexpr std::size_t kScanGrain = 2048;
-
 // Malformed inputs must not silently become garbage rates (NaN capacities
 // survive the share arithmetic as 0 via std::max, and with -DNDEBUG a bare
 // assert vanishes entirely). These checks hold in release builds.
@@ -188,6 +182,7 @@ void max_min_rates_csr(const double* capacities, std::size_t num_links,
   grew |= ensure(s.t_off, num_links + 1);
   grew |= ensure(s.t_cursor, num_links);
   grew |= ensure(s.t_flow, nnz);
+  grew |= ensure(s.batch_mark, nf);
   if (s.active_links.capacity() < num_links) {
     grew = true;
     s.active_links.reserve(num_links);
@@ -258,17 +253,57 @@ void max_min_rates_csr(const double* capacities, std::size_t num_links,
       if (s.active_w[lu] <= 0.0) continue;
       if (std::max(0.0, s.residual[lu]) / s.active_w[lu] > cutoff) continue;
       ++bottlenecks;
-      for (int ti = s.t_off[lu]; ti < s.t_off[lu + 1]; ++ti) {
-        const auto fu = static_cast<std::size_t>(s.t_flow[static_cast<std::size_t>(ti)]);
-        if (s.frozen[fu]) continue;
-        s.frozen[fu] = 1;
-        rates_out[fu] = min_share * w_of(fu);
-        --remaining;
-        for (int pi = off[fu]; pi < off[fu + 1]; ++pi) {
-          const auto plu = static_cast<std::size_t>(lids[pi]);
-          s.residual[plu] -= rates_out[fu];
-          s.active_w[plu] -= w_of(fu);
+      // Firing-link batch size decides serial vs parallel update. The count
+      // pass only runs when the problem is big enough for the parallel path
+      // to possibly engage, and the gate reads problem state only — same
+      // decision at every thread count.
+      std::size_t batch = 0;
+      if (num_links >= kParallelScanThreshold) {
+        for (int ti = s.t_off[lu]; ti < s.t_off[lu + 1]; ++ti)
+          if (!s.frozen[static_cast<std::size_t>(
+                  s.t_flow[static_cast<std::size_t>(ti)])])
+            ++batch;
+      }
+      if (batch < kParallelUpdateMin) {
+        for (int ti = s.t_off[lu]; ti < s.t_off[lu + 1]; ++ti) {
+          const auto fu = static_cast<std::size_t>(s.t_flow[static_cast<std::size_t>(ti)]);
+          if (s.frozen[fu]) continue;
+          s.frozen[fu] = 1;
+          rates_out[fu] = min_share * w_of(fu);
+          --remaining;
+          for (int pi = off[fu]; pi < off[fu + 1]; ++pi) {
+            const auto plu = static_cast<std::size_t>(lids[pi]);
+            s.residual[plu] -= rates_out[fu];
+            s.active_w[plu] -= w_of(fu);
+          }
         }
+      } else {
+        // Freeze the whole batch first (no subtractions), then apply the
+        // updates per link in transposed-incidence order. No residual or
+        // active-weight value is read between the first freeze and the last
+        // subtraction of a batch on the serial path either, so deferring is
+        // exact; within one batch the serial per-flow subtraction order
+        // restricted to any link is ascending flow id == t_flow order.
+        ++s.batch_epoch;
+        for (int ti = s.t_off[lu]; ti < s.t_off[lu + 1]; ++ti) {
+          const auto fu = static_cast<std::size_t>(s.t_flow[static_cast<std::size_t>(ti)]);
+          if (s.frozen[fu]) continue;
+          s.frozen[fu] = 1;
+          rates_out[fu] = min_share * w_of(fu);
+          s.batch_mark[fu] = s.batch_epoch;
+          --remaining;
+        }
+        sim::parallel_for(num_links, kScanGrain, [&](std::size_t b, std::size_t e) {
+          for (std::size_t l2 = b; l2 < e; ++l2) {
+            for (int ti = s.t_off[l2]; ti < s.t_off[l2 + 1]; ++ti) {
+              const auto fu = static_cast<std::size_t>(
+                  s.t_flow[static_cast<std::size_t>(ti)]);
+              if (s.batch_mark[fu] != s.batch_epoch) continue;
+              s.residual[l2] -= rates_out[fu];
+              s.active_w[l2] -= w_of(fu);
+            }
+          }
+        });
       }
     }
     std::erase_if(s.active_links, [&](int l) {

@@ -21,6 +21,24 @@
 
 namespace xscale::net {
 
+// Parallelisation gates shared by the CSR core and FlowSim's warm-start
+// solve (flowsim.cpp mirrors the core loop over its persistent incidence,
+// DESIGN.md §9). Below kParallelScanThreshold active links the serial
+// min-scan wins; above it the scan is farmed out in kScanGrain-link chunks
+// (min over doubles is exact and order-independent, so the parallel reduce
+// returns the same bits). A single firing link freezing at least
+// kParallelUpdateMin flows has its residual / active-weight updates applied
+// by a parallel per-link sweep instead of the serial per-flow walk. Only
+// batches from ONE firing link qualify: within such a batch the subtraction
+// order projected onto any other link is ascending flow id — exactly the
+// transposed-incidence order — so the parallel sweep performs the same
+// subtractions per link in the same order and the result is bit-identical
+// to the serial path (the gates depend only on problem state, never on the
+// thread count).
+inline constexpr std::size_t kParallelScanThreshold = 4096;
+inline constexpr std::size_t kScanGrain = 2048;
+inline constexpr std::size_t kParallelUpdateMin = 2048;
+
 struct SolveStats {
   // int64: per-component totals accumulated across long churn runs overflow
   // 32 bits (a week-long storage campaign re-solves billions of times).
@@ -73,6 +91,11 @@ struct SolveScratch {
   std::vector<int> t_off;     // [num_links + 1]
   std::vector<int> t_cursor;  // [num_links] fill cursors
   std::vector<int> t_flow;    // [nnz]
+  // Parallel rate-update support: flows frozen by the current large batch
+  // carry the current epoch, so the per-link update sweep can identify them
+  // without any per-solve clearing (epoch grows monotonically).
+  std::vector<std::uint64_t> batch_mark;  // [num_flows]
+  std::uint64_t batch_epoch = 0;
   // Set by `max_min_rates_csr`: whether the last solve had to grow any
   // buffer. Owners with deterministic call sites use it to feed the
   // `net.solver.scratch_reuse` counter (the solver itself does not count —

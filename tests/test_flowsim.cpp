@@ -11,6 +11,7 @@
 #include "net/flowsim.hpp"
 #include "net/solver.hpp"
 #include "sim/engine.hpp"
+#include "sim/parallel.hpp"
 #include "sim/rng.hpp"
 #include "topo/topology.hpp"
 
@@ -233,6 +234,219 @@ TEST(FlowSim, EngineHeapBoundedAcrossMillionOpChurn) {
   EXPECT_EQ(fs.active_flows(), 0u);
   // The incremental machinery was engaged, not bypassed, during the churn.
   EXPECT_GT(fs.stats().component_solves, 0u);
+}
+
+// ------------------------------------------------------------ warm start ---
+
+// Restores the configured thread count after a test that sweeps it.
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { sim::set_thread_count(1); }
+};
+
+enum class Shape { Incast, AllToAll, Permutation };
+
+// Deterministic churn of `total` flows in the given traffic shape with a
+// ~24-flow replacement window; returns the completion-time sequence. The
+// same seed drives every configuration, so any divergence between warm and
+// cold (or across thread counts) shows up as a completion-time mismatch.
+std::vector<double> run_shape(Shape shape, bool warm_start, int threads,
+                              int* oracle_checks) {
+  sim::set_thread_count(threads);
+  sim::Engine eng;
+  auto fabric = small_dragonfly(net::Routing::Minimal);
+  // A low fallback fraction pushes even moderate merged components through
+  // the warm (or, with warm_start off, the cold fallback) whole-set path.
+  net::FlowSim fs(eng, fabric,
+                  {.fallback_fraction = 0.25, .warm_start = warm_start});
+  sim::Rng rng(4242);
+  const int eps = fabric.topology().num_endpoints();
+  const int total = 160;
+  int launched = 0, completed = 0;
+  std::vector<double> times;
+  std::function<void()> launch = [&] {
+    if (launched >= total) return;
+    const int i = launched++;
+    int src = 0, dst = 0;
+    switch (shape) {
+      case Shape::Incast:
+        src = 1 + static_cast<int>(rng.index(static_cast<std::uint64_t>(eps - 1)));
+        dst = 0;
+        break;
+      case Shape::AllToAll:
+        src = static_cast<int>(rng.index(static_cast<std::uint64_t>(eps)));
+        dst = static_cast<int>(rng.index(static_cast<std::uint64_t>(eps)));
+        if (dst == src) dst = (dst + 1) % eps;
+        break;
+      case Shape::Permutation:
+        src = i % eps;
+        dst = (src + 37) % eps;
+        break;
+    }
+    fs.start(src, dst, rng.uniform(1e6, 2e8), [&] {
+      ++completed;
+      times.push_back(eng.now());
+      if (oracle_checks && completed % 16 == 0)
+        *oracle_checks += check_against_oracle(fs, fabric);
+      launch();
+    });
+  };
+  for (int i = 0; i < 24; ++i) launch();
+  eng.run();
+  EXPECT_EQ(completed, total);
+  if (warm_start && shape == Shape::Incast) {
+    // The cliff pattern must actually ride the new path, not fall back —
+    // and mostly through the single-bottleneck closed form (one ejection
+    // link is the unique minimum and every flow crosses it).
+    EXPECT_GT(fs.stats().warm_solves, 0u);
+    EXPECT_GT(fs.stats().warm_single_hits, 0u);
+    EXPECT_EQ(fs.stats().fallback_solves, 0u);
+  }
+  return times;
+}
+
+// The tentpole contract: the warm-start whole-set solve is bit-identical to
+// the cold full solve (and both to the reference oracle) under incast,
+// all-to-all and permutation churn, at every thread count.
+TEST(FlowSimWarmStart, MatchesColdAndOracleAcrossShapesAndThreads) {
+  ThreadCountGuard guard;
+  for (Shape shape : {Shape::Incast, Shape::AllToAll, Shape::Permutation}) {
+    sim::set_thread_count(1);
+    const auto baseline = run_shape(shape, /*warm_start=*/false, 1, nullptr);
+    for (int threads : {1, 2, 8}) {
+      int checks = 0;
+      const auto times = run_shape(shape, /*warm_start=*/true, threads, &checks);
+      ASSERT_EQ(times.size(), baseline.size());
+      for (std::size_t i = 0; i < times.size(); ++i)
+        EXPECT_EQ(times[i], baseline[i])
+            << "shape=" << static_cast<int>(shape) << " threads=" << threads
+            << " completion " << i;
+      EXPECT_GT(checks, 0);
+    }
+  }
+}
+
+// Property: repeated no-op churn — add a flow, let it complete, add an
+// identically-routed one — settles into pure memo replay: the warm solve
+// recognises the recurring path streams, the frontier stops growing, and
+// rates stay oracle-exact.
+TEST(FlowSimWarmStart, NoOpChurnReplaysFromMemoWithEmptyFrontier) {
+  sim::Engine eng;
+  auto fabric = small_dragonfly(net::Routing::Minimal);
+  net::FlowSim fs(eng, fabric);
+  // Two incast groups with different fan-in (13 flows into endpoint 0,
+  // 11 into endpoint 1) make a genuinely multi-level solution, so the
+  // single-bottleneck closed form declines and the memo is what serves the
+  // recurring streams.
+  for (int s = 4; s < 17; ++s) fs.start(s, 0, 1e12, [] {});
+  for (int s = 17; s < 28; ++s) fs.start(s, 1, 1e12, [] {});
+  const int cycles = 6;
+  int done = 0;
+  std::uint64_t frontier_at_first_cycle = 0;
+  std::uint64_t memo_hits_at_last_cycle = 0;
+  std::uint64_t frontier_at_last_cycle = 0;
+  std::function<void()> tick = [&] {
+    fs.start(100, 0, 1e3, [&] {
+      ++done;
+      if (done == 1) frontier_at_first_cycle = fs.stats().frontier_flows;
+      if (done < cycles) {
+        tick();
+      } else {
+        memo_hits_at_last_cycle = fs.stats().warm_memo_hits;
+        frontier_at_last_cycle = fs.stats().frontier_flows;
+        check_against_oracle(fs, fabric);
+      }
+    });
+  };
+  tick();
+  eng.run();
+  // Every resolve after the first full add/remove cycle replays the memo:
+  // removals return to the 24-flow base state, re-adds reproduce the 25-flow
+  // stream (the new flow appends at the end with an identical path).
+  EXPECT_EQ(memo_hits_at_last_cycle,
+            static_cast<std::uint64_t>(2 * cycles - 1));
+  EXPECT_EQ(frontier_at_last_cycle, frontier_at_first_cycle);
+  EXPECT_EQ(fs.stats().fallback_solves, 0u);
+  EXPECT_GT(fs.stats().warm_solves, 0u);
+}
+
+// The warm solve's batched update path — one firing link freezing more than
+// kParallelUpdateMin flows in a set touching more than kParallelScanThreshold
+// links — pinned against the oracle at every thread count. Synthetic paths
+// give the scale without a 4096-endpoint topology: every incast flow crosses
+// the shared link 0 plus two private links.
+TEST(FlowSimWarmStart, BatchedUpdatePathMatchesOracleAcrossThreads) {
+  ThreadCountGuard guard;
+  for (int threads : {1, 2, 8}) {
+    sim::set_thread_count(threads);
+    sim::Engine eng;
+    auto t = topo::Topology::uniform_dragonfly(16, {16, 4}, 1, 25e9, 180e-9);
+    net::Fabric fabric(std::move(t), net::FabricConfig{});
+    const std::size_t incast = 2100;
+    const std::size_t extras = 50;
+    ASSERT_GE(fabric.topology().links().size(), 1 + 2 * incast);
+    ASSERT_GT(incast, net::kParallelUpdateMin);
+    net::FlowSim fs(eng, fabric);
+    int done = 0;
+    for (std::size_t f = 0; f < incast; ++f)
+      fs.start_on_path({0, static_cast<int>(1 + 2 * f),
+                        static_cast<int>(2 + 2 * f)},
+                       1e9, [&] { ++done; });
+    // Extra flows that do NOT cross link 0 (each rides one incast flow's
+    // private link): with them present, link 0 no longer covers the whole
+    // active set, so the single-bottleneck closed form declines and the
+    // resolve runs the general warm loop — whose first iteration freezes
+    // the 2100-flow batch through the parallel update path under test.
+    for (std::size_t g = 0; g < extras; ++g)
+      fs.start_on_path({static_cast<int>(1 + 2 * g)}, 1e9, [&] { ++done; });
+    check_against_oracle(fs, fabric);
+    EXPECT_GT(fs.stats().warm_solves, 2000u);
+    EXPECT_GT(fs.stats().warm_single_hits, 0u);  // pure-incast ramp-up
+    EXPECT_GT(fs.stats().warm_solves,
+              fs.stats().warm_single_hits + extras);  // general loop ran too
+    EXPECT_EQ(fs.stats().fallback_solves, 0u);
+    eng.run();
+    EXPECT_EQ(done, static_cast<int>(incast + extras));
+  }
+}
+
+// Property: a removal-only delta whose removed flow froze *after* the first
+// water-filling level replays the untouched frozen prefix instead of
+// re-deriving it — here the level-1 incast victims are re-frozen wholesale
+// and only the surviving level-2 flow is iterated.
+TEST(FlowSimWarmStart, RemovalOnlyDeltaReplaysFrozenPrefix) {
+  sim::Engine eng;
+  auto fabric = small_dragonfly(net::Routing::Minimal);
+  net::FlowSim fs(eng, fabric);
+  // B goes first (so its removal later yields a path stream the two-slot
+  // memo no longer holds, forcing the frozen-prefix path rather than a memo
+  // hit): a group-2 source to an uncongested group-0 endpoint. It shares
+  // its injection and global links with the incast flows below but is alone
+  // on its ejection link, so it freezes at level 2 — and completes long
+  // before the level-1 incast victims.
+  bool b_done = false;
+  net::FlowSim::Stats after_add{};
+  fs.start(33, 12, 1e9, [&] {
+    b_done = true;
+    const auto& st = fs.stats();
+    EXPECT_EQ(st.warm_prefix_hits, after_add.warm_prefix_hits + 1);
+    EXPECT_EQ(st.warm_memo_hits, after_add.warm_memo_hits);
+    // All 16 level-1 survivors were replayed: only C (level 2) was
+    // re-derived, so this resolve contributed exactly one frontier flow.
+    EXPECT_EQ(st.frontier_flows, after_add.frontier_flows + 1);
+    check_against_oracle(fs, fabric);
+  });
+  // C persists past B's completion and also freezes at level 2 (another
+  // group-2 source alone on its group-0 ejection link). With C around, the
+  // post-removal set is not a pure single-bottleneck incast, so the closed
+  // form declines and the frozen-prefix replay is what must serve it.
+  fs.start(40, 13, 1e12, [] {});
+  // 16 incast flows pinned at level 1 by endpoint 0's ejection link; their
+  // sources include group 2, connecting them to B's and C's links.
+  for (int k = 0; k < 16; ++k) fs.start(20 + k, 0, 1e12, [] {});
+  after_add = fs.stats();  // B's completion callback fires inside run()
+  eng.run();
+  EXPECT_TRUE(b_done);
+  EXPECT_EQ(fs.stats().fallback_solves, 0u);
 }
 
 }  // namespace

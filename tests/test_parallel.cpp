@@ -124,6 +124,37 @@ TEST(ThreadPool, ParallelEmitConcatenatesInChunkOrder) {
   EXPECT_EQ(serial, emit());
 }
 
+// The CSR core's batched rate-update path: one firing link freezing more
+// than kParallelUpdateMin flows, in a problem with enough links to open the
+// parallel gates. The last 50 flows ride private links whose residuals are
+// written by the batched sweep, so their level-2 rates expose any wrong or
+// misordered subtraction. Must be bit-identical to the reference at every
+// thread count.
+TEST(ThreadPool, SolverBatchUpdatePathMatchesReferenceAcrossThreads) {
+  ThreadCountGuard guard;
+  const std::size_t incast = 2050;
+  const std::size_t extras = 50;
+  const std::size_t num_links = 1 + 2 * incast;  // 4101
+  ASSERT_GE(num_links, net::kParallelScanThreshold);
+  ASSERT_GT(incast, net::kParallelUpdateMin);
+  std::vector<double> caps(num_links, 25e9);
+  caps[0] = 10e9;  // shared bottleneck: fires first, freezes all incast flows
+  std::vector<std::vector<int>> paths;
+  for (std::size_t f = 0; f < incast; ++f)
+    paths.push_back({0, static_cast<int>(1 + 2 * f), static_cast<int>(2 + 2 * f)});
+  for (std::size_t g = 0; g < extras; ++g)
+    paths.push_back({static_cast<int>(1 + 2 * g)});  // shares a private link
+  sim::set_thread_count(1);
+  const auto oracle = net::max_min_rates_reference(caps, paths);
+  for (int threads : {1, 2, 8}) {
+    sim::set_thread_count(threads);
+    const auto got = net::max_min_rates(caps, paths);
+    ASSERT_EQ(got.size(), oracle.size());
+    for (std::size_t f = 0; f < got.size(); ++f)
+      EXPECT_EQ(got[f], oracle[f]) << "threads=" << threads << " flow=" << f;
+  }
+}
+
 TEST(ThreadPool, NestedCallsRunInline) {
   ThreadCountGuard guard;
   sim::set_thread_count(4);

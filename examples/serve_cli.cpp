@@ -1,0 +1,52 @@
+// xscale-as-a-service, smallest possible transport: the line protocol from
+// serve::Frontend over stdin/stdout. Pipe a script in, or wrap the binary
+// with `socat TCP-LISTEN:… EXEC:…` for an actual socket — the protocol layer
+// neither knows nor cares.
+//
+//   ./serve_cli [endpoints] [max_sessions]
+//
+// Builds one shared TopologySnapshot for a dragonfly of `endpoints`
+// (default 1024) and serves concurrent failure-overlay scenarios against it.
+//
+// Example session:
+//   OPEN                     -> OK 0
+//   FAIL 0 7                 -> OK
+//   FLOW 0 0 512 1e9         -> OK
+//   SUBMIT 0                 -> OK 1
+//   RUN                      -> RESULT 0 0 <makespan> 0 / OK 1
+//   METRICS                  -> METRIC serve.* ... / OK
+//   QUIT                     -> OK
+#include <cstdlib>
+#include <iostream>
+
+#include "serve/frontend.hpp"
+#include "topo/topology.hpp"
+
+namespace {
+
+xscale::topo::Topology build_topology(int endpoints) {
+  using xscale::topo::Topology;
+  // Same shape table as bench/micro_flowsim: groups x switches x endpoints.
+  if (endpoints <= 128) return Topology::uniform_dragonfly(8, {4, 4}, 1, 25e9, 180e-9);
+  if (endpoints <= 512) return Topology::uniform_dragonfly(8, {8, 8}, 1, 25e9, 180e-9);
+  return Topology::uniform_dragonfly(16, {8, 8}, 1, 25e9, 180e-9);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int endpoints = argc > 1 ? std::atoi(argv[1]) : 1024;
+  const int max_sessions = argc > 2 ? std::atoi(argv[2]) : 64;
+
+  auto snap = xscale::net::make_snapshot(build_topology(endpoints));
+  std::cerr << "serve_cli: " << snap->topology().num_endpoints()
+            << " endpoints, " << snap->num_links() << " links, up to "
+            << max_sessions << " sessions\n";
+
+  xscale::serve::BatcherConfig cfg;
+  cfg.max_sessions = max_sessions;
+  xscale::serve::Batcher batcher(snap, cfg);
+  xscale::serve::Frontend frontend(batcher);
+  frontend.serve(std::cin, std::cout);
+  return 0;
+}

@@ -30,6 +30,7 @@ import statistics
 import sys
 
 CHURN = "micro_flowsim/BM_FlowChurn"
+SERVE = "micro_serve/BM_ServeBatch"
 
 
 def load(path):
@@ -92,6 +93,27 @@ def check_structural(cur, errors):
                  f"incast_incremental/1024 ({a:.0f} items/s) is more than "
                  f"2x slower than permutation_incremental/1024 ({p:.0f})")
 
+    # Serving-path gate (ISSUE 7): 64 concurrent overlay sessions over one
+    # shared snapshot must keep at least half the single-session per-scenario
+    # throughput in the same run. If cross-session invalidation creeps back in
+    # (shared cache resets, sibling epoch bumps), memo and route-cache hit
+    # rates collapse and this same-machine ratio craters well below 0.5.
+    serve_many = cur.get(f"{SERVE}/64")
+    serve_one = cur.get(f"{SERVE}/1")
+    if serve_many and serve_one:
+        m = serve_many.get("items_per_second", 0.0)
+        o = serve_one.get("items_per_second", 0.0)
+        if o > 0 and m < 0.5 * o:
+            fail(errors,
+                 f"ServeBatch/64 ({m:.0f} scenarios/s) is below half of "
+                 f"ServeBatch/1 ({o:.0f}): cross-session invalidation "
+                 "suspected")
+        stale = serve_many.get("memo_stale")
+        if stale is not None and stale > 0:
+            fail(errors,
+                 f"ServeBatch/64: memo_stale = {stale} (sessions must never "
+                 "see their memos invalidated by siblings)")
+
 
 def check_regression(base, cur, tolerance, errors):
     ratios = {}
@@ -137,6 +159,17 @@ def main():
         cur = bench_map(load(args.current))
     except (OSError, json.JSONDecodeError) as e:
         print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    # An empty shared set means the two snapshots describe different benchmark
+    # suites (e.g. a rename landed without re-recording the baseline). Every
+    # per-name lookup above would quietly find nothing and the gate would pass
+    # while checking nothing — that is a usage error, not a pass.
+    if not (set(base) & set(cur)):
+        print(f"error: no benchmarks shared between baseline "
+              f"'{args.baseline}' ({len(base)} benchmarks) and current "
+              f"'{args.current}' ({len(cur)} benchmarks); re-record the "
+              "baseline with scripts/record_bench.sh", file=sys.stderr)
         return 2
 
     errors = []

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Record the solver/engine perf trajectory: run the micro benchmarks
-# (micro_flowsim, micro_simcore) and write a trimmed snapshot to
+# (micro_flowsim, micro_simcore, micro_serve) and write a trimmed snapshot to
 # BENCH_flowsim.json at the repo root, so later PRs can diff ops/s and the
 # allocations-per-resolve counter against this one.
 #
@@ -39,7 +39,7 @@ fi
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
-for bench in micro_flowsim micro_simcore; do
+for bench in micro_flowsim micro_simcore micro_serve; do
   bin="$BUILD/bench/$bench"
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not built (cmake --build $BUILD --target $bench)" >&2
@@ -64,7 +64,7 @@ def rev():
         return "unknown"
 
 snapshot = {"git": rev(), "benchmarks": {}}
-for name in ("micro_flowsim", "micro_simcore"):
+for name in ("micro_flowsim", "micro_simcore", "micro_serve"):
     with open(f"{tmp}/{name}.json") as f:
         data = json.load(f)
     if "context" not in snapshot:
@@ -82,7 +82,8 @@ for name in ("micro_flowsim", "micro_simcore"):
                  if b.get("time_unit") == "ns" else round(b["real_time"], 3)}
         for k in ("items_per_second", "allocs/resolve", "allocs/op",
                   "comp_avg", "fallback%", "warm%", "frontier_avg",
-                  "threads", "heap", "stale"):
+                  "threads", "heap", "stale",
+                  "warm_memo%", "memo_stale", "epochs_max", "reroutes"):
             if k in b:
                 entry[k] = round(b[k], 6)
         snapshot["benchmarks"][f"{name}/{b['name']}"] = entry

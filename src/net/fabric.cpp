@@ -1,346 +1,133 @@
 #include "net/fabric.hpp"
 
 #include <algorithm>
-#include <array>
-#include <cassert>
-#include <mutex>
 #include <stdexcept>
-
-#include "obs/metrics.hpp"
+#include <string>
+#include <utility>
 
 namespace xscale::net {
 
-namespace {
+// --- FabricOverlay -----------------------------------------------------------
 
-obs::Counter& route_cache_hit() {
-  static obs::Counter& c = obs::metrics().counter("net.route_cache.hit");
-  return c;
+FabricOverlay::FabricOverlay(std::shared_ptr<const TopologySnapshot> snap)
+    : snap_(std::move(snap)) {
+  if (!snap_) throw std::invalid_argument("FabricOverlay: null snapshot");
 }
 
-obs::Counter& route_cache_miss() {
-  static obs::Counter& c = obs::metrics().counter("net.route_cache.miss");
-  return c;
+std::size_t FabricOverlay::check_link(int link_id) const {
+  const auto id = static_cast<std::size_t>(link_id);
+  if (link_id < 0 || id >= snap_->num_links())
+    throw std::out_of_range("FabricOverlay: link id " + std::to_string(link_id) +
+                            " out of range [0, " +
+                            std::to_string(snap_->num_links()) + ")");
+  return id;
 }
 
-// SplitMix64 finalizer: spreads the (src<<32 | dst) key over the
-// direct-mapped table so shift patterns don't alias into one stripe.
-inline std::uint64_t mix64(std::uint64_t x) {
-  x ^= x >> 33;
-  x *= 0xff51afd7ed558ccdULL;
-  x ^= x >> 33;
-  x *= 0xc4ceb9fe1a85ec53ULL;
-  x ^= x >> 33;
-  return x;
+void FabricOverlay::materialize() {
+  if (failed_.empty()) failed_.assign(snap_->num_links(), 0);
+  if (cow_cap_.empty()) cow_cap_ = snap_->base_capacities();
 }
 
-}  // namespace
+double FabricOverlay::restored_capacity(int link_id) const {
+  for (const auto& [id, cap] : overrides_)
+    if (id == link_id) return cap;
+  return snap_->base_capacities()[static_cast<std::size_t>(link_id)];
+}
 
-// Two-level minimal-route memo (DESIGN.md §8).
-//
-// Level 1: dense switch-pair table. One entry per ordered (sa, sb) pair,
-// filled lazily under std::call_once (a throwing computation — no live
-// inter-group route — leaves the flag unset, so the next caller retries and
-// observes the same throw). The switch segment of a minimal path is at most
-// 5 links (worst case, failure detour: local hop to gateway, global,
-// intra-detour-group local, global, local hop from gateway). Only built when
-// the pair count is small enough to commit the table up front; the full
-// Frontier fabric (~2,450 switches) skips it and relies on level 2.
-//
-// Level 2: direct-mapped endpoint-pair table, key (src<<32)|dst, holding the
-// complete path (<= 7 links: injection + segment + ejection). Collisions
-// overwrite — it is a cache, not a map. Entries are guarded by sharded
-// mutexes (slot -> shard) so concurrent steady_rates callers can probe and
-// fill without a global lock.
-struct Fabric::RouteCache {
-  static constexpr std::uint64_t kEmptyKey = ~0ULL;
-  static constexpr std::size_t kMaxDenseSwitchPairs = std::size_t{1} << 19;
-  static constexpr std::size_t kShards = 64;
+bool FabricOverlay::fail_link(int link_id) {
+  const std::size_t id = check_link(link_id);
+  if (!failed_.empty() && failed_[id]) return false;  // idempotent no-op
+  materialize();
+  failed_[id] = 1;
+  failed_ids_.push_back(link_id);
+  if (snap_->topology().link(link_id).kind == topo::LinkKind::Global)
+    ++failed_globals_;
+  cow_cap_[id] = 0.0;
+  ++cap_epoch_;
+  return true;
+}
 
-  struct SwSeg {
-    std::once_flag once;
-    int n = 0;
-    int links[5];
-  };
+bool FabricOverlay::restore_link(int link_id) {
+  const std::size_t id = check_link(link_id);
+  if (failed_.empty() || !failed_[id]) return false;  // idempotent no-op
+  failed_[id] = 0;
+  failed_ids_.erase(std::find(failed_ids_.begin(), failed_ids_.end(), link_id));
+  if (snap_->topology().link(link_id).kind == topo::LinkKind::Global)
+    --failed_globals_;
+  cow_cap_[id] = restored_capacity(link_id);
+  ++cap_epoch_;
+  return true;
+}
 
-  struct EpEntry {
-    std::uint64_t key = kEmptyKey;
-    int n = 0;
-    int links[8];
-  };
-
-  int num_switches = 0;
-  std::unique_ptr<SwSeg[]> sw;  // num_switches^2 entries; null when gated off
-
-  std::uint64_t ep_mask = 0;
-  std::vector<EpEntry> ep;
-  std::array<std::mutex, kShards> mu;
-};
-
-const char* to_string(Routing r) {
-  switch (r) {
-    case Routing::Minimal: return "minimal";
-    case Routing::Valiant: return "valiant";
-    case Routing::Adaptive: return "adaptive";
+bool FabricOverlay::set_link_capacity(int link_id, double capacity) {
+  const std::size_t id = check_link(link_id);
+  for (auto& [oid, cap] : overrides_) {
+    if (oid != link_id) continue;
+    if (cap == capacity) return false;
+    cap = capacity;
+    const bool was_live = failed_.empty() || !failed_[id];
+    if (was_live) {  // a failed link stays at 0: no observable change yet
+      cow_cap_[id] = capacity;
+      ++cap_epoch_;
+    }
+    return was_live;
   }
-  return "?";
+  overrides_.emplace_back(link_id, capacity);
+  const bool live = failed_.empty() || !failed_[id];
+  if (live && effective_capacities()[id] == capacity) return false;
+  materialize();
+  if (live) {
+    cow_cap_[id] = capacity;
+    ++cap_epoch_;
+  }
+  return live;
 }
+
+bool FabricOverlay::clear_link_capacity(int link_id) {
+  const std::size_t id = check_link(link_id);
+  auto it = std::find_if(overrides_.begin(), overrides_.end(),
+                         [&](const auto& o) { return o.first == link_id; });
+  if (it == overrides_.end()) return false;
+  overrides_.erase(it);
+  if (!failed_.empty() && failed_[id]) return false;  // takes effect on restore
+  const double base = snap_->base_capacities()[id];
+  if (!cow_cap_.empty() && cow_cap_[id] != base) {
+    cow_cap_[id] = base;
+    ++cap_epoch_;
+    return true;
+  }
+  return false;
+}
+
+bool FabricOverlay::clear() {
+  const bool changed = !failed_ids_.empty() ||
+                       (!cow_cap_.empty() && cow_cap_ != snap_->base_capacities());
+  if (!failed_.empty()) std::fill(failed_.begin(), failed_.end(), char{0});
+  failed_ids_.clear();
+  overrides_.clear();
+  failed_globals_ = 0;
+  if (!cow_cap_.empty()) cow_cap_ = snap_->base_capacities();
+  if (changed) ++cap_epoch_;
+  return changed;
+}
+
+// --- Fabric ------------------------------------------------------------------
 
 Fabric::Fabric(topo::Topology topology, FabricConfig cfg)
-    : topo_(std::move(topology)), cfg_(cfg) {
-  failed_.assign(topo_.links().size(), 0);
-  eff_cap_.reserve(topo_.links().size());
-  for (const auto& l : topo_.links()) {
-    const bool terminal = l.kind == topo::LinkKind::Injection ||
-                          l.kind == topo::LinkKind::Ejection;
-    eff_cap_.push_back(terminal ? l.capacity * cfg_.nic_efficiency : l.capacity);
-  }
-  reset_route_cache();
-}
+    : snap_(make_snapshot(std::move(topology), cfg)), overlay_(snap_) {}
+
+Fabric::Fabric(std::shared_ptr<const TopologySnapshot> snapshot)
+    : snap_(std::move(snapshot)), overlay_(snap_) {}
 
 Fabric::~Fabric() = default;
 Fabric::Fabric(Fabric&&) noexcept = default;
 Fabric& Fabric::operator=(Fabric&&) noexcept = default;
 
-void Fabric::reset_route_cache() {
-  if (!cfg_.route_cache) {
-    cache_.reset();
-    return;
-  }
-  auto rc = std::make_unique<RouteCache>();
-  rc->num_switches = topo_.num_switches();
-  const std::size_t nsw = static_cast<std::size_t>(rc->num_switches);
-  if (nsw * nsw <= RouteCache::kMaxDenseSwitchPairs)
-    rc->sw = std::make_unique<RouteCache::SwSeg[]>(nsw * nsw);
-  // Endpoint-pair slots: ~8 per endpoint, power of two, bounded so a
-  // Frontier-scale fabric commits a few tens of MB at most.
-  std::size_t want = static_cast<std::size_t>(topo_.num_endpoints()) * 8;
-  want = std::clamp<std::size_t>(want, std::size_t{1} << 12, std::size_t{1} << 20);
-  std::size_t slots = 1;
-  while (slots < want) slots <<= 1;
-  rc->ep_mask = slots - 1;
-  rc->ep.resize(slots);
-  cache_ = std::move(rc);
-}
-
-int Fabric::compute_switch_segment(int sa, int sb, int* out) const {
-  assert(sa != sb);
-  if (topo_.is_fat_tree()) {
-    const int core = topo_.num_switches() - 1;
-    out[0] = topo_.switch_link(sa, core);
-    out[1] = topo_.switch_link(core, sb);
-    return 2;
-  }
-  const int ga = topo_.group_of_switch(sa);
-  const int gb = topo_.group_of_switch(sb);
-  if (ga == gb) {
-    out[0] = topo_.switch_link(sa, sb);
-    return 1;
-  }
-  const int gl = topo_.global_link(ga, gb);
-  if (gl < 0) throw std::runtime_error("groups not connected");
-  if (failed_[static_cast<std::size_t>(gl)]) {
-    // Fabric-manager reroute: the direct bundle is down; take the
-    // first live one-intermediate-group detour (deterministic sweep).
-    for (int gi = 0; gi < topo_.num_groups(); ++gi) {
-      if (gi == ga || gi == gb) continue;
-      const int l1 = topo_.global_link(ga, gi);
-      const int l2 = topo_.global_link(gi, gb);
-      if (l1 < 0 || l2 < 0) continue;
-      if (failed_[static_cast<std::size_t>(l1)] ||
-          failed_[static_cast<std::size_t>(l2)])
-        continue;
-      int n = 0;
-      const int gw_a = topo_.gateway_switch(ga, gi);
-      if (sa != gw_a) out[n++] = topo_.switch_link(sa, gw_a);
-      out[n++] = l1;
-      const int in_i = topo_.gateway_switch(gi, ga);
-      const int out_i = topo_.gateway_switch(gi, gb);
-      if (in_i != out_i) out[n++] = topo_.switch_link(in_i, out_i);
-      out[n++] = l2;
-      const int gw_b = topo_.gateway_switch(gb, gi);
-      if (gw_b != sb) out[n++] = topo_.switch_link(gw_b, sb);
-      return n;
-    }
-    throw std::runtime_error("no live route between groups");
-  }
-  int n = 0;
-  const int gwa = topo_.gateway_switch(ga, gb);
-  const int gwb = topo_.gateway_switch(gb, ga);
-  if (sa != gwa) out[n++] = topo_.switch_link(sa, gwa);
-  out[n++] = gl;
-  if (gwb != sb) out[n++] = topo_.switch_link(gwb, sb);
-  return n;
-}
-
-void Fabric::append_switch_segment(int sa, int sb, std::vector<int>& out) const {
-  int seg[5];
-  const int n = compute_switch_segment(sa, sb, seg);
-  out.insert(out.end(), seg, seg + n);
-}
-
-void Fabric::minimal_path_fresh(int src_ep, int dst_ep,
-                                std::vector<int>& out) const {
-  assert(src_ep != dst_ep);
-  out.push_back(topo_.injection_link(src_ep));
-  const int sa = topo_.endpoint_switch(src_ep);
-  const int sb = topo_.endpoint_switch(dst_ep);
-  if (sa != sb) append_switch_segment(sa, sb, out);
-  out.push_back(topo_.ejection_link(dst_ep));
-}
-
-void Fabric::minimal_path_into(int src_ep, int dst_ep,
-                               std::vector<int>& out) const {
-  out.clear();
-  RouteCache* rc = cache_.get();
-  if (rc == nullptr) {
-    minimal_path_fresh(src_ep, dst_ep, out);
-    return;
-  }
-  const std::uint64_t key =
-      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src_ep)) << 32) |
-      static_cast<std::uint32_t>(dst_ep);
-  const std::size_t slot = static_cast<std::size_t>(mix64(key) & rc->ep_mask);
-  RouteCache::EpEntry& e = rc->ep[slot];
-  std::mutex& mu = rc->mu[slot & (RouteCache::kShards - 1)];
-  {
-    std::lock_guard<std::mutex> lk(mu);
-    if (e.key == key) {
-      out.assign(e.links, e.links + e.n);
-      route_cache_hit().inc();
-      return;
-    }
-  }
-  // Assemble into a stack buffer, serving the switch segment from the dense
-  // table when available. compute_switch_segment may throw ("no live route");
-  // nothing is cached in that case.
-  assert(src_ep != dst_ep);
-  int buf[8];
-  int n = 0;
-  buf[n++] = topo_.injection_link(src_ep);
-  const int sa = topo_.endpoint_switch(src_ep);
-  const int sb = topo_.endpoint_switch(dst_ep);
-  if (sa != sb) {
-    if (rc->sw != nullptr) {
-      RouteCache::SwSeg& seg =
-          rc->sw[static_cast<std::size_t>(sa) *
-                     static_cast<std::size_t>(rc->num_switches) +
-                 static_cast<std::size_t>(sb)];
-      std::call_once(seg.once,
-                     [&] { seg.n = compute_switch_segment(sa, sb, seg.links); });
-      for (int i = 0; i < seg.n; ++i) buf[n++] = seg.links[i];
-    } else {
-      n += compute_switch_segment(sa, sb, buf + n);
-    }
-  }
-  buf[n++] = topo_.ejection_link(dst_ep);
-  {
-    std::lock_guard<std::mutex> lk(mu);
-    e.key = key;
-    e.n = n;
-    std::copy(buf, buf + n, e.links);
-  }
-  out.assign(buf, buf + n);
-  route_cache_miss().inc();
-}
-
-std::vector<int> Fabric::minimal_path(int src_ep, int dst_ep) const {
-  std::vector<int> path;
-  minimal_path_into(src_ep, dst_ep, path);
-  return path;
-}
-
-std::vector<int> Fabric::valiant_path(int src_ep, int dst_ep, sim::Rng& rng) const {
-  const int sa = topo_.endpoint_switch(src_ep);
-  const int sb = topo_.endpoint_switch(dst_ep);
-  const int ga = topo_.group_of_switch(sa);
-  const int gb = topo_.group_of_switch(sb);
-  if (topo_.is_fat_tree()) return minimal_path(src_ep, dst_ep);
-
-  if (ga == gb) {
-    // Intra-group non-minimal: detour through a random intermediate switch,
-    // spreading a hot switch pair over the group's full connectivity.
-    if (sa == sb) return minimal_path(src_ep, dst_ep);
-    const auto [base, n] = topo_.group_switch_range(ga);
-    int si = -1;
-    for (int attempt = 0; attempt < 8; ++attempt) {
-      const int cand = base + static_cast<int>(rng.index(static_cast<std::uint64_t>(n)));
-      if (cand != sa && cand != sb) {
-        si = cand;
-        break;
-      }
-    }
-    if (si < 0) return minimal_path(src_ep, dst_ep);
-    return {topo_.injection_link(src_ep), topo_.switch_link(sa, si),
-            topo_.switch_link(si, sb), topo_.ejection_link(dst_ep)};
-  }
-
-  // Pick a random intermediate group reachable from both sides.
-  const int ng = topo_.num_groups();
-  int gi = -1;
-  for (int attempt = 0; attempt < 16; ++attempt) {
-    const int cand = static_cast<int>(rng.index(static_cast<std::uint64_t>(ng)));
-    const int l1 = topo_.global_link(ga, cand);
-    const int l2 = topo_.global_link(cand, gb);
-    if (cand != ga && cand != gb && l1 >= 0 && l2 >= 0 &&
-        !failed_[static_cast<std::size_t>(l1)] &&
-        !failed_[static_cast<std::size_t>(l2)]) {
-      gi = cand;
-      break;
-    }
-  }
-  if (gi < 0) return minimal_path(src_ep, dst_ep);
-
-  std::vector<int> path;
-  path.push_back(topo_.injection_link(src_ep));
-  const int gw_a = topo_.gateway_switch(ga, gi);
-  if (sa != gw_a) path.push_back(topo_.switch_link(sa, gw_a));
-  path.push_back(topo_.global_link(ga, gi));
-  const int in_i = topo_.gateway_switch(gi, ga);   // arrival switch in gi
-  const int out_i = topo_.gateway_switch(gi, gb);  // departure switch in gi
-  if (in_i != out_i) path.push_back(topo_.switch_link(in_i, out_i));
-  path.push_back(topo_.global_link(gi, gb));
-  const int gw_b = topo_.gateway_switch(gb, gi);
-  if (gw_b != sb) path.push_back(topo_.switch_link(gw_b, sb));
-  path.push_back(topo_.ejection_link(dst_ep));
-  return path;
-}
-
 void Fabric::route_into(int src_ep, int dst_ep, sim::Rng& rng,
                         const std::vector<int>* global_load,
                         std::vector<int>& out) const {
-  switch (cfg_.routing) {
-    case Routing::Minimal:
-      minimal_path_into(src_ep, dst_ep, out);
-      return;
-    case Routing::Valiant:
-      out = valiant_path(src_ep, dst_ep, rng);
-      return;
-    case Routing::Adaptive: {
-      minimal_path_into(src_ep, dst_ep, out);
-      if (topo_.is_fat_tree() || global_load == nullptr) return;
-      auto val_p = valiant_path(src_ep, dst_ep, rng);
-      if (val_p.size() == out.size()) return;  // intra-group or fallback
-      // UGAL: compare queue-depth proxies (flow counts) on the switch-switch
-      // links; the detour uses more hops, so it must look at least
-      // `ugal_threshold` times emptier to win.
-      auto load_of = [&](const std::vector<int>& p) {
-        int worst = 0;
-        for (int l : p) {
-          const auto kind = topo_.link(l).kind;
-          if (kind == topo::LinkKind::Global || kind == topo::LinkKind::Local)
-            worst = std::max(worst, (*global_load)[static_cast<std::size_t>(l)]);
-        }
-        return worst;
-      };
-      const int lm = load_of(out);
-      const int lv = load_of(val_p);
-      if (static_cast<double>(lm) >
-          cfg_.ugal_threshold * static_cast<double>(lv + 1))
-        out = std::move(val_p);
-      return;
-    }
-  }
-  minimal_path_into(src_ep, dst_ep, out);
+  snap_->route_into(src_ep, dst_ep, rng, global_load,
+                    overlay_.routing_failure_view(), out);
 }
 
 std::vector<int> Fabric::route(int src_ep, int dst_ep, sim::Rng& rng,
@@ -354,19 +141,21 @@ std::vector<double> Fabric::steady_rates(const std::vector<std::pair<int, int>>&
                                          const std::vector<double>* weights,
                                          std::vector<std::vector<int>>* paths_out,
                                          const std::vector<double>* rate_caps) const {
-  sim::Rng rng(cfg_.seed);
+  sim::Rng rng(config().seed);
+  const auto& topo = topology();
   std::vector<std::vector<int>> paths;
   paths.reserve(pairs.size());
-  std::vector<int> load(topo_.links().size(), 0);
+  std::vector<int> load(topo.links().size(), 0);
   for (const auto& [s, d] : pairs) {
     auto p = route(s, d, rng, &load);
     for (int l : p) ++load[static_cast<std::size_t>(l)];
     paths.push_back(std::move(p));
   }
+  const std::vector<double>& eff_cap = overlay_.effective_capacities();
   std::vector<double> rates;
   if (rate_caps != nullptr) {
     // Realize caps as private virtual links appended to the capped flow.
-    std::vector<double> cap = eff_cap_;
+    std::vector<double> cap = eff_cap;
     auto capped_paths = paths;
     for (std::size_t f = 0; f < capped_paths.size(); ++f) {
       const double c = (*rate_caps)[f];
@@ -376,9 +165,9 @@ std::vector<double> Fabric::steady_rates(const std::vector<std::pair<int, int>>&
     }
     rates = max_min_rates_components(cap, capped_paths, weights);
   } else {
-    rates = max_min_rates_components(eff_cap_, paths, weights);
+    rates = max_min_rates_components(eff_cap, paths, weights);
   }
-  if (!cfg_.congestion_control) apply_hol_blocking(paths, rates);
+  if (!config().congestion_control) apply_hol_blocking(paths, rates);
   if (paths_out) *paths_out = std::move(paths);
   return rates;
 }
@@ -392,20 +181,22 @@ void Fabric::apply_hol_blocking(const std::vector<std::vector<int>>& paths,
   // each flow by the worst factor along its path.
   // Unthrottled desire per flow: its share of the injection link it enters
   // through (ranks sharing a NIC cannot each offer the full NIC rate).
-  std::vector<int> inj_count(topo_.links().size(), 0);
+  const auto& topo = topology();
+  const std::vector<double>& eff_cap = overlay_.effective_capacities();
+  std::vector<int> inj_count(topo.links().size(), 0);
   for (const auto& p : paths) ++inj_count[static_cast<std::size_t>(p.front())];
-  std::vector<double> demand(topo_.links().size(), 0.0);
+  std::vector<double> demand(topo.links().size(), 0.0);
   for (std::size_t f = 0; f < paths.size(); ++f) {
     const auto inj = static_cast<std::size_t>(paths[f].front());
-    const double desire = eff_cap_[inj] / std::max(1, inj_count[inj]);
+    const double desire = eff_cap[inj] / std::max(1, inj_count[inj]);
     for (int l : paths[f]) demand[static_cast<std::size_t>(l)] += desire;
   }
-  std::vector<double> switch_factor(static_cast<std::size_t>(topo_.num_switches()), 1.0);
-  for (const auto& l : topo_.links()) {
-    if (l.src >= topo_.num_switches()) continue;  // injection links: src is an endpoint
+  std::vector<double> switch_factor(static_cast<std::size_t>(topo.num_switches()), 1.0);
+  for (const auto& l : topo.links()) {
+    if (l.src >= topo.num_switches()) continue;  // injection links: src is an endpoint
     const double d = demand[static_cast<std::size_t>(l.id)];
-    if (d > eff_cap_[static_cast<std::size_t>(l.id)]) {
-      const double factor = eff_cap_[static_cast<std::size_t>(l.id)] / d;
+    if (d > eff_cap[static_cast<std::size_t>(l.id)]) {
+      const double factor = eff_cap[static_cast<std::size_t>(l.id)] / d;
       auto& sf = switch_factor[static_cast<std::size_t>(l.src)];
       sf = std::min(sf, factor);
     }
@@ -413,50 +204,27 @@ void Fabric::apply_hol_blocking(const std::vector<std::vector<int>>& paths,
   for (std::size_t f = 0; f < paths.size(); ++f) {
     double factor = 1.0;
     for (int l : paths[f]) {
-      const auto& lk = topo_.link(l);
-      if (lk.src < topo_.num_switches())
+      const auto& lk = topo.link(l);
+      if (lk.src < topo.num_switches())
         factor = std::min(factor, switch_factor[static_cast<std::size_t>(lk.src)]);
     }
     rates[f] *= factor;
   }
 }
 
-void Fabric::fail_link(int link_id) {
-  failed_[static_cast<std::size_t>(link_id)] = 1;
-  eff_cap_[static_cast<std::size_t>(link_id)] = 0.0;
-  ++cap_epoch_;
-  reset_route_cache();
-}
-
-void Fabric::restore_link(int link_id) {
-  failed_[static_cast<std::size_t>(link_id)] = 0;
-  const auto& l = topo_.link(link_id);
-  const bool terminal =
-      l.kind == topo::LinkKind::Injection || l.kind == topo::LinkKind::Ejection;
-  eff_cap_[static_cast<std::size_t>(link_id)] =
-      terminal ? l.capacity * cfg_.nic_efficiency : l.capacity;
-  ++cap_epoch_;
-  reset_route_cache();
-}
-
-int Fabric::failed_links() const {
-  int n = 0;
-  for (char f : failed_)
-    if (f) ++n;
-  return n;
-}
-
 double Fabric::base_latency(int src_ep, int dst_ep) const {
   static thread_local std::vector<int> scratch;
-  minimal_path_into(src_ep, dst_ep, scratch);
+  snap_->minimal_path_into(src_ep, dst_ep, overlay_.routing_failure_view(),
+                           scratch);
   double lat = 0;
-  for (int l : scratch) lat += topo_.link(l).latency_s;
+  for (int l : scratch) lat += topology().link(l).latency_s;
   return lat;
 }
 
 int Fabric::minimal_hops(int src_ep, int dst_ep) const {
   static thread_local std::vector<int> scratch;
-  minimal_path_into(src_ep, dst_ep, scratch);
+  snap_->minimal_path_into(src_ep, dst_ep, overlay_.routing_failure_view(),
+                           scratch);
   return static_cast<int>(scratch.size());
 }
 

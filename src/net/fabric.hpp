@@ -6,16 +6,24 @@
 // `FlowSim` (flowsim.hpp) layers byte-counted dynamics on top for I/O and
 // app traces.
 //
-// Routing is memoised (DESIGN.md §8): minimal paths are served from a
-// two-level route cache — a dense switch-pair table (lazily filled, one
-// entry per ordered switch pair, gated to topologies small enough for it)
-// plus a direct-mapped endpoint-pair map holding full link lists — so
-// repeated patterns (mpiGraph shifts, GPCNeT cohorts, storage campaigns,
-// FlowSim churn) stop re-deriving dragonfly routes per flow. The cache is
-// invalidated wholesale on fail_link/restore_link and is safe to hit from
-// concurrent steady_rates callers; cached paths are bit-identical to fresh
-// computation (the route-invariant property tests pin this). Disable with
-// FabricConfig::route_cache = false.
+// Since ISSUE 7 a Fabric is a thin pair (DESIGN.md §10):
+//
+//   * an immutable, shareable `TopologySnapshot` (snapshot.hpp) holding the
+//     topology, base capacities and the two-level minimal-route cache —
+//     filled lazily, NEVER invalidated, readable from any number of threads
+//     and sessions concurrently; and
+//   * a cheap per-session `FabricOverlay` holding only this scenario's
+//     failed-link set and capacity deltas, with copy-on-write effective
+//     capacities and a per-overlay `capacity_epoch()`.
+//
+// `fail_link`/`restore_link` therefore mutate *only this fabric's overlay*:
+// sibling fabrics sharing the snapshot see no capacity change, no epoch bump
+// and no route-cache invalidation (there is nothing to invalidate — the
+// shared cache holds failure-free routes; an overlay with failed global
+// bundles recomputes just the broken paths on the fly). Both calls are
+// idempotent and bounds-checked: failing an already-failed link or restoring
+// a live one is a no-op that leaves the epoch — and every consumer memo keyed
+// on it — untouched.
 #pragma once
 
 #include <cstdint>
@@ -23,48 +31,104 @@
 #include <utility>
 #include <vector>
 
+#include "net/snapshot.hpp"
 #include "net/solver.hpp"
 #include "sim/rng.hpp"
 #include "topo/topology.hpp"
 
 namespace xscale::net {
 
-enum class Routing {
-  Minimal,   // shortest path only
-  Valiant,   // always detour via a random intermediate group
-  Adaptive,  // UGAL-style per-flow choice between the two
-};
+// Per-session copy-on-write view over a shared snapshot: the scenario's
+// failed links and capacity overrides, nothing else. Construction is O(1);
+// the dense flag/capacity vectors materialise on the first mutation and are
+// reused (grow-only) across `clear()`s. Not thread-safe for mutation — an
+// overlay belongs to one session, like the simulator state it feeds.
+class FabricOverlay {
+ public:
+  explicit FabricOverlay(std::shared_ptr<const TopologySnapshot> snap);
 
-const char* to_string(Routing r);
+  const TopologySnapshot& snapshot() const { return *snap_; }
+  const std::shared_ptr<const TopologySnapshot>& snapshot_ptr() const {
+    return snap_;
+  }
 
-struct FabricConfig {
-  Routing routing = Routing::Adaptive;
-  // Slingshot hardware congestion control (§4.2.2). When on, flows receive
-  // their max-min fair share regardless of other traffic (victim isolation).
-  // When off, head-of-line blocking couples flows that share a switch with an
-  // oversubscribed link.
-  bool congestion_control = true;
-  // Fraction of wire rate a NIC sustains end-to-end (protocol/header
-  // overheads); applied to terminal link capacities.
-  double nic_efficiency = 0.70;
-  // UGAL bias: take the non-minimal path when the minimal global link already
-  // carries more than `ugal_threshold` times the flows of the detour path.
-  double ugal_threshold = 2.0;
-  // Memoise (src, dst) -> link-list expansion; off forces every route to be
-  // computed fresh (the cache-vs-fresh differential tests use this).
-  bool route_cache = true;
-  std::uint64_t seed = 0xF2011EA5;
+  // Base capacities until the first mutation, the overlay's private
+  // copy-on-write vector afterwards.
+  const std::vector<double>& effective_capacities() const {
+    return cow_cap_.empty() ? snap_->base_capacities() : cow_cap_;
+  }
+
+  bool is_failed(int link_id) const {
+    return !failed_.empty() && failed_[check_link(link_id)] != 0;
+  }
+  int failed_links() const { return static_cast<int>(failed_ids_.size()); }
+  int failed_global_links() const { return failed_globals_; }
+  // Failed link ids in fail order (stable across restores of other links).
+  const std::vector<int>& failed_link_ids() const { return failed_ids_; }
+
+  // Bumped on every *effective* mutation (fail, restore, capacity override,
+  // clear). No-ops — repeated fails, restores of live links, overriding with
+  // the value already in place — do not bump it, so consumer memos keyed on
+  // the epoch (FlowSim's warm-start memo) survive redundant calls.
+  std::uint64_t capacity_epoch() const { return cap_epoch_; }
+
+  // All return whether anything changed (false = no-op). Out-of-range link
+  // ids throw std::out_of_range.
+  bool fail_link(int link_id);
+  bool restore_link(int link_id);
+  // Scenario capacity override in B/s (applied instead of the base capacity;
+  // a failed link stays at 0 until restored, then takes the override). The
+  // value is NOT validated here — the solver rejects non-finite/negative
+  // capacities at resolve time, which the fault-injection tests rely on.
+  bool set_link_capacity(int link_id, double capacity);
+  // Remove a capacity override, returning the link to its base capacity.
+  bool clear_link_capacity(int link_id);
+  // Restore every failure and override in one call (one epoch bump).
+  bool clear();
+
+  const std::vector<std::pair<int, double>>& capacity_overrides() const {
+    return overrides_;
+  }
+
+  // Dense failed-flag view for routing, or nullptr when no failed *global*
+  // bundle exists (routing only ever detours around those, so local and
+  // terminal failures keep every lookup on the shared cache).
+  const std::vector<char>* routing_failure_view() const {
+    return failed_globals_ > 0 ? &failed_ : nullptr;
+  }
+
+ private:
+  std::size_t check_link(int link_id) const;
+  void materialize();
+  double restored_capacity(int link_id) const;
+
+  std::shared_ptr<const TopologySnapshot> snap_;
+  std::vector<char> failed_;    // dense flags; empty until the first fail
+  std::vector<int> failed_ids_;
+  std::vector<std::pair<int, double>> overrides_;  // (link, capacity)
+  std::vector<double> cow_cap_;  // empty until the first mutation
+  int failed_globals_ = 0;
+  std::uint64_t cap_epoch_ = 0;
 };
 
 class Fabric {
  public:
+  // Builds a private snapshot (the classic single-scenario constructor).
   Fabric(topo::Topology topology, FabricConfig cfg);
+  // Opens a session over an existing shared snapshot: O(1), no topology
+  // copy, no route-cache build — the serving layer opens one per scenario.
+  explicit Fabric(std::shared_ptr<const TopologySnapshot> snapshot);
   ~Fabric();
   Fabric(Fabric&&) noexcept;
   Fabric& operator=(Fabric&&) noexcept;
 
-  const topo::Topology& topology() const { return topo_; }
-  const FabricConfig& config() const { return cfg_; }
+  const topo::Topology& topology() const { return snap_->topology(); }
+  const FabricConfig& config() const { return snap_->config(); }
+  const std::shared_ptr<const TopologySnapshot>& snapshot() const {
+    return snap_;
+  }
+  FabricOverlay& overlay() { return overlay_; }
+  const FabricOverlay& overlay() const { return overlay_; }
 
   // Route one flow. Adaptive routing consults `global_load` (flows currently
   // assigned per link) when provided.
@@ -91,53 +155,49 @@ class Fabric {
                                    std::vector<std::vector<int>>* paths_out = nullptr,
                                    const std::vector<double>* rate_caps = nullptr) const;
 
-  // One-way zero-load latency over the minimal path.
+  // One-way zero-load latency over the minimal path (failure detours apply).
   double base_latency(int src_ep, int dst_ep) const;
   int minimal_hops(int src_ep, int dst_ep) const;
 
-  // Effective link capacities after NIC efficiency (indexed by link id).
-  const std::vector<double>& effective_capacities() const { return eff_cap_; }
+  // Effective link capacities after NIC efficiency and this fabric's overlay
+  // (indexed by link id).
+  const std::vector<double>& effective_capacities() const {
+    return overlay_.effective_capacities();
+  }
 
   // --- fabric manager (§3.4.2) -------------------------------------------------
   // The Slingshot Fabric Manager sweeps for failures and pushes new routing
   // tables. Failing a global bundle makes minimal routing between its two
   // groups fall back to a one-intermediate-group detour; failing a local or
-  // terminal link degrades its capacity to zero. Both invalidate the route
-  // cache (like a fabric-manager table push); they must not race concurrent
-  // routing, the same contract the capacity update always had.
-  void fail_link(int link_id);
-  void restore_link(int link_id);
-  bool is_failed(int link_id) const { return failed_[static_cast<std::size_t>(link_id)] != 0; }
-  int failed_links() const;
+  // terminal link degrades its capacity to zero. Both touch only this
+  // fabric's overlay: idempotent, bounds-checked, invisible to sibling
+  // fabrics on the same snapshot. Return whether anything changed. Overlay
+  // mutation must not race this fabric's own routing/solving (per-session
+  // single-writer, as always); the shared snapshot needs no such care.
+  bool fail_link(int link_id) { return overlay_.fail_link(link_id); }
+  bool restore_link(int link_id) { return overlay_.restore_link(link_id); }
+  // Scenario capacity override (see FabricOverlay::set_link_capacity).
+  bool set_link_capacity(int link_id, double capacity) {
+    return overlay_.set_link_capacity(link_id, capacity);
+  }
+  bool clear_link_capacity(int link_id) {
+    return overlay_.clear_link_capacity(link_id);
+  }
+  bool is_failed(int link_id) const { return overlay_.is_failed(link_id); }
+  int failed_links() const { return overlay_.failed_links(); }
 
-  // Bumped on every fail_link/restore_link. Consumers that cache anything
-  // derived from `effective_capacities()` (FlowSim's warm-start memo and
-  // frozen-prefix metadata) compare epochs instead of diffing the vector.
-  std::uint64_t capacity_epoch() const { return cap_epoch_; }
+  // Bumped on every effective overlay mutation — per-overlay, never global.
+  // Consumers that cache anything derived from `effective_capacities()`
+  // (FlowSim's warm-start memo and frozen-prefix metadata) compare epochs
+  // instead of diffing the vector; sibling sessions' epochs never move.
+  std::uint64_t capacity_epoch() const { return overlay_.capacity_epoch(); }
 
  private:
-  struct RouteCache;  // defined in fabric.cpp
-
-  std::vector<int> minimal_path(int src_ep, int dst_ep) const;
-  void minimal_path_into(int src_ep, int dst_ep, std::vector<int>& out) const;
-  void minimal_path_fresh(int src_ep, int dst_ep, std::vector<int>& out) const;
-  // Switch-switch portion of the minimal path (<= 5 links); returns the
-  // count written to `out5`. Throws when no live inter-group route exists.
-  int compute_switch_segment(int sa, int sb, int* out5) const;
-  void append_switch_segment(int sa, int sb, std::vector<int>& out) const;
-  std::vector<int> valiant_path(int src_ep, int dst_ep, sim::Rng& rng) const;
   void apply_hol_blocking(const std::vector<std::vector<int>>& paths,
                           std::vector<double>& rates) const;
-  void reset_route_cache();
 
-  topo::Topology topo_;
-  FabricConfig cfg_;
-  std::vector<double> eff_cap_;
-  std::vector<char> failed_;
-  std::uint64_t cap_epoch_ = 0;
-  // Mutated only under the cache's own synchronization (lookups) or from the
-  // non-const fail/restore methods (wholesale replacement).
-  mutable std::unique_ptr<RouteCache> cache_;
+  std::shared_ptr<const TopologySnapshot> snap_;
+  FabricOverlay overlay_;
 };
 
 }  // namespace xscale::net

@@ -356,7 +356,15 @@ bool FlowSim::warm_memo_lookup() {
   const std::uint64_t cap_epoch = fabric_.capacity_epoch();
   const std::size_t members = active_order_.size();
   for (WarmMemo& m : memo_) {
-    if (!m.valid || m.cap_epoch != cap_epoch) continue;
+    if (!m.valid) continue;
+    if (m.cap_epoch != cap_epoch) {
+      // A capacity epoch that moved under a valid generation is an
+      // invalidation: with per-overlay epochs (DESIGN.md §10) only THIS
+      // session's fail/restore/override calls can trip it, which is exactly
+      // what the serving-layer isolation tests count.
+      ++stats_.warm_memo_stale;
+      continue;
+    }
     if (m.offsets.size() != members + 1) continue;
     bool match = true;
     for (std::size_t i = 0; i < members && match; ++i) {
@@ -397,6 +405,7 @@ bool FlowSim::warm_single_bottleneck(SolveStats* ss) {
   const double inf = std::numeric_limits<double>::infinity();
   double min_share = inf;
   std::size_t w = 0;
+  bool bad_capacity = false;
   for (std::size_t i = 0; i < live_links_.size(); ++i) {
     const int l = live_links_[i];
     const auto lu = static_cast<std::size_t>(l);
@@ -407,13 +416,21 @@ bool FlowSim::warm_single_bottleneck(SolveStats* ss) {
     }
     live_links_[w++] = l;
     const double c = caps[lu];
-    if (!std::isfinite(c) || c < 0.0)
-      throw std::invalid_argument(
-          "max_min_rates: capacities must be finite and >= 0");
+    if (!std::isfinite(c) || c < 0.0) {
+      // Defer the throw: `live_links_` is persistent incidence state and we
+      // are mid-compaction — bailing here would leave duplicate entries past
+      // `w` and an unshrunk size, poisoning every later resolve. Finish the
+      // pass, restore the invariant, then report.
+      bad_capacity = true;
+      continue;
+    }
     min_share =
         std::min(min_share, std::max(0.0, c) / static_cast<double>(n));
   }
   live_links_.resize(w);
+  if (bad_capacity)
+    throw std::invalid_argument(
+        "max_min_rates: capacities must be finite and >= 0");
   if (!std::isfinite(min_share)) return false;  // general path will diagnose
   const double cutoff = min_share * (1.0 + 1e-9);
   std::size_t fired_lu = 0;

@@ -96,6 +96,7 @@ class FlowSim {
     std::uint64_t warm_solves = 0;       // threshold exceeded, warm-start solve
     std::uint64_t warm_single_hits = 0;  // single-bottleneck closed-form solves
     std::uint64_t warm_memo_hits = 0;    // warm solves replayed from the memo
+    std::uint64_t warm_memo_stale = 0;   // memo generations skipped: epoch moved
     std::uint64_t warm_prefix_hits = 0;  // warm solves that replayed a prefix
     std::uint64_t component_solves = 0;  // restricted re-solves
     std::uint64_t flows_solved = 0;      // flows handed to the solver, total

@@ -1,0 +1,403 @@
+#include "net/snapshot.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <mutex>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+
+namespace xscale::net {
+
+namespace {
+
+obs::Counter& route_cache_hit() {
+  static obs::Counter& c = obs::metrics().counter("net.route_cache.hit");
+  return c;
+}
+
+obs::Counter& route_cache_miss() {
+  static obs::Counter& c = obs::metrics().counter("net.route_cache.miss");
+  return c;
+}
+
+// Cached base path bypassed because an overlay failed its global hop; the
+// serving acceptance tests pin that clean overlays never bump this.
+obs::Counter& route_overlay_reroute() {
+  static obs::Counter& c = obs::metrics().counter("net.route_cache.overlay_reroute");
+  return c;
+}
+
+inline bool link_failed(const std::vector<char>* failed, int link_id) {
+  return failed != nullptr && (*failed)[static_cast<std::size_t>(link_id)] != 0;
+}
+
+// SplitMix64 finalizer: spreads the (src<<32 | dst) key over the
+// direct-mapped table so shift patterns don't alias into one stripe.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+// Two-level minimal-route memo (DESIGN.md §8), holding *failure-free* routes
+// only — overlay failures never touch it, so it is filled at most once per
+// entry for the snapshot's lifetime.
+//
+// Level 1: dense switch-pair table. One entry per ordered (sa, sb) pair,
+// filled lazily under std::call_once (a throwing computation — disconnected
+// groups — leaves the flag unset, so the next caller retries and observes the
+// same throw). The switch segment of a minimal path is at most 5 links. Only
+// built when the pair count is small enough to commit the table up front; the
+// full Frontier fabric (~2,450 switches) skips it and relies on level 2.
+//
+// Level 2: direct-mapped endpoint-pair table, key (src<<32)|dst, holding the
+// complete path (<= 7 links: injection + segment + ejection). Collisions
+// overwrite — it is a cache, not a map. Entries are guarded by sharded
+// mutexes (slot -> shard) so concurrent readers (steady_rates workers, whole
+// scenario sessions) can probe and fill without a global lock.
+struct TopologySnapshot::RouteCache {
+  static constexpr std::uint64_t kEmptyKey = ~0ULL;
+  static constexpr std::size_t kMaxDenseSwitchPairs = std::size_t{1} << 19;
+  static constexpr std::size_t kShards = 64;
+
+  struct SwSeg {
+    std::once_flag once;
+    int n = 0;
+    int links[5];
+  };
+
+  struct EpEntry {
+    std::uint64_t key = kEmptyKey;
+    int n = 0;
+    int links[8];
+  };
+
+  int num_switches = 0;
+  std::unique_ptr<SwSeg[]> sw;  // num_switches^2 entries; null when gated off
+
+  std::uint64_t ep_mask = 0;
+  std::vector<EpEntry> ep;
+  std::array<std::mutex, kShards> mu;
+};
+
+const char* to_string(Routing r) {
+  switch (r) {
+    case Routing::Minimal: return "minimal";
+    case Routing::Valiant: return "valiant";
+    case Routing::Adaptive: return "adaptive";
+  }
+  return "?";
+}
+
+TopologySnapshot::TopologySnapshot(topo::Topology topology, FabricConfig cfg)
+    : topo_(std::move(topology)), cfg_(cfg) {
+  base_cap_.reserve(topo_.links().size());
+  for (const auto& l : topo_.links()) {
+    const bool terminal = l.kind == topo::LinkKind::Injection ||
+                          l.kind == topo::LinkKind::Ejection;
+    base_cap_.push_back(terminal ? l.capacity * cfg_.nic_efficiency : l.capacity);
+  }
+  if (!cfg_.route_cache) return;
+  auto rc = std::make_unique<RouteCache>();
+  rc->num_switches = topo_.num_switches();
+  const std::size_t nsw = static_cast<std::size_t>(rc->num_switches);
+  if (nsw * nsw <= RouteCache::kMaxDenseSwitchPairs)
+    rc->sw = std::make_unique<RouteCache::SwSeg[]>(nsw * nsw);
+  // Endpoint-pair slots: ~8 per endpoint, power of two, bounded so a
+  // Frontier-scale fabric commits a few tens of MB at most.
+  std::size_t want = static_cast<std::size_t>(topo_.num_endpoints()) * 8;
+  want = std::clamp<std::size_t>(want, std::size_t{1} << 12, std::size_t{1} << 20);
+  std::size_t slots = 1;
+  while (slots < want) slots <<= 1;
+  rc->ep_mask = slots - 1;
+  rc->ep.resize(slots);
+  cache_ = std::move(rc);
+}
+
+TopologySnapshot::~TopologySnapshot() = default;
+
+int TopologySnapshot::compute_switch_segment(int sa, int sb,
+                                             const std::vector<char>* failed,
+                                             int* out) const {
+  assert(sa != sb);
+  if (topo_.is_fat_tree()) {
+    const int core = topo_.num_switches() - 1;
+    out[0] = topo_.switch_link(sa, core);
+    out[1] = topo_.switch_link(core, sb);
+    return 2;
+  }
+  const int ga = topo_.group_of_switch(sa);
+  const int gb = topo_.group_of_switch(sb);
+  if (ga == gb) {
+    out[0] = topo_.switch_link(sa, sb);
+    return 1;
+  }
+  const int gl = topo_.global_link(ga, gb);
+  if (gl < 0) throw std::runtime_error("groups not connected");
+  if (link_failed(failed, gl)) {
+    // Fabric-manager reroute: the direct bundle is down; take the
+    // first live one-intermediate-group detour (deterministic sweep).
+    for (int gi = 0; gi < topo_.num_groups(); ++gi) {
+      if (gi == ga || gi == gb) continue;
+      const int l1 = topo_.global_link(ga, gi);
+      const int l2 = topo_.global_link(gi, gb);
+      if (l1 < 0 || l2 < 0) continue;
+      if (link_failed(failed, l1) || link_failed(failed, l2)) continue;
+      int n = 0;
+      const int gw_a = topo_.gateway_switch(ga, gi);
+      if (sa != gw_a) out[n++] = topo_.switch_link(sa, gw_a);
+      out[n++] = l1;
+      const int in_i = topo_.gateway_switch(gi, ga);
+      const int out_i = topo_.gateway_switch(gi, gb);
+      if (in_i != out_i) out[n++] = topo_.switch_link(in_i, out_i);
+      out[n++] = l2;
+      const int gw_b = topo_.gateway_switch(gb, gi);
+      if (gw_b != sb) out[n++] = topo_.switch_link(gw_b, sb);
+      return n;
+    }
+    throw std::runtime_error("no live route between groups");
+  }
+  int n = 0;
+  const int gwa = topo_.gateway_switch(ga, gb);
+  const int gwb = topo_.gateway_switch(gb, ga);
+  if (sa != gwa) out[n++] = topo_.switch_link(sa, gwa);
+  out[n++] = gl;
+  if (gwb != sb) out[n++] = topo_.switch_link(gwb, sb);
+  return n;
+}
+
+void TopologySnapshot::minimal_path_fresh(int src_ep, int dst_ep,
+                                          const std::vector<char>* failed,
+                                          std::vector<int>& out) const {
+  assert(src_ep != dst_ep);
+  out.push_back(topo_.injection_link(src_ep));
+  const int sa = topo_.endpoint_switch(src_ep);
+  const int sb = topo_.endpoint_switch(dst_ep);
+  if (sa != sb) {
+    int seg[5];
+    const int n = compute_switch_segment(sa, sb, failed, seg);
+    out.insert(out.end(), seg, seg + n);
+  }
+  out.push_back(topo_.ejection_link(dst_ep));
+}
+
+void TopologySnapshot::base_minimal_path_into(int src_ep, int dst_ep,
+                                              std::vector<int>& out) const {
+  out.clear();
+  RouteCache* rc = cache_.get();
+  if (rc == nullptr) {
+    minimal_path_fresh(src_ep, dst_ep, nullptr, out);
+    return;
+  }
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src_ep)) << 32) |
+      static_cast<std::uint32_t>(dst_ep);
+  const std::size_t slot = static_cast<std::size_t>(mix64(key) & rc->ep_mask);
+  RouteCache::EpEntry& e = rc->ep[slot];
+  std::mutex& mu = rc->mu[slot & (RouteCache::kShards - 1)];
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    if (e.key == key) {
+      out.assign(e.links, e.links + e.n);
+      route_cache_hit().inc();
+      return;
+    }
+  }
+  // Assemble into a stack buffer, serving the switch segment from the dense
+  // table when available. compute_switch_segment may throw (disconnected
+  // groups); nothing is cached in that case.
+  assert(src_ep != dst_ep);
+  int buf[8];
+  int n = 0;
+  buf[n++] = topo_.injection_link(src_ep);
+  const int sa = topo_.endpoint_switch(src_ep);
+  const int sb = topo_.endpoint_switch(dst_ep);
+  if (sa != sb) {
+    if (rc->sw != nullptr) {
+      RouteCache::SwSeg& seg =
+          rc->sw[static_cast<std::size_t>(sa) *
+                     static_cast<std::size_t>(rc->num_switches) +
+                 static_cast<std::size_t>(sb)];
+      std::call_once(seg.once, [&] {
+        seg.n = compute_switch_segment(sa, sb, nullptr, seg.links);
+      });
+      for (int i = 0; i < seg.n; ++i) buf[n++] = seg.links[i];
+    } else {
+      n += compute_switch_segment(sa, sb, nullptr, buf + n);
+    }
+  }
+  buf[n++] = topo_.ejection_link(dst_ep);
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    e.key = key;
+    e.n = n;
+    std::copy(buf, buf + n, e.links);
+  }
+  out.assign(buf, buf + n);
+  route_cache_miss().inc();
+}
+
+void TopologySnapshot::minimal_path_into(int src_ep, int dst_ep,
+                                         const std::vector<char>* failed,
+                                         std::vector<int>& out) const {
+  if (failed == nullptr) {
+    // No failed global bundles in the caller's overlay: the failure-free
+    // cached path IS the minimal path (local/terminal failures zero capacity
+    // without rerouting), so terminal-link failures cost no cache traffic at
+    // all — the ISSUE 7 satellite fix over the old wholesale invalidation.
+    base_minimal_path_into(src_ep, dst_ep, out);
+    return;
+  }
+  // Probe the shared cache first: the base path stays valid unless one of
+  // its *global* hops is down in this overlay (minimal routing only ever
+  // detours around failed global bundles).
+  base_minimal_path_into(src_ep, dst_ep, out);
+  bool broken = false;
+  for (int l : out) {
+    if (topo_.link(l).kind == topo::LinkKind::Global && link_failed(failed, l)) {
+      broken = true;
+      break;
+    }
+  }
+  if (!broken) return;
+  out.clear();
+  minimal_path_fresh(src_ep, dst_ep, failed, out);
+  route_overlay_reroute().inc();
+}
+
+std::vector<int> TopologySnapshot::valiant_path(
+    int src_ep, int dst_ep, sim::Rng& rng,
+    const std::vector<char>* failed) const {
+  const int sa = topo_.endpoint_switch(src_ep);
+  const int sb = topo_.endpoint_switch(dst_ep);
+  const int ga = topo_.group_of_switch(sa);
+  const int gb = topo_.group_of_switch(sb);
+  std::vector<int> minimal;
+  if (topo_.is_fat_tree()) {
+    minimal_path_into(src_ep, dst_ep, failed, minimal);
+    return minimal;
+  }
+
+  if (ga == gb) {
+    // Intra-group non-minimal: detour through a random intermediate switch,
+    // spreading a hot switch pair over the group's full connectivity.
+    if (sa == sb) {
+      minimal_path_into(src_ep, dst_ep, failed, minimal);
+      return minimal;
+    }
+    const auto [base, n] = topo_.group_switch_range(ga);
+    int si = -1;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const int cand = base + static_cast<int>(rng.index(static_cast<std::uint64_t>(n)));
+      if (cand != sa && cand != sb) {
+        si = cand;
+        break;
+      }
+    }
+    if (si < 0) {
+      minimal_path_into(src_ep, dst_ep, failed, minimal);
+      return minimal;
+    }
+    return {topo_.injection_link(src_ep), topo_.switch_link(sa, si),
+            topo_.switch_link(si, sb), topo_.ejection_link(dst_ep)};
+  }
+
+  // Pick a random intermediate group reachable from both sides.
+  const int ng = topo_.num_groups();
+  int gi = -1;
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const int cand = static_cast<int>(rng.index(static_cast<std::uint64_t>(ng)));
+    const int l1 = topo_.global_link(ga, cand);
+    const int l2 = topo_.global_link(cand, gb);
+    if (cand != ga && cand != gb && l1 >= 0 && l2 >= 0 &&
+        !link_failed(failed, l1) && !link_failed(failed, l2)) {
+      gi = cand;
+      break;
+    }
+  }
+  if (gi < 0) {
+    minimal_path_into(src_ep, dst_ep, failed, minimal);
+    return minimal;
+  }
+
+  std::vector<int> path;
+  path.push_back(topo_.injection_link(src_ep));
+  const int gw_a = topo_.gateway_switch(ga, gi);
+  if (sa != gw_a) path.push_back(topo_.switch_link(sa, gw_a));
+  path.push_back(topo_.global_link(ga, gi));
+  const int in_i = topo_.gateway_switch(gi, ga);   // arrival switch in gi
+  const int out_i = topo_.gateway_switch(gi, gb);  // departure switch in gi
+  if (in_i != out_i) path.push_back(topo_.switch_link(in_i, out_i));
+  path.push_back(topo_.global_link(gi, gb));
+  const int gw_b = topo_.gateway_switch(gb, gi);
+  if (gw_b != sb) path.push_back(topo_.switch_link(gw_b, sb));
+  path.push_back(topo_.ejection_link(dst_ep));
+  return path;
+}
+
+void TopologySnapshot::route_into(int src_ep, int dst_ep, sim::Rng& rng,
+                                  const std::vector<int>* global_load,
+                                  const std::vector<char>* failed,
+                                  std::vector<int>& out) const {
+  switch (cfg_.routing) {
+    case Routing::Minimal:
+      minimal_path_into(src_ep, dst_ep, failed, out);
+      return;
+    case Routing::Valiant:
+      out = valiant_path(src_ep, dst_ep, rng, failed);
+      return;
+    case Routing::Adaptive: {
+      minimal_path_into(src_ep, dst_ep, failed, out);
+      if (topo_.is_fat_tree() || global_load == nullptr) return;
+      auto val_p = valiant_path(src_ep, dst_ep, rng, failed);
+      if (val_p.size() == out.size()) return;  // intra-group or fallback
+      // UGAL: compare queue-depth proxies (flow counts) on the switch-switch
+      // links; the detour uses more hops, so it must look at least
+      // `ugal_threshold` times emptier to win.
+      auto load_of = [&](const std::vector<int>& p) {
+        int worst = 0;
+        for (int l : p) {
+          const auto kind = topo_.link(l).kind;
+          if (kind == topo::LinkKind::Global || kind == topo::LinkKind::Local)
+            worst = std::max(worst, (*global_load)[static_cast<std::size_t>(l)]);
+        }
+        return worst;
+      };
+      const int lm = load_of(out);
+      const int lv = load_of(val_p);
+      if (static_cast<double>(lm) >
+          cfg_.ugal_threshold * static_cast<double>(lv + 1))
+        out = std::move(val_p);
+      return;
+    }
+  }
+  minimal_path_into(src_ep, dst_ep, failed, out);
+}
+
+double TopologySnapshot::base_latency(int src_ep, int dst_ep) const {
+  static thread_local std::vector<int> scratch;
+  base_minimal_path_into(src_ep, dst_ep, scratch);
+  double lat = 0;
+  for (int l : scratch) lat += topo_.link(l).latency_s;
+  return lat;
+}
+
+int TopologySnapshot::minimal_hops(int src_ep, int dst_ep) const {
+  static thread_local std::vector<int> scratch;
+  base_minimal_path_into(src_ep, dst_ep, scratch);
+  return static_cast<int>(scratch.size());
+}
+
+std::shared_ptr<const TopologySnapshot> make_snapshot(topo::Topology topology,
+                                                      FabricConfig cfg) {
+  return std::make_shared<const TopologySnapshot>(std::move(topology), cfg);
+}
+
+}  // namespace xscale::net

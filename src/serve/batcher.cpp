@@ -1,0 +1,170 @@
+#include "serve/batcher.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "sim/parallel.hpp"
+
+namespace xscale::serve {
+
+namespace {
+
+obs::Counter& c_sessions_opened() {
+  static obs::Counter& c = obs::metrics().counter("serve.sessions_opened");
+  return c;
+}
+obs::Counter& c_sessions_closed() {
+  static obs::Counter& c = obs::metrics().counter("serve.sessions_closed");
+  return c;
+}
+obs::Counter& c_sessions_rejected() {
+  static obs::Counter& c = obs::metrics().counter("serve.sessions_rejected");
+  return c;
+}
+obs::Counter& c_scenarios_submitted() {
+  static obs::Counter& c = obs::metrics().counter("serve.scenarios_submitted");
+  return c;
+}
+obs::Counter& c_scenarios_rejected() {
+  static obs::Counter& c = obs::metrics().counter("serve.scenarios_rejected");
+  return c;
+}
+obs::Counter& c_scenarios_completed() {
+  static obs::Counter& c = obs::metrics().counter("serve.scenarios_completed");
+  return c;
+}
+obs::Counter& c_scenarios_failed() {
+  static obs::Counter& c = obs::metrics().counter("serve.scenarios_failed");
+  return c;
+}
+obs::Counter& c_batches() {
+  static obs::Counter& c = obs::metrics().counter("serve.batches");
+  return c;
+}
+obs::Gauge& g_sessions_open() {
+  static obs::Gauge& g = obs::metrics().gauge("serve.sessions_open");
+  return g;
+}
+obs::Gauge& g_pending() {
+  static obs::Gauge& g = obs::metrics().gauge("serve.pending_scenarios");
+  return g;
+}
+
+}  // namespace
+
+Batcher::Batcher(std::shared_ptr<const net::TopologySnapshot> snap,
+                 BatcherConfig cfg)
+    : snap_(std::move(snap)), cfg_(cfg) {
+  if (!snap_) throw std::invalid_argument("Batcher: null snapshot");
+  if (cfg_.max_sessions < 1)
+    throw std::invalid_argument("Batcher: max_sessions must be >= 1");
+}
+
+Batcher::~Batcher() = default;
+
+int Batcher::open_session() {
+  if (open_sessions() >= cfg_.max_sessions) {
+    c_sessions_rejected().inc();
+    return -1;
+  }
+  int id;
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+  } else {
+    id = static_cast<int>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[static_cast<std::size_t>(id)];
+  s.session = std::make_unique<ScenarioSession>(snap_, cfg_.sim);
+  s.queue.clear();
+  c_sessions_opened().inc();
+  g_sessions_open().add(1);
+  return id;
+}
+
+bool Batcher::close_session(int id) {
+  if (!valid_open(id)) return false;
+  Slot& s = slots_[static_cast<std::size_t>(id)];
+  g_pending().add(-static_cast<double>(s.queue.size()));
+  s.session.reset();
+  s.queue.clear();
+  free_ids_.push_back(id);
+  c_sessions_closed().inc();
+  g_sessions_open().add(-1);
+  return true;
+}
+
+bool Batcher::submit(int id, Scenario sc) {
+  if (!valid_open(id)) {
+    c_scenarios_rejected().inc();
+    return false;
+  }
+  Slot& s = slots_[static_cast<std::size_t>(id)];
+  if (s.queue.size() >= cfg_.max_pending) {
+    c_scenarios_rejected().inc();
+    return false;
+  }
+  s.queue.push_back(std::move(sc));
+  c_scenarios_submitted().inc();
+  g_pending().add(1);
+  return true;
+}
+
+std::vector<std::vector<ScenarioResult>> Batcher::run_batch() {
+  c_batches().inc();
+  std::vector<std::vector<ScenarioResult>> results(slots_.size());
+  // Grain 1: one session per chunk. Chunk boundaries depend only on the slot
+  // count, each session mutates only its own state, and results land in
+  // index-disjoint vectors — the bit-determinism conditions of DESIGN.md §7.
+  sim::parallel_for(slots_.size(), 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      Slot& s = slots_[i];
+      if (!s.session || s.queue.empty()) continue;
+      results[i].reserve(s.queue.size());
+      for (const Scenario& sc : s.queue) {
+        try {
+          results[i].push_back(s.session->run(sc));
+        } catch (const std::invalid_argument&) {
+          // Malformed scenario: report a sentinel result, keep the session
+          // (validation rejects before touching overlay/sim state).
+          ScenarioResult bad;
+          bad.makespan_s = -1.0;
+          results[i].push_back(std::move(bad));
+        }
+      }
+    }
+  });
+  // Counter/gauge bookkeeping on the caller, in slot order, after the region:
+  // metric totals stay byte-identical at any thread count.
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& s = slots_[i];
+    if (!s.session || s.queue.empty()) continue;
+    for (const ScenarioResult& r : results[i])
+      (r.makespan_s < 0 ? c_scenarios_failed() : c_scenarios_completed()).inc();
+    g_pending().add(-static_cast<double>(s.queue.size()));
+    s.queue.clear();
+  }
+  return results;
+}
+
+ScenarioSession* Batcher::session(int id) {
+  return valid_open(id) ? slots_[static_cast<std::size_t>(id)].session.get()
+                        : nullptr;
+}
+
+int Batcher::open_sessions() const {
+  int n = 0;
+  for (const Slot& s : slots_)
+    if (s.session) ++n;
+  return n;
+}
+
+std::size_t Batcher::pending() const {
+  std::size_t n = 0;
+  for (const Slot& s : slots_) n += s.queue.size();
+  return n;
+}
+
+}  // namespace xscale::serve

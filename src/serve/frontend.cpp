@@ -1,0 +1,145 @@
+#include "serve/frontend.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+
+namespace xscale::serve {
+
+namespace {
+
+bool parse_int(std::istringstream& ss, int& out) {
+  return static_cast<bool>(ss >> out);
+}
+
+bool parse_double(std::istringstream& ss, double& out) {
+  return static_cast<bool>(ss >> out);
+}
+
+}  // namespace
+
+void Frontend::serve(std::istream& in, std::ostream& out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!handle_line(line, out)) break;
+  }
+}
+
+bool Frontend::handle_line(const std::string& line, std::ostream& out) {
+  std::istringstream ss(line);
+  std::string cmd;
+  if (!(ss >> cmd)) return true;  // blank line: no response
+
+  if (cmd == "QUIT") {
+    out << "OK\n";
+    return false;
+  }
+  if (cmd == "OPEN") {
+    const int id = batcher_.open_session();
+    if (id < 0)
+      out << "ERR at-capacity\n";
+    else
+      out << "OK " << id << "\n";
+    return true;
+  }
+  if (cmd == "CLOSE") {
+    int id;
+    if (!parse_int(ss, id)) {
+      out << "ERR usage: CLOSE <id>\n";
+      return true;
+    }
+    staged_.erase(id);
+    out << (batcher_.close_session(id) ? "OK\n" : "ERR no-such-session\n");
+    return true;
+  }
+  if (cmd == "FAIL") {
+    int id;
+    if (!parse_int(ss, id) || batcher_.session(id) == nullptr) {
+      out << "ERR usage: FAIL <id> <link>...\n";
+      return true;
+    }
+    Scenario& sc = staged_[id];
+    int link;
+    int n = 0;
+    while (parse_int(ss, link)) {
+      sc.fail_links.push_back(link);
+      ++n;
+    }
+    if (n == 0) {
+      out << "ERR usage: FAIL <id> <link>...\n";
+      return true;
+    }
+    out << "OK\n";
+    return true;
+  }
+  if (cmd == "DELTA") {
+    int id, link;
+    double cap;
+    if (!parse_int(ss, id) || batcher_.session(id) == nullptr ||
+        !parse_int(ss, link) || !parse_double(ss, cap)) {
+      out << "ERR usage: DELTA <id> <link> <cap_Bps>\n";
+      return true;
+    }
+    staged_[id].capacity_overrides.emplace_back(link, cap);
+    out << "OK\n";
+    return true;
+  }
+  if (cmd == "FLOW") {
+    int id;
+    FlowSpec f;
+    if (!parse_int(ss, id) || batcher_.session(id) == nullptr ||
+        !parse_int(ss, f.src) || !parse_int(ss, f.dst) ||
+        !parse_double(ss, f.bytes)) {
+      out << "ERR usage: FLOW <id> <src> <dst> <bytes> [<start_s>]\n";
+      return true;
+    }
+    parse_double(ss, f.start_s);  // optional, defaults to 0
+    staged_[id].flows.push_back(f);
+    out << "OK\n";
+    return true;
+  }
+  if (cmd == "SUBMIT") {
+    int id;
+    if (!parse_int(ss, id)) {
+      out << "ERR usage: SUBMIT <id>\n";
+      return true;
+    }
+    auto it = staged_.find(id);
+    Scenario sc = it == staged_.end() ? Scenario{} : std::move(it->second);
+    if (it != staged_.end()) staged_.erase(it);
+    if (!batcher_.submit(id, std::move(sc))) {
+      out << "ERR backpressure-or-no-session\n";
+      return true;
+    }
+    out << "OK " << batcher_.pending() << "\n";
+    return true;
+  }
+  if (cmd == "RUN") {
+    const auto results = batcher_.run_batch();
+    std::size_t count = 0;
+    for (std::size_t sid = 0; sid < results.size(); ++sid) {
+      for (std::size_t i = 0; i < results[sid].size(); ++i) {
+        const ScenarioResult& r = results[sid][i];
+        out << "RESULT " << sid << " " << i << " " << r.makespan_s << " "
+            << r.dropped << "\n";
+        ++count;
+      }
+    }
+    out << "OK " << count << "\n";
+    return true;
+  }
+  if (cmd == "METRICS") {
+    for (const auto& e : obs::metrics().snapshot()) {
+      if (e.name.rfind("serve.", 0) != 0) continue;
+      out << "METRIC " << e.name << " " << e.value << "\n";
+    }
+    out << "OK\n";
+    return true;
+  }
+  out << "ERR unknown-command " << cmd << "\n";
+  return true;
+}
+
+}  // namespace xscale::serve

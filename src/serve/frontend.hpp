@@ -1,0 +1,47 @@
+// Thin text front-end over the batcher: one command per line, answers on the
+// paired output stream. Works the same over stdin/stdout (examples/serve_cli)
+// or any socket-backed iostream a caller wires up — the protocol is the
+// interface, the transport is not.
+//
+//   OPEN                          -> OK <id>            | ERR at-capacity
+//   CLOSE <id>                    -> OK                 | ERR no-such-session
+//   FAIL <id> <link> [<link>...]  -> OK        (stage failures, next scenario)
+//   DELTA <id> <link> <cap_Bps>   -> OK        (stage a capacity override)
+//   FLOW <id> <src> <dst> <bytes> [<start_s>] -> OK      (stage a flow)
+//   SUBMIT <id>                   -> OK <n-pending>     | ERR backpressure
+//   RUN                           -> RESULT <id> <idx> <makespan_s> <dropped>
+//                                    (one line per scenario) then OK <count>
+//   METRICS                       -> METRIC <name> <value> ... then OK
+//   QUIT                          -> OK (serve() returns; EOF does the same)
+//
+// Staged scenario state lives per session in the frontend; SUBMIT moves it
+// into the batcher's queue (admission/backpressure decisions and counters
+// happen there). Unknown commands and malformed arguments answer ERR and
+// leave every session untouched.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "serve/batcher.hpp"
+
+namespace xscale::serve {
+
+class Frontend {
+ public:
+  explicit Frontend(Batcher& batcher) : batcher_(batcher) {}
+
+  // Read commands from `in` until QUIT or EOF. Every line gets exactly one
+  // OK/ERR/RESULT... response block on `out`.
+  void serve(std::istream& in, std::ostream& out);
+
+  // Process one command line; returns false when the line was QUIT.
+  bool handle_line(const std::string& line, std::ostream& out);
+
+ private:
+  Batcher& batcher_;
+  std::map<int, Scenario> staged_;  // per open session id
+};
+
+}  // namespace xscale::serve

@@ -1,0 +1,120 @@
+#include "serve/session.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace xscale::serve {
+
+namespace {
+
+net::FlowSim::Stats stats_delta(const net::FlowSim::Stats& after,
+                                const net::FlowSim::Stats& before) {
+  net::FlowSim::Stats d;
+  d.resolves = after.resolves - before.resolves;
+  d.full_solves = after.full_solves - before.full_solves;
+  d.fallback_solves = after.fallback_solves - before.fallback_solves;
+  d.warm_solves = after.warm_solves - before.warm_solves;
+  d.warm_single_hits = after.warm_single_hits - before.warm_single_hits;
+  d.warm_memo_hits = after.warm_memo_hits - before.warm_memo_hits;
+  d.warm_memo_stale = after.warm_memo_stale - before.warm_memo_stale;
+  d.warm_prefix_hits = after.warm_prefix_hits - before.warm_prefix_hits;
+  d.component_solves = after.component_solves - before.component_solves;
+  d.flows_solved = after.flows_solved - before.flows_solved;
+  d.frontier_flows = after.frontier_flows - before.frontier_flows;
+  d.solver_iterations = after.solver_iterations - before.solver_iterations;
+  d.bottleneck_links = after.bottleneck_links - before.bottleneck_links;
+  d.largest_component =
+      std::max(after.largest_component, before.largest_component);
+  return d;
+}
+
+}  // namespace
+
+ScenarioSession::ScenarioSession(
+    std::shared_ptr<const net::TopologySnapshot> snap,
+    net::FlowSimConfig sim_cfg)
+    : fabric_(std::move(snap)), sim_(eng_, fabric_, sim_cfg) {}
+
+void ScenarioSession::validate(const Scenario& sc) const {
+  const int neps = fabric_.topology().num_endpoints();
+  const auto nlinks = fabric_.snapshot()->num_links();
+  for (int l : sc.fail_links)
+    if (l < 0 || static_cast<std::size_t>(l) >= nlinks)
+      throw std::invalid_argument("scenario: fail link " + std::to_string(l) +
+                                  " out of range");
+  for (const auto& [l, cap] : sc.capacity_overrides) {
+    if (l < 0 || static_cast<std::size_t>(l) >= nlinks)
+      throw std::invalid_argument("scenario: override link " +
+                                  std::to_string(l) + " out of range");
+    (void)cap;  // value intentionally unchecked: the solver rejects bad
+                // capacities at resolve time (fault-injection tests)
+  }
+  for (const FlowSpec& f : sc.flows) {
+    if (f.src < 0 || f.src >= neps || f.dst < 0 || f.dst >= neps ||
+        f.src == f.dst)
+      throw std::invalid_argument("scenario: bad flow endpoints " +
+                                  std::to_string(f.src) + " -> " +
+                                  std::to_string(f.dst));
+    if (!(f.bytes > 0))
+      throw std::invalid_argument("scenario: flow bytes must be > 0");
+    if (!(f.start_s >= 0))
+      throw std::invalid_argument("scenario: flow start must be >= 0");
+  }
+}
+
+void ScenarioSession::apply_overlay(const Scenario& sc) {
+  // Diff, don't rebuild: only the symmetric difference with the current
+  // overlay touches the capacity epoch. The sets are scenario-sized (a
+  // handful of links), so linear membership scans beat any index.
+  const auto wants_failed = [&](int l) {
+    return std::find(sc.fail_links.begin(), sc.fail_links.end(), l) !=
+           sc.fail_links.end();
+  };
+  const std::vector<int> cur = fabric_.overlay().failed_link_ids();  // copy
+  for (int l : cur)
+    if (!wants_failed(l)) fabric_.restore_link(l);
+  for (int l : sc.fail_links) fabric_.fail_link(l);
+
+  const auto wants_override = [&](int l) {
+    for (const auto& [ol, cap] : sc.capacity_overrides)
+      if (ol == l) return true;
+    return false;
+  };
+  const auto cur_ov = fabric_.overlay().capacity_overrides();  // copy
+  for (const auto& [l, cap] : cur_ov)
+    if (!wants_override(l)) fabric_.clear_link_capacity(l);
+  for (const auto& [l, cap] : sc.capacity_overrides)
+    fabric_.set_link_capacity(l, cap);
+}
+
+ScenarioResult ScenarioSession::run(const Scenario& sc) {
+  validate(sc);
+  apply_overlay(sc);
+
+  ScenarioResult res;
+  res.capacity_epoch = fabric_.capacity_epoch();
+  res.completion_s.assign(sc.flows.size(), -1.0);
+  const net::FlowSim::Stats before = sim_.stats();
+  const std::uint64_t dropped_before = sim_.dropped_flows();
+
+  // Engine time is monotone across the session's scenarios; everything the
+  // caller sees is relative to this scenario's start.
+  const double t0 = eng_.now();
+  for (std::size_t i = 0; i < sc.flows.size(); ++i) {
+    const FlowSpec& f = sc.flows[i];
+    eng_.schedule_at(t0 + f.start_s, [this, &res, f, i, t0] {
+      sim_.start(f.src, f.dst, f.bytes,
+                 [this, &res, i, t0] { res.completion_s[i] = eng_.now() - t0; });
+    });
+  }
+  eng_.run();
+
+  res.makespan_s = eng_.now() - t0;
+  res.dropped = sim_.dropped_flows() - dropped_before;
+  res.stats = stats_delta(sim_.stats(), before);
+  ++scenarios_run_;
+  return res;
+}
+
+}  // namespace xscale::serve

@@ -1,0 +1,95 @@
+// Scenario serving: one session = one what-if stream over a shared snapshot.
+//
+// The capacity-planning workload (ROADMAP "xscale-as-a-service") is thousands
+// of near-identical questions: take the machine, fail this handful of links,
+// scale that link's capacity, inject this traffic, report completion times.
+// A `ScenarioSession` answers them sequentially over a private
+// `net::FabricOverlay` + `net::FlowSim`, while the expensive immutable state
+// — topology, base capacities, minimal-route cache — lives in one
+// `net::TopologySnapshot` shared by every session (DESIGN.md §10).
+//
+// Sessions are deliberately *stateful* between scenarios: the overlay is
+// diffed (not rebuilt) against the next scenario's failure set, so a repeated
+// failure set bumps no capacity epoch, and the FlowSim warm-start memo
+// (DESIGN.md §9) replays repeated traffic shapes wholesale. A sweep that
+// perturbs one link per probe pays for one link, not for the machine.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/flowsim.hpp"
+#include "net/snapshot.hpp"
+#include "sim/engine.hpp"
+
+namespace xscale::serve {
+
+// One flow to inject: endpoints, payload, start offset from scenario begin.
+struct FlowSpec {
+  int src = 0;
+  int dst = 0;
+  double bytes = 0;
+  double start_s = 0;
+};
+
+// A complete what-if question. `fail_links` / `capacity_overrides` describe
+// the *desired* overlay state, not a delta — the session diffs them against
+// its current overlay, so listing the same failure twice (or across
+// consecutive scenarios) is free.
+struct Scenario {
+  std::vector<int> fail_links;
+  std::vector<std::pair<int, double>> capacity_overrides;  // (link, B/s)
+  std::vector<FlowSpec> flows;
+};
+
+struct ScenarioResult {
+  // Per flow, seconds from scenario start to completion; -1 for flows dropped
+  // (zero-rate over the failed fabric — StallPolicy::Drop).
+  std::vector<double> completion_s;
+  double makespan_s = 0;
+  std::uint64_t dropped = 0;
+  // Solver-effort delta for this scenario (memo/warm hit accounting — the
+  // serving tests read `warm_memo_stale` to prove sibling isolation).
+  net::FlowSim::Stats stats;
+  // Overlay epoch after applying the scenario (diff-applied: identical
+  // repeated scenarios leave it unchanged).
+  std::uint64_t capacity_epoch = 0;
+};
+
+class ScenarioSession {
+ public:
+  // Flows with zero max-min rate must be dropped, not stalled: a stalled flow
+  // would pin `Engine::run()` forever and leak into the next scenario.
+  static net::FlowSimConfig default_sim_config() {
+    net::FlowSimConfig cfg;
+    cfg.stall_policy = net::StallPolicy::Drop;
+    return cfg;
+  }
+
+  explicit ScenarioSession(std::shared_ptr<const net::TopologySnapshot> snap,
+                           net::FlowSimConfig sim_cfg = default_sim_config());
+
+  // Apply the scenario's overlay (diffed against the current one), inject its
+  // flows, run to completion, report. Throws std::invalid_argument on a
+  // malformed scenario (bad endpoint, non-positive bytes, negative start)
+  // without touching session state.
+  ScenarioResult run(const Scenario& sc);
+
+  const net::Fabric& fabric() const { return fabric_; }
+  net::Fabric& fabric() { return fabric_; }
+  const net::FlowSim& flowsim() const { return sim_; }
+  std::uint64_t scenarios_run() const { return scenarios_run_; }
+
+ private:
+  void validate(const Scenario& sc) const;
+  void apply_overlay(const Scenario& sc);
+
+  net::Fabric fabric_;
+  sim::Engine eng_;
+  net::FlowSim sim_;
+  std::uint64_t scenarios_run_ = 0;
+};
+
+}  // namespace xscale::serve

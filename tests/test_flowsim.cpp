@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "net/fabric.hpp"
@@ -367,6 +368,69 @@ TEST(FlowSimWarmStart, NoOpChurnReplaysFromMemoWithEmptyFrontier) {
   EXPECT_EQ(frontier_at_last_cycle, frontier_at_first_cycle);
   EXPECT_EQ(fs.stats().fallback_solves, 0u);
   EXPECT_GT(fs.stats().warm_solves, 0u);
+}
+
+// Regression (ISSUE 7 satellite 1): redundant fail/restore calls — failing an
+// already-failed link, restoring a never-failed one — are no-ops that must not
+// bump the capacity epoch, so memo hits survive them. Before the idempotency
+// fix each redundant call invalidated both memo generations and the no-op
+// churn above degraded to full warm solves.
+TEST(FlowSimWarmStart, MemoHitsSurviveRedundantFailRestore) {
+  sim::Engine eng;
+  auto fabric = small_dragonfly(net::Routing::Minimal);
+  net::FlowSim fs(eng, fabric);
+  const int dead = fabric.topology().ejection_link(60);
+  const int never_failed = fabric.topology().ejection_link(61);
+  ASSERT_TRUE(fabric.fail_link(dead));
+  const std::uint64_t epoch_after_fail = fabric.capacity_epoch();
+  // Same recurring-stream shape as NoOpChurnReplaysFromMemoWithEmptyFrontier,
+  // but every completion hammers the fabric with redundant fail/restore.
+  for (int s = 4; s < 17; ++s) fs.start(s, 0, 1e12, [] {});
+  for (int s = 17; s < 28; ++s) fs.start(s, 1, 1e12, [] {});
+  const int cycles = 6;
+  int done = 0;
+  std::uint64_t memo_hits_at_last_cycle = 0;
+  std::function<void()> tick = [&] {
+    fs.start(100, 0, 1e3, [&] {
+      ++done;
+      EXPECT_FALSE(fabric.fail_link(dead));             // already failed
+      EXPECT_FALSE(fabric.restore_link(never_failed));  // never failed
+      if (done < cycles) {
+        tick();
+      } else {
+        memo_hits_at_last_cycle = fs.stats().warm_memo_hits;
+      }
+    });
+  };
+  tick();
+  eng.run();
+  EXPECT_EQ(fabric.capacity_epoch(), epoch_after_fail);
+  EXPECT_EQ(fs.stats().warm_memo_stale, 0u);
+  EXPECT_EQ(memo_hits_at_last_cycle,
+            static_cast<std::uint64_t>(2 * cycles - 1));
+}
+
+// Regression (ISSUE 7 satellite 4): a resolve that throws std::invalid_argument
+// (non-finite / negative capacity) used to abandon `live_links_` mid-compaction,
+// leaving the simulator permanently broken. The throw must be deferred until
+// the invariant is restored: a failed resolve leaves the simulator re-solvable.
+TEST(FlowSimWarmStart, FailedResolveLeavesSimulatorReSolvable) {
+  sim::Engine eng;
+  auto fabric = small_dragonfly(net::Routing::Minimal);
+  net::FlowSim fs(eng, fabric);
+  // Incast deep enough that resolves run the warm path with a populated
+  // live-link set (the structure the bug corrupted).
+  for (int s = 4; s < 14; ++s) fs.start(s, 0, 1e12, [] {});
+  check_against_oracle(fs, fabric);
+  const int eject0 = fabric.topology().ejection_link(0);
+  ASSERT_TRUE(fabric.set_link_capacity(eject0, -2.0));
+  EXPECT_THROW(fs.start(14, 0, 1e12, [] {}), std::invalid_argument);
+  // Still broken the same way: the second attempt must throw too, not crash
+  // or silently mis-solve on a corrupted live-link set.
+  EXPECT_THROW(fs.start(15, 0, 1e12, [] {}), std::invalid_argument);
+  ASSERT_TRUE(fabric.clear_link_capacity(eject0));
+  fs.start(16, 0, 1e12, [] {});  // resolves cleanly again
+  check_against_oracle(fs, fabric);
 }
 
 // The warm solve's batched update path — one firing link freezing more than

@@ -420,4 +420,102 @@ TEST(Machines, BaselinesHaveNoFabricButFrontierDoes) {
   EXPECT_FALSE(machines::mira().has_fabric());
 }
 
+// ---------------------------------------------- fabric manager (ISSUE 7) ----
+
+TEST(FabricManager, FailRestoreIdempotentAndBoundsChecked) {
+  auto f = small_dragonfly(net::Routing::Minimal);
+  EXPECT_THROW(f.fail_link(-1), std::out_of_range);
+  EXPECT_THROW(f.fail_link(1 << 28), std::out_of_range);
+  EXPECT_THROW(f.restore_link(-7), std::out_of_range);
+  EXPECT_EQ(f.capacity_epoch(), 0u) << "a rejected call must not mutate";
+
+  const int gl = f.topology().global_link(0, 1);
+  const double base = f.effective_capacities()[static_cast<std::size_t>(gl)];
+  EXPECT_TRUE(f.fail_link(gl));
+  EXPECT_EQ(f.capacity_epoch(), 1u);
+  EXPECT_TRUE(f.is_failed(gl));
+  EXPECT_EQ(f.failed_links(), 1);
+  EXPECT_EQ(f.effective_capacities()[static_cast<std::size_t>(gl)], 0.0);
+
+  // Failing an already-failed link is a no-op: no epoch bump, nothing keyed
+  // on the epoch (the FlowSim warm memo) gets spuriously invalidated.
+  EXPECT_FALSE(f.fail_link(gl));
+  EXPECT_EQ(f.capacity_epoch(), 1u);
+
+  EXPECT_TRUE(f.restore_link(gl));
+  EXPECT_EQ(f.capacity_epoch(), 2u);
+  EXPECT_FALSE(f.is_failed(gl));
+  EXPECT_EQ(f.failed_links(), 0);
+  EXPECT_EQ(f.effective_capacities()[static_cast<std::size_t>(gl)], base);
+
+  // Restoring a live link is equally a no-op.
+  EXPECT_FALSE(f.restore_link(gl));
+  EXPECT_EQ(f.capacity_epoch(), 2u);
+}
+
+TEST(FabricManager, CapacityOverridesComposeWithFailRestore) {
+  auto f = small_dragonfly(net::Routing::Minimal);
+  const int inj = f.topology().injection_link(3);
+  const auto iu = static_cast<std::size_t>(inj);
+  const double base = f.effective_capacities()[iu];
+
+  EXPECT_TRUE(f.set_link_capacity(inj, 1e9));
+  EXPECT_EQ(f.capacity_epoch(), 1u);
+  EXPECT_EQ(f.effective_capacities()[iu], 1e9);
+  EXPECT_FALSE(f.set_link_capacity(inj, 1e9)) << "same value: no-op";
+  EXPECT_EQ(f.capacity_epoch(), 1u);
+
+  // A failed link pins 0 regardless of the override; the override survives
+  // the failure and re-applies on restore.
+  EXPECT_TRUE(f.fail_link(inj));
+  EXPECT_EQ(f.effective_capacities()[iu], 0.0);
+  EXPECT_TRUE(f.set_link_capacity(inj, 2e9) == false)
+      << "overriding a failed link changes nothing observable yet";
+  EXPECT_TRUE(f.restore_link(inj));
+  EXPECT_EQ(f.effective_capacities()[iu], 2e9);
+
+  EXPECT_TRUE(f.clear_link_capacity(inj));
+  EXPECT_EQ(f.effective_capacities()[iu], base);
+  EXPECT_FALSE(f.clear_link_capacity(inj)) << "already cleared: no-op";
+}
+
+TEST(FabricManager, SharedSnapshotSessionsAreIsolated) {
+  auto t = topo::Topology::uniform_dragonfly(8, {4, 4}, 1, 25e9, 180e-9);
+  net::FabricConfig cfg;
+  cfg.routing = net::Routing::Minimal;
+  auto snap = net::make_snapshot(std::move(t), cfg);
+  net::Fabric a(snap);
+  net::Fabric b(snap);
+  ASSERT_EQ(a.snapshot().get(), b.snapshot().get());
+
+  net::PairList pairs;
+  for (int e = 0; e < 16; ++e) pairs.emplace_back(e, 16 + e);
+  const auto before = b.steady_rates(pairs);
+
+  // Session A fails the very global bundle B's traffic crosses, plus a
+  // terminal link; B must observe nothing: same epoch, same capacities, and
+  // bitwise-identical rates.
+  const int gl = a.topology().global_link(0, 1);
+  ASSERT_TRUE(a.fail_link(gl));
+  ASSERT_TRUE(a.fail_link(a.topology().ejection_link(17)));
+  EXPECT_EQ(b.capacity_epoch(), 0u);
+  EXPECT_FALSE(b.is_failed(gl));
+  EXPECT_GT(b.effective_capacities()[static_cast<std::size_t>(gl)], 0.0);
+  const auto after = b.steady_rates(pairs);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i)
+    EXPECT_EQ(before[i], after[i]) << "sibling overlay leaked into flow " << i;
+
+  // A itself sees the failure (detour exists: rates drop but stay nonzero
+  // through the intermediate-group reroute).
+  const auto rerouted = a.steady_rates(pairs);
+  double sum = 0;
+  for (double r : rerouted) sum += r;
+  EXPECT_GT(sum, 0.0);
+  // And the clean copy-on-write view: B still shares the snapshot's base
+  // vector (no private copy until B's own first mutation).
+  EXPECT_EQ(&b.effective_capacities(), &snap->base_capacities());
+  EXPECT_NE(&a.effective_capacities(), &snap->base_capacities());
+}
+
 }  // namespace

@@ -379,6 +379,45 @@ TEST_P(RouteCacheProperty, CachedEqualsFreshAndMinimalInvariantsHold) {
   fresh.restore_link(global_id);
   EXPECT_EQ(cached.route(a, b, rng_a), before);
   EXPECT_EQ(fresh.route(a, b, rng_b), before);
+
+  // Terminal failures (ISSUE 7 satellite 2): failing an Injection/Ejection
+  // link zeroes its capacity but never changes where packets are steered, so
+  // it must NOT invalidate the switch-pair route table. Routes stay cached ==
+  // fresh, identical to the pre-failure route, and re-querying already-cached
+  // pairs takes zero new cache misses while the terminal link is down.
+  const int eject_b = t.ejection_link(b);
+  ASSERT_EQ(t.link(eject_b).kind, topo::LinkKind::Ejection);
+  const auto misses = [] {
+    return obs::metrics().counter("net.route_cache.miss").value();
+  };
+  const auto sweep = [&] {
+    for (int trial = 0; trial < 40; ++trial) {
+      const int p = trial % eps;
+      const int q = (p + 1 + trial / 2) % eps;
+      if (p == q) continue;
+      check_pair(p, q);
+    }
+  };
+  // The endpoint-pair table is direct-mapped, so colliding keys evict each
+  // other deterministically; measure the sweep's steady-state miss cost and
+  // require the terminal failure not to add to it.
+  sweep();  // re-warm anything the random sample evicted earlier
+  const auto m0 = misses();
+  sweep();
+  const auto steady_misses = misses() - m0;
+  cached.fail_link(eject_b);
+  fresh.fail_link(eject_b);
+  const auto term_c = cached.route(a, b, rng_a);
+  const auto term_f = fresh.route(a, b, rng_b);
+  EXPECT_EQ(term_c, term_f);
+  EXPECT_EQ(term_c, before);  // steering unchanged: only capacity is gone
+  const auto m1 = misses();
+  sweep();
+  EXPECT_EQ(misses() - m1, steady_misses)
+      << "terminal-link failure invalidated the route cache";
+  cached.restore_link(eject_b);
+  fresh.restore_link(eject_b);
+  EXPECT_EQ(cached.route(a, b, rng_a), before);
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, RouteCacheProperty, ::testing::Values(2, 4, 9, 17));

@@ -1,0 +1,393 @@
+// Serving-layer tests (ISSUE 7): shared-snapshot sessions must be
+// indistinguishable from private-fabric sessions — bitwise — at any thread
+// count, and sibling sessions must be perfectly isolated (no route-cache or
+// memo invalidation leaks across overlays). The acceptance scenario runs 64
+// concurrent failure-overlay sessions over one 1,024-endpoint snapshot and
+// proves isolation with counters. All of this runs under the TSan CI job,
+// which doubles as the data-race check on the shared snapshot.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "net/snapshot.hpp"
+#include "obs/metrics.hpp"
+#include "serve/batcher.hpp"
+#include "serve/frontend.hpp"
+#include "serve/session.hpp"
+#include "sim/parallel.hpp"
+#include "topo/topology.hpp"
+
+namespace {
+
+using namespace xscale;
+
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { sim::set_thread_count(1); }
+};
+
+topo::Topology small_topology() {
+  return topo::Topology::uniform_dragonfly(6, {4, 4}, 1, 25e9, 180e-9);
+}
+
+topo::Topology big_topology() {
+  // The ISSUE 7 acceptance fabric: 16 x 8 x 8 = 1,024 endpoints.
+  return topo::Topology::uniform_dragonfly(16, {8, 8}, 1, 25e9, 180e-9);
+}
+
+net::FabricConfig minimal_cfg() {
+  net::FabricConfig cfg;
+  cfg.routing = net::Routing::Minimal;  // deterministic paths
+  return cfg;
+}
+
+// Session i's scenario stream: a distinct failed global bundle, a capacity
+// override on its own injection link, and a small incast, then churn —
+// restore, refail, repeat one scenario verbatim (warm-memo bait).
+std::vector<serve::Scenario> scenario_stream(const topo::Topology& topo,
+                                             int i) {
+  const int ng = topo.num_groups();
+  const int neps = topo.num_endpoints();
+  const int gl = topo.global_link(i % ng, (i + 1) % ng);
+  const int target = (i * 7) % neps;
+  const auto flow = [&](int k, double bytes) {
+    serve::FlowSpec f;
+    f.src = (target + 1 + k) % neps;
+    f.dst = target;
+    f.bytes = bytes;
+    return f;
+  };
+
+  serve::Scenario fail_sc;
+  fail_sc.fail_links.push_back(gl);
+  fail_sc.capacity_overrides.emplace_back(topo.injection_link(target),
+                                          12.5e9);
+  for (int k = 0; k < 5; ++k) fail_sc.flows.push_back(flow(k, 1e6));
+
+  serve::Scenario clean_sc;  // everything restored
+  for (int k = 0; k < 3; ++k) clean_sc.flows.push_back(flow(k, 2e6));
+
+  // fail -> fail (identical, memo bait) -> clean -> fail again
+  return {fail_sc, fail_sc, clean_sc, fail_sc};
+}
+
+std::vector<std::vector<serve::ScenarioResult>> run_shared(
+    std::shared_ptr<const net::TopologySnapshot> snap, int n_sessions) {
+  serve::BatcherConfig cfg;
+  cfg.max_sessions = n_sessions;
+  serve::Batcher batcher(snap, cfg);
+  std::vector<int> ids;
+  for (int i = 0; i < n_sessions; ++i) {
+    const int id = batcher.open_session();
+    EXPECT_GE(id, 0);
+    ids.push_back(id);
+  }
+  for (int i = 0; i < n_sessions; ++i)
+    for (const auto& sc : scenario_stream(snap->topology(), i))
+      EXPECT_TRUE(batcher.submit(ids[static_cast<std::size_t>(i)], sc));
+  auto res = batcher.run_batch();
+  res.resize(static_cast<std::size_t>(n_sessions));
+  return res;
+}
+
+// The oracle: every session gets its own private Fabric (its own snapshot,
+// its own route cache), run serially.
+std::vector<std::vector<serve::ScenarioResult>> run_private(
+    const topo::Topology& topo, net::FabricConfig cfg, int n_sessions) {
+  std::vector<std::vector<serve::ScenarioResult>> res(
+      static_cast<std::size_t>(n_sessions));
+  for (int i = 0; i < n_sessions; ++i) {
+    serve::ScenarioSession session(net::make_snapshot(topo, cfg));
+    for (const auto& sc : scenario_stream(topo, i))
+      res[static_cast<std::size_t>(i)].push_back(session.run(sc));
+  }
+  return res;
+}
+
+void expect_bitwise_equal(
+    const std::vector<std::vector<serve::ScenarioResult>>& a,
+    const std::vector<std::vector<serve::ScenarioResult>>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    ASSERT_EQ(a[s].size(), b[s].size()) << "session " << s;
+    for (std::size_t i = 0; i < a[s].size(); ++i) {
+      const auto& ra = a[s][i];
+      const auto& rb = b[s][i];
+      ASSERT_EQ(ra.completion_s.size(), rb.completion_s.size());
+      for (std::size_t f = 0; f < ra.completion_s.size(); ++f)
+        EXPECT_EQ(ra.completion_s[f], rb.completion_s[f])
+            << "session " << s << " scenario " << i << " flow " << f;
+      EXPECT_EQ(ra.makespan_s, rb.makespan_s) << "session " << s;
+      EXPECT_EQ(ra.dropped, rb.dropped);
+      EXPECT_EQ(ra.capacity_epoch, rb.capacity_epoch);
+    }
+  }
+}
+
+// --- differential: shared snapshot == private fabrics, any thread count ----
+
+TEST(ServeDifferential, SharedSnapshotBitwiseEqualsPrivateFabrics) {
+  ThreadCountGuard guard;
+  const auto topo = small_topology();
+  const auto cfg = minimal_cfg();
+  const auto oracle = run_private(topo, cfg, 8);
+  for (int threads : {1, 2, 8}) {
+    sim::set_thread_count(threads);
+    const auto got = run_shared(net::make_snapshot(topo, cfg), 8);
+    expect_bitwise_equal(got, oracle);
+  }
+}
+
+TEST(ServeDifferential, AdaptiveRoutingStaysDeterministicPerSession) {
+  // Adaptive routing draws from the per-session FlowSim rng — still
+  // per-session state, so the contract must hold there too.
+  ThreadCountGuard guard;
+  const auto topo = small_topology();
+  const net::FabricConfig cfg;  // default: adaptive + congestion control
+  const auto oracle = run_private(topo, cfg, 4);
+  for (int threads : {1, 2, 8}) {
+    sim::set_thread_count(threads);
+    const auto got = run_shared(net::make_snapshot(topo, cfg), 4);
+    expect_bitwise_equal(got, oracle);
+  }
+}
+
+// --- ISSUE 7 acceptance: 64 sessions, 1,024 endpoints, zero sibling churn --
+
+TEST(ServeAcceptance, SixtyFourSessionsOneSnapshotZeroSiblingInvalidation) {
+  ThreadCountGuard guard;
+  sim::set_thread_count(8);
+  auto snap = net::make_snapshot(big_topology(), minimal_cfg());
+
+  serve::BatcherConfig cfg;
+  cfg.max_sessions = 64;
+  serve::Batcher batcher(snap, cfg);
+  std::vector<int> ids;
+  for (int i = 0; i < 64; ++i) ids.push_back(batcher.open_session());
+  ASSERT_EQ(batcher.open_sessions(), 64);
+
+  // Session 0 never fails anything: it is the sibling whose caches must
+  // survive the other 63 sessions' failure churn untouched.
+  serve::Scenario clean;
+  for (int k = 0; k < 4; ++k) {
+    serve::FlowSpec f;
+    f.src = 100 + k;
+    f.dst = 17;
+    f.bytes = 1e6;
+    clean.flows.push_back(f);
+  }
+  const auto submit_round = [&] {
+    EXPECT_TRUE(batcher.submit(ids[0], clean));
+    for (int i = 1; i < 64; ++i)
+      for (const auto& sc : scenario_stream(snap->topology(), i))
+        EXPECT_TRUE(batcher.submit(ids[static_cast<std::size_t>(i)], sc));
+  };
+
+  submit_round();
+  auto first = batcher.run_batch();
+
+  // Sibling isolation, proven by counters. Session 0's routes were cached
+  // during the first round; 63 sessions of fail/restore churn ran since. In
+  // the old design every fail_link reset the whole route cache, so this solo
+  // re-run would miss on every flow — now it must be served entirely from
+  // the shared cache: zero new misses.
+  const auto miss_before =
+      obs::metrics().counter("net.route_cache.miss").value();
+  EXPECT_TRUE(batcher.submit(ids[0], clean));
+  auto solo = batcher.run_batch();
+  const auto miss_after =
+      obs::metrics().counter("net.route_cache.miss").value();
+  EXPECT_EQ(miss_before, miss_after)
+      << "sibling churn must not invalidate the shared route cache";
+  const auto& solo_res = solo[static_cast<std::size_t>(ids[0])];
+  ASSERT_EQ(solo_res.size(), 1u);
+  //  - session 0 never mutated its overlay: epoch pinned at 0;
+  //  - no session ever saw its warm memo invalidated by someone else's
+  //    fail/restore: the stale counter can only move when the session's OWN
+  //    epoch moves, and session 0's never did.
+  EXPECT_EQ(batcher.session(ids[0])->fabric().capacity_epoch(), 0u);
+  EXPECT_EQ(batcher.session(ids[0])->flowsim().stats().warm_memo_stale, 0u);
+  // And the repeat is bitwise-stable.
+  EXPECT_EQ(first[static_cast<std::size_t>(ids[0])][0].makespan_s,
+            solo_res[0].makespan_s);
+
+  // The failure sessions did real overlay work (their own epochs moved) —
+  // the isolation above is not vacuous.
+  EXPECT_GT(batcher.session(ids[1])->fabric().capacity_epoch(), 0u);
+  EXPECT_GT(batcher.session(ids[1])->fabric().failed_links(), 0);
+}
+
+// --- admission control + backpressure --------------------------------------
+
+TEST(ServeBatcher, AdmissionControlRejectsPastCapacity) {
+  auto snap = net::make_snapshot(small_topology(), minimal_cfg());
+  serve::BatcherConfig cfg;
+  cfg.max_sessions = 2;
+  serve::Batcher batcher(snap, cfg);
+  const auto rejected_before =
+      obs::metrics().counter("serve.sessions_rejected").value();
+  const int a = batcher.open_session();
+  const int b = batcher.open_session();
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, 0);
+  EXPECT_EQ(batcher.open_session(), -1);
+  EXPECT_EQ(obs::metrics().counter("serve.sessions_rejected").value(),
+            rejected_before + 1);
+  // Close frees a slot; a reopened session starts cold but is admitted.
+  EXPECT_TRUE(batcher.close_session(a));
+  EXPECT_FALSE(batcher.close_session(a));  // double close is a no-op
+  EXPECT_GE(batcher.open_session(), 0);
+}
+
+TEST(ServeBatcher, SubmitBackpressureAndInvalidSession) {
+  auto snap = net::make_snapshot(small_topology(), minimal_cfg());
+  serve::BatcherConfig cfg;
+  cfg.max_pending = 2;
+  serve::Batcher batcher(snap, cfg);
+  const int id = batcher.open_session();
+  serve::Scenario sc;
+  serve::FlowSpec f;
+  f.src = 0;
+  f.dst = 5;
+  f.bytes = 1e6;
+  sc.flows.push_back(f);
+  EXPECT_TRUE(batcher.submit(id, sc));
+  EXPECT_TRUE(batcher.submit(id, sc));
+  EXPECT_FALSE(batcher.submit(id, sc)) << "queue bound must backpressure";
+  EXPECT_FALSE(batcher.submit(id + 99, sc)) << "unknown session must reject";
+  EXPECT_EQ(batcher.pending(), 2u);
+  auto res = batcher.run_batch();
+  EXPECT_EQ(batcher.pending(), 0u);
+  ASSERT_EQ(res[static_cast<std::size_t>(id)].size(), 2u);
+  EXPECT_TRUE(batcher.submit(id, sc)) << "drained queue accepts again";
+}
+
+TEST(ServeBatcher, MalformedScenarioFailsAloneAndKeepsSessionUsable) {
+  auto snap = net::make_snapshot(small_topology(), minimal_cfg());
+  serve::Batcher batcher(snap);
+  const int id = batcher.open_session();
+  serve::Scenario bad;
+  serve::FlowSpec f;
+  f.src = 0;
+  f.dst = 0;  // src == dst: invalid
+  f.bytes = 1e6;
+  bad.flows.push_back(f);
+  serve::Scenario good;
+  f.dst = 3;
+  good.flows.push_back(f);
+  EXPECT_TRUE(batcher.submit(id, bad));
+  EXPECT_TRUE(batcher.submit(id, good));
+  auto res = batcher.run_batch();
+  ASSERT_EQ(res[static_cast<std::size_t>(id)].size(), 2u);
+  EXPECT_LT(res[static_cast<std::size_t>(id)][0].makespan_s, 0)
+      << "malformed scenario reports the sentinel";
+  EXPECT_GT(res[static_cast<std::size_t>(id)][1].makespan_s, 0)
+      << "the session survives and serves the next scenario";
+}
+
+// --- session semantics ------------------------------------------------------
+
+TEST(ServeSession, RepeatedScenarioIsDiffAppliedAndEpochStable) {
+  auto snap = net::make_snapshot(small_topology(), minimal_cfg());
+  serve::ScenarioSession session(snap);
+  const auto stream = scenario_stream(snap->topology(), 1);
+  const auto r1 = session.run(stream[0]);
+  const auto r2 = session.run(stream[0]);  // identical, back to back
+  // Identical scenario => overlay diff is empty => same epoch (no fail or
+  // restore actually ran), so nothing keyed on the epoch was invalidated,
+  // and the repeat is bitwise-stable.
+  EXPECT_EQ(r1.capacity_epoch, r2.capacity_epoch);
+  EXPECT_EQ(r1.makespan_s, r2.makespan_s);
+  ASSERT_EQ(r1.completion_s.size(), r2.completion_s.size());
+  for (std::size_t i = 0; i < r1.completion_s.size(); ++i)
+    EXPECT_EQ(r1.completion_s[i], r2.completion_s[i]);
+  EXPECT_EQ(r2.stats.warm_memo_stale, 0u);
+}
+
+TEST(ServeSession, DropsFlowsThatOnlyCrossFailedTerminalLinks) {
+  auto snap = net::make_snapshot(small_topology(), minimal_cfg());
+  serve::ScenarioSession session(snap);
+  serve::Scenario sc;
+  sc.fail_links.push_back(snap->topology().ejection_link(9));
+  serve::FlowSpec f;
+  f.src = 2;
+  f.dst = 9;
+  f.bytes = 1e6;
+  sc.flows.push_back(f);
+  f.dst = 11;
+  sc.flows.push_back(f);
+  const auto r = session.run(sc);
+  EXPECT_EQ(r.dropped, 1u);
+  EXPECT_EQ(r.completion_s[0], -1.0) << "flow into the dead NIC is dropped";
+  EXPECT_GT(r.completion_s[1], 0.0) << "unrelated flow completes";
+}
+
+TEST(ServeSession, RejectsMalformedScenariosWithoutTouchingState) {
+  auto snap = net::make_snapshot(small_topology(), minimal_cfg());
+  serve::ScenarioSession session(snap);
+  serve::Scenario sc;
+  serve::FlowSpec f;
+  f.src = 0;
+  f.dst = 1;
+  f.bytes = -5;  // invalid
+  sc.flows.push_back(f);
+  EXPECT_THROW(session.run(sc), std::invalid_argument);
+  EXPECT_EQ(session.fabric().capacity_epoch(), 0u);
+  sc.flows[0].bytes = 1e6;
+  sc.fail_links.push_back(1 << 28);  // out of range
+  EXPECT_THROW(session.run(sc), std::invalid_argument);
+  EXPECT_EQ(session.fabric().capacity_epoch(), 0u);
+  sc.fail_links.clear();
+  EXPECT_GT(session.run(sc).makespan_s, 0.0) << "session still healthy";
+}
+
+// --- frontend ---------------------------------------------------------------
+
+TEST(ServeFrontend, LineProtocolEndToEnd) {
+  auto snap = net::make_snapshot(small_topology(), minimal_cfg());
+  serve::BatcherConfig cfg;
+  cfg.max_sessions = 2;
+  serve::Batcher batcher(snap, cfg);
+  serve::Frontend frontend(batcher);
+
+  const int gl = snap->topology().global_link(0, 1);
+  std::ostringstream script;
+  script << "OPEN\n"
+         << "OPEN\n"
+         << "OPEN\n"  // third must hit admission control
+         << "FAIL 0 " << gl << "\n"
+         << "FLOW 0 1 20 1000000\n"
+         << "FLOW 1 2 30 1000000 0.5\n"
+         << "SUBMIT 0\n"
+         << "SUBMIT 1\n"
+         << "RUN\n"
+         << "BOGUS\n"
+         << "CLOSE 1\n"
+         << "QUIT\n";
+  std::istringstream in(script.str());
+  std::ostringstream out;
+  frontend.serve(in, out);
+
+  const std::string text = out.str();
+  EXPECT_NE(text.find("OK 0\n"), std::string::npos);
+  EXPECT_NE(text.find("OK 1\n"), std::string::npos);
+  EXPECT_NE(text.find("ERR at-capacity"), std::string::npos);
+  EXPECT_NE(text.find("RESULT 0 0 "), std::string::npos);
+  EXPECT_NE(text.find("RESULT 1 0 "), std::string::npos);
+  EXPECT_NE(text.find("ERR unknown-command BOGUS"), std::string::npos);
+  // QUIT answered and loop exited (serve returned before we got here).
+  EXPECT_EQ(batcher.open_sessions(), 1);
+}
+
+TEST(ServeFrontend, MetricsCommandListsServeCounters) {
+  auto snap = net::make_snapshot(small_topology(), minimal_cfg());
+  serve::Batcher batcher(snap);
+  serve::Frontend frontend(batcher);
+  std::ostringstream out;
+  EXPECT_TRUE(frontend.handle_line("OPEN", out));
+  EXPECT_TRUE(frontend.handle_line("METRICS", out));
+  EXPECT_NE(out.str().find("METRIC serve.sessions_opened"), std::string::npos);
+}
+
+}  // namespace

@@ -67,6 +67,9 @@ bool FabricOverlay::set_link_capacity(int link_id, double capacity) {
     cap = capacity;
     const bool was_live = failed_.empty() || !failed_[id];
     if (was_live) {  // a failed link stays at 0: no observable change yet
+      // cow_cap_ may still be empty: a first set equal to the base capacity
+      // records the override but never materialises.
+      materialize();
       cow_cap_[id] = capacity;
       ++cap_epoch_;
     }

@@ -96,7 +96,7 @@ bool Batcher::close_session(int id) {
   return true;
 }
 
-bool Batcher::submit(int id, Scenario sc) {
+bool Batcher::submit(int id, Scenario&& sc) {
   if (!valid_open(id)) {
     c_scenarios_rejected().inc();
     return false;
@@ -126,9 +126,14 @@ std::vector<std::vector<ScenarioResult>> Batcher::run_batch() {
       for (const Scenario& sc : s.queue) {
         try {
           results[i].push_back(s.session->run(sc));
-        } catch (const std::invalid_argument&) {
-          // Malformed scenario: report a sentinel result, keep the session
-          // (validation rejects before touching overlay/sim state).
+        } catch (const std::exception&) {
+          // Per-scenario error isolation: report a sentinel result and keep
+          // the session. Validation errors (std::invalid_argument) reject
+          // before touching state; mid-run errors — the solver refusing an
+          // unvalidated capacity override, routing finding no live route
+          // between groups (std::runtime_error) — leave the session reset
+          // and re-runnable (ScenarioSession::run rebuilds engine + sim
+          // before rethrowing). Either way the batch must not tear down.
           ScenarioResult bad;
           bad.makespan_s = -1.0;
           results[i].push_back(std::move(bad));

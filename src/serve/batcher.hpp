@@ -46,15 +46,19 @@ class Batcher {
   int open_session();
   bool close_session(int id);
 
-  // Queue a scenario on an open session. False = invalid id or backpressure.
-  bool submit(int id, Scenario sc);
+  // Queue a scenario on an open session. False = invalid id or backpressure;
+  // a rejected rvalue submit does NOT consume `sc`, so callers holding staged
+  // state (the Frontend) can retry the same scenario after the queue drains.
+  bool submit(int id, Scenario&& sc);
+  bool submit(int id, const Scenario& sc) { return submit(id, Scenario(sc)); }
 
   // Drain every queue: sessions run concurrently (parallel_for, grain 1),
   // each session's scenarios strictly in submit order. Returns results
   // indexed [session id][scenario], empty vectors for idle/closed ids.
-  // Scenario validation errors surface per-scenario as a dropped result
-  // (completion_s empty, dropped == 0, makespan < 0) rather than tearing
-  // down sibling sessions.
+  // Scenario errors — validation rejects *and* mid-run solver/routing
+  // throws — surface per-scenario as a sentinel result (completion_s empty,
+  // dropped == 0, makespan < 0) rather than tearing down sibling sessions;
+  // the erroring session itself stays open and serves its next scenario.
   std::vector<std::vector<ScenarioResult>> run_batch();
 
   ScenarioSession* session(int id);

@@ -106,13 +106,19 @@ bool Frontend::handle_line(const std::string& line, std::ostream& out) {
       out << "ERR usage: SUBMIT <id>\n";
       return true;
     }
-    auto it = staged_.find(id);
-    Scenario sc = it == staged_.end() ? Scenario{} : std::move(it->second);
-    if (it != staged_.end()) staged_.erase(it);
-    if (!batcher_.submit(id, std::move(sc))) {
+    const auto it = staged_.find(id);
+    if (it == staged_.end()) {
+      out << "ERR nothing-staged\n";
+      return true;
+    }
+    // A rejected submit does not consume the scenario: the staged state
+    // survives backpressure, so the client can retry after RUN drains the
+    // queue instead of silently losing its FAIL/DELTA/FLOW lines.
+    if (!batcher_.submit(id, std::move(it->second))) {
       out << "ERR backpressure-or-no-session\n";
       return true;
     }
+    staged_.erase(it);
     out << "OK " << batcher_.pending() << "\n";
     return true;
   }

@@ -9,6 +9,7 @@
 //   DELTA <id> <link> <cap_Bps>   -> OK        (stage a capacity override)
 //   FLOW <id> <src> <dst> <bytes> [<start_s>] -> OK      (stage a flow)
 //   SUBMIT <id>                   -> OK <n-pending>     | ERR backpressure
+//                                                       | ERR nothing-staged
 //   RUN                           -> RESULT <id> <idx> <makespan_s> <dropped>
 //                                    (one line per scenario) then OK <count>
 //   METRICS                       -> METRIC <name> <value> ... then OK
@@ -16,8 +17,10 @@
 //
 // Staged scenario state lives per session in the frontend; SUBMIT moves it
 // into the batcher's queue (admission/backpressure decisions and counters
-// happen there). Unknown commands and malformed arguments answer ERR and
-// leave every session untouched.
+// happen there). A rejected SUBMIT keeps the staged scenario intact for
+// retry; SUBMIT with nothing staged is an error, never an empty scenario.
+// Unknown commands and malformed arguments answer ERR and leave every
+// session untouched.
 #pragma once
 
 #include <iosfwd>

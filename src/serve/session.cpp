@@ -34,7 +34,19 @@ net::FlowSim::Stats stats_delta(const net::FlowSim::Stats& after,
 ScenarioSession::ScenarioSession(
     std::shared_ptr<const net::TopologySnapshot> snap,
     net::FlowSimConfig sim_cfg)
-    : fabric_(std::move(snap)), sim_(eng_, fabric_, sim_cfg) {}
+    : fabric_(std::move(snap)), sim_cfg_(sim_cfg) {
+  sim_.emplace(eng_, fabric_, sim_cfg_);
+}
+
+void ScenarioSession::reset_sim() {
+  // Destroy the simulator before wiping the engine it references: its
+  // completion callbacks and pending-event ids die with it, then the fresh
+  // engine starts with an empty heap at t = 0 (results are relative to t0,
+  // so the clock reset is unobservable).
+  sim_.reset();
+  eng_ = sim::Engine{};
+  sim_.emplace(eng_, fabric_, sim_cfg_);
+}
 
 void ScenarioSession::validate(const Scenario& sc) const {
   const int neps = fabric_.topology().num_endpoints();
@@ -95,8 +107,8 @@ ScenarioResult ScenarioSession::run(const Scenario& sc) {
   ScenarioResult res;
   res.capacity_epoch = fabric_.capacity_epoch();
   res.completion_s.assign(sc.flows.size(), -1.0);
-  const net::FlowSim::Stats before = sim_.stats();
-  const std::uint64_t dropped_before = sim_.dropped_flows();
+  const net::FlowSim::Stats before = sim_->stats();
+  const std::uint64_t dropped_before = sim_->dropped_flows();
 
   // Engine time is monotone across the session's scenarios; everything the
   // caller sees is relative to this scenario's start.
@@ -104,15 +116,26 @@ ScenarioResult ScenarioSession::run(const Scenario& sc) {
   for (std::size_t i = 0; i < sc.flows.size(); ++i) {
     const FlowSpec& f = sc.flows[i];
     eng_.schedule_at(t0 + f.start_s, [this, &res, f, i, t0] {
-      sim_.start(f.src, f.dst, f.bytes,
-                 [this, &res, i, t0] { res.completion_s[i] = eng_.now() - t0; });
+      sim_->start(f.src, f.dst, f.bytes, [this, &res, i, t0] {
+        res.completion_s[i] = eng_.now() - t0;
+      });
     });
   }
-  eng_.run();
+  try {
+    eng_.run();
+  } catch (...) {
+    // A mid-run throw (solver rejecting an unvalidated capacity override,
+    // routing with no live route) abandons queued events and active flows
+    // whose callbacks reference *this frame's* `res`. Rebuild engine + sim
+    // so nothing dangles into the next run, then let the caller see the
+    // error.
+    reset_sim();
+    throw;
+  }
 
   res.makespan_s = eng_.now() - t0;
-  res.dropped = sim_.dropped_flows() - dropped_before;
-  res.stats = stats_delta(sim_.stats(), before);
+  res.dropped = sim_->dropped_flows() - dropped_before;
+  res.stats = stats_delta(sim_->stats(), before);
   ++scenarios_run_;
   return res;
 }

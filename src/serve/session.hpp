@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -74,21 +75,30 @@ class ScenarioSession {
   // Apply the scenario's overlay (diffed against the current one), inject its
   // flows, run to completion, report. Throws std::invalid_argument on a
   // malformed scenario (bad endpoint, non-positive bytes, negative start)
-  // without touching session state.
+  // without touching session state. A throw *mid-run* — the solver rejecting
+  // a deliberately-unvalidated capacity override, routing finding no live
+  // route — propagates after the engine and simulator are rebuilt, so no
+  // queued event or in-flight flow (whose callbacks reference the dead run's
+  // stack frame) survives into the next run; the overlay and its epoch are
+  // kept, warm-start state starts cold.
   ScenarioResult run(const Scenario& sc);
 
   const net::Fabric& fabric() const { return fabric_; }
   net::Fabric& fabric() { return fabric_; }
-  const net::FlowSim& flowsim() const { return sim_; }
+  const net::FlowSim& flowsim() const { return *sim_; }
   std::uint64_t scenarios_run() const { return scenarios_run_; }
 
  private:
   void validate(const Scenario& sc) const;
   void apply_overlay(const Scenario& sc);
+  void reset_sim();
 
   net::Fabric fabric_;
+  net::FlowSimConfig sim_cfg_;
   sim::Engine eng_;
-  net::FlowSim sim_;
+  // optional<> only so reset_sim() can reconstruct it (FlowSim holds
+  // references); engaged for the whole session lifetime.
+  std::optional<net::FlowSim> sim_;
   std::uint64_t scenarios_run_ = 0;
 };
 

@@ -479,6 +479,26 @@ TEST(FabricManager, CapacityOverridesComposeWithFailRestore) {
   EXPECT_FALSE(f.clear_link_capacity(inj)) << "already cleared: no-op";
 }
 
+TEST(FabricManager, OverrideUpdateAfterNoOpFirstSetMaterialises) {
+  // Regression: a first override equal to the current effective capacity is
+  // a no-op that records the override without materialising the COW vector;
+  // a later different-valued set takes the update branch and used to write
+  // through the still-empty vector (out-of-bounds). A scenario sweeping a
+  // link's capacity through its nominal value hits exactly this sequence.
+  auto f = small_dragonfly(net::Routing::Minimal);
+  const int inj = f.topology().injection_link(2);
+  const auto iu = static_cast<std::size_t>(inj);
+  const double base = f.effective_capacities()[iu];
+
+  EXPECT_FALSE(f.set_link_capacity(inj, base)) << "base-valued set: no-op";
+  EXPECT_EQ(f.capacity_epoch(), 0u);
+  EXPECT_TRUE(f.set_link_capacity(inj, base / 2));
+  EXPECT_EQ(f.effective_capacities()[iu], base / 2);
+  EXPECT_EQ(f.capacity_epoch(), 1u);
+  EXPECT_TRUE(f.clear_link_capacity(inj));
+  EXPECT_EQ(f.effective_capacities()[iu], base);
+}
+
 TEST(FabricManager, SharedSnapshotSessionsAreIsolated) {
   auto t = topo::Topology::uniform_dragonfly(8, {4, 4}, 1, 25e9, 180e-9);
   net::FabricConfig cfg;

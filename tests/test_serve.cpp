@@ -342,6 +342,95 @@ TEST(ServeSession, RejectsMalformedScenariosWithoutTouchingState) {
   EXPECT_GT(session.run(sc).makespan_s, 0.0) << "session still healthy";
 }
 
+TEST(ServeSession, MidRunSolverErrorLeavesSessionReusable) {
+  // Regression: capacity override *values* are deliberately unvalidated, so
+  // the solver throws mid-run. The queued flow-start/completion events
+  // captured that run's stack-local result; before the fix they survived the
+  // throw and fired on the next run through the dangling reference
+  // (use-after-free, caught by ASan). Now the engine + sim are rebuilt on the
+  // way out and the session serves the next scenario cleanly.
+  auto snap = net::make_snapshot(small_topology(), minimal_cfg());
+  serve::ScenarioSession session(snap);
+  serve::FlowSpec f;
+  f.src = 5;
+  f.dst = 9;
+  f.bytes = 1e6;
+  serve::Scenario bad;
+  bad.capacity_overrides.emplace_back(snap->topology().injection_link(5),
+                                      -1.0);  // solver rejects at resolve
+  bad.flows.push_back(f);
+  EXPECT_THROW(session.run(bad), std::invalid_argument);
+
+  serve::Scenario good;
+  good.flows.push_back(f);
+  good.flows.push_back(f);  // two flows: leftover events would skew these
+  const auto r = session.run(good);
+  ASSERT_EQ(r.completion_s.size(), 2u);
+  EXPECT_GT(r.makespan_s, 0.0) << "session reusable after mid-run throw";
+  EXPECT_GT(r.completion_s[0], 0.0);
+  EXPECT_GT(r.completion_s[1], 0.0);
+  EXPECT_EQ(r.dropped, 0u);
+
+  // And the result matches a fresh session that never saw the bad scenario:
+  // nothing from the aborted run leaked into the replay.
+  serve::ScenarioSession fresh(snap);
+  const auto rf = fresh.run(good);
+  EXPECT_EQ(r.makespan_s, rf.makespan_s);
+  EXPECT_EQ(r.completion_s[0], rf.completion_s[0]);
+  EXPECT_EQ(r.completion_s[1], rf.completion_s[1]);
+}
+
+TEST(ServeBatcher, MidRunRoutingErrorIsIsolatedPerScenario) {
+  // A scenario can pass validation (all link ids in range) yet fail *inside*
+  // the run: cutting every global bundle out of a group leaves routing with
+  // no direct bundle and no one-intermediate-group detour, which throws
+  // std::runtime_error. run_batch must isolate it like any other scenario
+  // error — sentinel result, session and siblings live, queues drained.
+  auto snap = net::make_snapshot(small_topology(), minimal_cfg());
+  const auto& topo = snap->topology();
+  serve::Batcher batcher(snap);
+  const int a = batcher.open_session();
+  const int b = batcher.open_session();
+
+  int dst_other_group = -1;
+  for (int e = 0; e < topo.num_endpoints(); ++e) {
+    if (topo.group_of_switch(topo.endpoint_switch(e)) != 0) {
+      dst_other_group = e;
+      break;
+    }
+  }
+  ASSERT_GE(dst_other_group, 0);
+
+  serve::FlowSpec f;
+  f.src = 0;  // group 0
+  f.dst = dst_other_group;
+  f.bytes = 1e6;
+  serve::Scenario cut;  // group 0 fully disconnected
+  for (int g = 1; g < topo.num_groups(); ++g)
+    cut.fail_links.push_back(topo.global_link(0, g));
+  cut.flows.push_back(f);
+  serve::Scenario good;
+  good.flows.push_back(f);
+
+  EXPECT_TRUE(batcher.submit(a, cut));
+  EXPECT_TRUE(batcher.submit(a, good));
+  EXPECT_TRUE(batcher.submit(b, good));
+  const auto failed_before =
+      obs::metrics().counter("serve.scenarios_failed").value();
+  auto res = batcher.run_batch();  // must not throw
+  ASSERT_EQ(res[static_cast<std::size_t>(a)].size(), 2u);
+  EXPECT_LT(res[static_cast<std::size_t>(a)][0].makespan_s, 0)
+      << "routing failure reports the sentinel";
+  EXPECT_GT(res[static_cast<std::size_t>(a)][1].makespan_s, 0)
+      << "the session survives the mid-run throw";
+  ASSERT_EQ(res[static_cast<std::size_t>(b)].size(), 1u);
+  EXPECT_GT(res[static_cast<std::size_t>(b)][0].makespan_s, 0)
+      << "sibling session unaffected";
+  EXPECT_EQ(batcher.pending(), 0u) << "queues drained, gauges consistent";
+  EXPECT_EQ(obs::metrics().counter("serve.scenarios_failed").value(),
+            failed_before + 1);
+}
+
 // --- frontend ---------------------------------------------------------------
 
 TEST(ServeFrontend, LineProtocolEndToEnd) {
@@ -378,6 +467,48 @@ TEST(ServeFrontend, LineProtocolEndToEnd) {
   EXPECT_NE(text.find("ERR unknown-command BOGUS"), std::string::npos);
   // QUIT answered and loop exited (serve returned before we got here).
   EXPECT_EQ(batcher.open_sessions(), 1);
+}
+
+TEST(ServeFrontend, SubmitKeepsStagedStateOnRejection) {
+  auto snap = net::make_snapshot(small_topology(), minimal_cfg());
+  serve::BatcherConfig cfg;
+  cfg.max_pending = 1;
+  serve::Batcher batcher(snap, cfg);
+  serve::Frontend frontend(batcher);
+  std::ostringstream setup;
+  EXPECT_TRUE(frontend.handle_line("OPEN", setup));
+
+  // Nothing staged: SUBMIT must be an error, not an empty-scenario enqueue.
+  std::ostringstream empty;
+  EXPECT_TRUE(frontend.handle_line("SUBMIT 0", empty));
+  EXPECT_NE(empty.str().find("ERR nothing-staged"), std::string::npos);
+  EXPECT_EQ(batcher.pending(), 0u);
+
+  // Fill the queue (max_pending = 1), then stage a second scenario and hit
+  // backpressure: the staged FLOW must survive for retry.
+  EXPECT_TRUE(frontend.handle_line("FLOW 0 1 20 1000000", setup));
+  EXPECT_TRUE(frontend.handle_line("SUBMIT 0", setup));
+  EXPECT_TRUE(frontend.handle_line("FLOW 0 2 30 1000000", setup));
+  std::ostringstream rejected;
+  EXPECT_TRUE(frontend.handle_line("SUBMIT 0", rejected));
+  EXPECT_NE(rejected.str().find("ERR backpressure"), std::string::npos);
+
+  std::ostringstream drain;
+  EXPECT_TRUE(frontend.handle_line("RUN", drain));
+  std::ostringstream retry;
+  EXPECT_TRUE(frontend.handle_line("SUBMIT 0", retry));
+  EXPECT_NE(retry.str().find("OK"), std::string::npos)
+      << "retry after drain must succeed with the staged scenario intact";
+  std::ostringstream run2;
+  EXPECT_TRUE(frontend.handle_line("RUN", run2));
+  // The retried scenario still carried its flow: a non-trivial makespan.
+  const std::string text = run2.str();
+  const auto pos = text.find("RESULT 0 0 ");
+  ASSERT_NE(pos, std::string::npos);
+  double makespan = -1;
+  std::istringstream(text.substr(pos + 11)) >> makespan;
+  EXPECT_GT(makespan, 0.0)
+      << "backpressure must not have destroyed the staged flow";
 }
 
 TEST(ServeFrontend, MetricsCommandListsServeCounters) {

@@ -22,6 +22,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <functional>
 #include <new>
@@ -29,6 +30,7 @@
 
 #include "net/fabric.hpp"
 #include "net/flowsim.hpp"
+#include "obs/metrics.hpp"
 #include "obs/options.hpp"
 #include "resil/jobsim.hpp"
 #include "sim/engine.hpp"
@@ -101,6 +103,11 @@ namespace {
 
 enum class Pattern { Permutation, Incast, AllToAll };
 
+// Wall-clock of the last build_fabric call, in ms — recorded per benchmark so
+// a topology-construction regression shows up in the snapshot instead of
+// silently inflating setup time outside the measured region.
+double g_topo_build_ms = 0.0;
+
 net::Fabric build_fabric(int endpoints) {
   // Dragonfly shapes sized so groups x switches x endpoints = n.
   int g = 4, s = 4, e = 4;  // 64
@@ -113,11 +120,38 @@ net::Fabric build_fabric(int endpoints) {
   } else if (endpoints >= 256) {
     g = 8; s = 8; e = 4;
   }
+  const auto tb0 = std::chrono::steady_clock::now();
   auto t = topo::Topology::uniform_dragonfly(g, {s, e}, 1, 25e9, 180e-9);
   net::FabricConfig cfg;
   cfg.routing = net::Routing::Minimal;  // deterministic paths across modes
-  return net::Fabric(std::move(t), cfg);
+  net::Fabric fabric(std::move(t), cfg);
+  g_topo_build_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                tb0)
+          .count();
+  return fabric;
 }
+
+// Route-cache effectiveness over a measured region: hit% of all lookups.
+// The cache lives on the shared TopologySnapshot, so it persists across
+// benchmark iterations — exactly the steady-churn behaviour the gate guards.
+struct RouteCacheProbe {
+  std::uint64_t hit0 = 0, miss0 = 0;
+  RouteCacheProbe() { reset(); }
+  void reset() {
+    hit0 = obs::metrics().counter("net.route_cache.hit").value();
+    miss0 = obs::metrics().counter("net.route_cache.miss").value();
+  }
+  double hit_pct() const {
+    const std::uint64_t h =
+        obs::metrics().counter("net.route_cache.hit").value() - hit0;
+    const std::uint64_t m =
+        obs::metrics().counter("net.route_cache.miss").value() - miss0;
+    return h + m ? 100.0 * static_cast<double>(h) /
+                       static_cast<double>(h + m)
+                 : 0.0;
+  }
+};
 
 // Churn driver: one outstanding flow per participating endpoint until the
 // launch budget runs out. The completion callback captures only {this, src}
@@ -130,6 +164,14 @@ struct ChurnDriver {
   std::uint64_t budget = 0;  // launches remaining
   sim::Rng rng{0xC0FFEE};
   std::uint64_t completions = 0;
+  // Steady-window probe (ISSUE 8): stats snapshots at two completion
+  // milestones, so write-back effectiveness can be measured over mid-run
+  // steady churn only. The t=0 ramp fill and the end-of-budget drain tail
+  // both change the shared bottleneck's uniform rate on every step — those
+  // are genuine whole-set rate changes (the eager reference applies them
+  // too), not write-back waste, and must not pollute the sub-linear gate.
+  std::uint64_t mark1 = 0, mark2 = 0;  // 0 = disabled
+  net::FlowSim::Stats stats1{}, stats2{};
   std::vector<int> shift;
   std::vector<int> perm;
   std::vector<int> idle;  // endpoints whose chain stopped on budget exhaustion
@@ -167,6 +209,10 @@ struct ChurnDriver {
     }
     fs.start(src, dst, rng.uniform(1e7, 1e8), [this, src] {
       ++completions;
+      if (completions == mark1)
+        stats1 = fs.stats();
+      else if (completions == mark2)
+        stats2 = fs.stats();
       launch(src);
     });
   }
@@ -181,28 +227,58 @@ struct ChurnDriver {
 };
 
 // One churn run from scratch: `target` completions. Returns completions.
+// With `wb` non-null, also reports write-back counts over the steady window
+// (completions target/8 .. 3*target/8) — strictly inside the replacement-
+// sustained phase, since the launch budget lasts until completion target/2,
+// so the window sees neither the initial ramp nor the drain tail.
+struct WindowCounts {
+  std::uint64_t applied = 0, skipped = 0;
+};
 std::uint64_t churn(net::FlowSim& fs, sim::Engine& eng, Pattern p, int n,
-                    std::uint64_t target) {
+                    std::uint64_t target, WindowCounts* wb = nullptr) {
   ChurnDriver d(fs, p, n);
   d.budget = target;
+  if (wb) {
+    d.mark1 = target / 8;
+    d.mark2 = 3 * target / 8;
+  }
   const int first = p == Pattern::Incast ? 1 : 0;
   for (int i = first; i < n; ++i) d.launch(i);
   eng.run();
+  if (wb) {
+    wb->applied = d.stats2.writeback_applied - d.stats1.writeback_applied;
+    wb->skipped = d.stats2.writeback_skipped - d.stats1.writeback_skipped;
+  }
   return d.completions;
 }
 
 void BM_FlowChurn(benchmark::State& state, Pattern p, bool incremental) {
   const int n = static_cast<int>(state.range(0));
   const auto fabric = build_fabric(n);
+  const double topo_ms = g_topo_build_ms;
   const auto target = static_cast<std::uint64_t>(2 * n);
   net::FlowSim::Stats last{};
   std::size_t heap = 0, stale = 0;
   std::uint64_t allocs = 0;
+  RouteCacheProbe rc;
+  {
+    // Prime the shared route cache (it lives on the topology snapshot and
+    // persists across runs) with one untimed churn over the full launch
+    // sequence (the driver is deterministic, so a timed run replays exactly
+    // these pairs — all-to-all advances its shift phase per launch), then
+    // rebase the probe so rc_hit% reports steady-state effectiveness, not
+    // first-run cold misses.
+    sim::Engine weng;
+    net::FlowSim wfs(weng, fabric, {.incremental = incremental});
+    churn(wfs, weng, p, n, target);
+    rc.reset();
+  }
+  WindowCounts wb{};
   for (auto _ : state) {
     const std::uint64_t a0 = heap_allocs();
     sim::Engine eng;
     net::FlowSim fs(eng, fabric, {.incremental = incremental});
-    const auto done = churn(fs, eng, p, n, target);
+    const auto done = churn(fs, eng, p, n, target, &wb);
     benchmark::DoNotOptimize(done);
     allocs += heap_allocs() - a0;
     last = fs.stats();
@@ -241,6 +317,18 @@ void BM_FlowChurn(benchmark::State& state, Pattern p, bool incremental) {
           ? static_cast<double>(allocs) /
                 static_cast<double>(state.iterations() * target)
           : 0.0;
+  // Write-back effectiveness (ISSUE 8), measured over the mid-run steady
+  // window only (see `churn`): share of write-back decisions that actually
+  // changed a rate. Incast steady state must stay sub-linear — same-instant
+  // coalescing parks one uniform rate per churn event and the
+  // materialisation skips almost everyone — which check_bench.py gates.
+  const double wb_total = static_cast<double>(wb.applied + wb.skipped);
+  state.counters["writeback%"] =
+      wb_total > 0
+          ? 100.0 * static_cast<double>(wb.applied) / wb_total
+          : 0.0;
+  state.counters["rc_hit%"] = rc.hit_pct();
+  state.counters["topo_build_ms"] = topo_ms;
 }
 
 // ISSUE 5 acceptance probe: allocations per *steady-state* incremental
@@ -311,6 +399,39 @@ void BM_FlowChurnThreads(benchmark::State& state) {
   sim::set_thread_count(prev_threads);
 }
 
+// Thread-scaling for the warm whole-set solve (ISSUE 8): all-to-all churn at
+// 9,408 endpoints with fallback_fraction = 0, which routes every resolve
+// through the warm whole-set water-filling — the path whose min-share scan
+// and batch rate-subtraction cross the >= 4096 parallel gate once the live
+// link list is this large. The full-solve variant above never exercises
+// these code paths, so its scaling numbers said nothing about warm resolves
+// (and plain incremental all-to-all churn solves small per-churn components,
+// never the whole set).
+void BM_FlowChurnThreadsWarm(benchmark::State& state) {
+  const int prev_threads = sim::thread_count();
+  sim::set_thread_count(static_cast<int>(state.range(0)));
+  const int n = 9408;
+  const auto fabric = build_fabric(n);
+  const auto target = static_cast<std::uint64_t>(2 * n);
+  net::FlowSim::Stats last{};
+  for (auto _ : state) {
+    sim::Engine eng;
+    net::FlowSim fs(eng, fabric,
+                    {.incremental = true, .fallback_fraction = 0.0});
+    const auto done = churn(fs, eng, Pattern::AllToAll, n, target);
+    benchmark::DoNotOptimize(done);
+    last = fs.stats();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(target));
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  state.counters["warm%"] =
+      last.resolves ? 100.0 * static_cast<double>(last.warm_solves) /
+                          static_cast<double>(last.resolves)
+                    : 0.0;
+  sim::set_thread_count(prev_threads);
+}
+
 // Thread-scaling companion for the resiliency Monte Carlo paths (trial-
 // sharded job replay); lives here so one binary produces both scaling
 // curves for EXPERIMENTS.md.
@@ -376,6 +497,8 @@ BENCHMARK_CAPTURE(BM_SteadyResolve, permutation, Pattern::Permutation)
     ->Arg(1024)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EngineCancelChurn)->Arg(4)->Arg(1024)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FlowChurnThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FlowChurnThreadsWarm)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_JobReplayThreads)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);

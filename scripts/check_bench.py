@@ -74,6 +74,36 @@ def check_structural(cur, errors):
         if warm < 50.0:
             fail(errors, f"{name}: warm% = {warm} (< 50)")
 
+    # Sub-linear write-back (ISSUE 8): steady-state incast churn applies only
+    # the changed rates. One churn item perturbs the shared bottleneck's
+    # uniform rate, and same-instant segments coalesce, so the applied share
+    # of all write-back decisions stays tiny; an eager whole-set write (the
+    # regression this guards) drives writeback% toward 100 * applied /
+    # (applied + skipped) ~ 50+ immediately.
+    for n in (1024, 4096, 9408):
+        name = f"{CHURN}/incast_incremental/{n}"
+        entry = cur.get(name)
+        if entry is None:
+            continue
+        wb = entry.get("writeback%")
+        if wb is not None and wb > 5.0:
+            fail(errors,
+                 f"{name}: writeback% = {wb} (> 5; incast write-back must "
+                 "stay sub-linear in active flows)")
+
+    # Route-cache effectiveness (ISSUE 8): steady churn re-runs the same
+    # endpoint pairs against an unchanged snapshot, so route lookups must be
+    # cache hits — a regression that rebuilds or bypasses the shared cache
+    # (per-session cache, epoch bump per scenario) drives the hit rate
+    # toward zero. Same-run ratio, so machine-free.
+    for name, entry in sorted(cur.items()):
+        if name.startswith(CHURN + "/"):
+            rc = entry.get("rc_hit%")
+            if rc is not None and rc < 50.0:
+                fail(errors,
+                     f"{name}: rc_hit% = {rc} (< 50; steady churn must be "
+                     "served from the shared route cache)")
+
     # Acceptance ratios at 1,024 endpoints — same-run, so machine-free.
     incast_inc = cur.get(f"{CHURN}/incast_incremental/1024")
     incast_full = cur.get(f"{CHURN}/incast_full/1024")

@@ -83,7 +83,8 @@ for name in ("micro_flowsim", "micro_simcore", "micro_serve"):
         for k in ("items_per_second", "allocs/resolve", "allocs/op",
                   "comp_avg", "fallback%", "warm%", "frontier_avg",
                   "threads", "heap", "stale",
-                  "warm_memo%", "memo_stale", "epochs_max", "reroutes"):
+                  "warm_memo%", "memo_stale", "epochs_max", "reroutes",
+                  "writeback%", "rc_hit%", "topo_build_ms"):
             if k in b:
                 entry[k] = round(b[k], 6)
         snapshot["benchmarks"][f"{name}/{b['name']}"] = entry

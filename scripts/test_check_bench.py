@@ -53,7 +53,8 @@ class CheckBenchDriver(unittest.TestCase):
             "micro_flowsim/BM_SteadyResolve/1024":
                 entry(5e5, **{"allocs/resolve": 0.0}),
             "micro_flowsim/BM_FlowChurn/incast_incremental/1024":
-                entry(2e4, **{"fallback%": 0.1, "warm%": 95.0}),
+                entry(2e4, **{"fallback%": 0.1, "warm%": 95.0,
+                              "writeback%": 0.2, "rc_hit%": 92.0}),
             "micro_flowsim/BM_FlowChurn/incast_full/1024": entry(1e3),
             "micro_flowsim/BM_FlowChurn/permutation_incremental/1024":
                 entry(3e4),
@@ -115,6 +116,47 @@ class CheckBenchDriver(unittest.TestCase):
         r = self.run_gate(path, path)
         self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
         self.assertIn("cross-session invalidation", r.stdout)
+
+    def test_writeback_sublinear_gate(self):
+        # ISSUE 8: an eager whole-set write on incast churn shows up as a
+        # large applied share; the gate must fail loudly, not drift.
+        eager = self.healthy()
+        eager["micro_flowsim/BM_FlowChurn/incast_incremental/1024"] = \
+            entry(2e4, **{"fallback%": 0.1, "warm%": 95.0,
+                          "writeback%": 49.7, "rc_hit%": 92.0})
+        path = self.write("wb_eager.json", snapshot(eager))
+        r = self.run_gate(path, path)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("writeback%", r.stdout)
+        self.assertIn("sub-linear", r.stdout)
+
+        # Snapshots without the column (older baselines) are not gated.
+        legacy = self.healthy()
+        del legacy[
+            "micro_flowsim/BM_FlowChurn/incast_incremental/1024"]["writeback%"]
+        path = self.write("wb_legacy.json", snapshot(legacy))
+        r = self.run_gate(path, path)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_route_cache_hit_rate_gate(self):
+        # ISSUE 8: steady churn bypassing the shared route cache (per-run
+        # rebuild, epoch churn) collapses the hit rate and must fail.
+        cold = self.healthy()
+        cold["micro_flowsim/BM_FlowChurn/permutation_incremental/1024"] = \
+            entry(3e4, **{"rc_hit%": 3.5})
+        path = self.write("rc_cold.json", snapshot(cold))
+        r = self.run_gate(path, path)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("rc_hit%", r.stdout)
+        self.assertIn("route cache", r.stdout)
+
+        # Entries without the column stay ungated.
+        legacy = self.healthy()
+        del legacy[
+            "micro_flowsim/BM_FlowChurn/incast_incremental/1024"]["rc_hit%"]
+        path = self.write("rc_legacy.json", snapshot(legacy))
+        r = self.run_gate(path, path)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
 
     def test_serve_sibling_staleness_gate(self):
         stale = self.healthy()

@@ -75,6 +75,11 @@ std::uint64_t FlowSim::start_on_path(std::vector<int> path, double bytes,
 }
 
 std::uint64_t FlowSim::start_slot(int slot, double bytes, Done on_done) {
+  // A pending uniform rate parked at an *earlier* instant covers exactly the
+  // members that were active then — apply it before this flow joins the
+  // active set (a same-instant pending stays parked: mid-instant joiners are
+  // covered by the re-park the coming resolve performs).
+  if (pending_uniform_ && eng_.now() != pending_time_) materialize_pending();
   Flow& f = slots_[static_cast<std::size_t>(slot)];
   assert(!f.path.empty());
   const std::uint64_t id = next_id_++;
@@ -324,10 +329,25 @@ void FlowSim::solve_component(const std::vector<int>& comp, SolveStats* ss) {
   static obs::Counter& reuse =
       obs::metrics().counter("net.solver.scratch_reuse");
   if (!grew) reuse.inc();
+  // Counted write-back: `applied` are results that change a rate, `skipped`
+  // are provable no-ops (set_rate's own early-out condition, evaluated here
+  // so both counters exist on every solve path). Reference mode
+  // (`incremental_writeback = false`) still routes the no-ops through
+  // set_rate — that is the whole-set write the differential test compares
+  // against.
+  std::uint64_t applied = 0;
   for (std::size_t i = 0; i < comp.size(); ++i) {
     Flow& f = slots_[static_cast<std::size_t>(comp[i])];
-    set_rate(f.id, f, comp_rates_[i]);
+    const double r = comp_rates_[i];
+    const bool noop = r == f.rate && (r > 0.0 || f.stalled);
+    if (!noop) {
+      set_rate(f.id, f, r);
+      ++applied;
+    } else if (!cfg_.incremental_writeback) {
+      set_rate(f.id, f, r);
+    }
   }
+  note_writeback(applied, static_cast<std::uint64_t>(comp.size()) - applied);
 }
 
 void FlowSim::warm_record_removal(int slot) {
@@ -375,13 +395,228 @@ bool FlowSim::warm_memo_lookup() {
               std::equal(f.path.begin(), f.path.end(), m.stream.begin() + b);
     }
     if (!match) continue;
+    std::uint64_t applied = 0;
     for (std::size_t i = 0; i < members; ++i) {
       Flow& f = slots_[static_cast<std::size_t>(active_order_[i])];
-      set_rate(f.id, f, m.rates[i]);
+      const double r = m.rates[i];
+      const bool noop = r == f.rate && (r > 0.0 || f.stalled);
+      if (!noop) {
+        set_rate(f.id, f, r);
+        ++applied;
+      } else if (!cfg_.incremental_writeback) {
+        set_rate(f.id, f, r);
+      }
     }
+    note_writeback(applied, static_cast<std::uint64_t>(members) - applied);
     return true;
   }
   return false;
+}
+
+void FlowSim::note_writeback(std::uint64_t applied, std::uint64_t skipped) {
+  stats_.writeback_applied += applied;
+  stats_.writeback_skipped += skipped;
+  static obs::Counter& a =
+      obs::metrics().counter("net.solver.writeback.applied");
+  static obs::Counter& s =
+      obs::metrics().counter("net.solver.writeback.skipped");
+  a.inc(applied);
+  s.inc(skipped);
+}
+
+double FlowSim::remaining_eff_at(const Flow& f, double t) const {
+  if (!pending_uniform_) return remaining_at(f, t);
+  if (pending_mixed_ || pending_rate_ != f.rate) {
+    // Materialisation will accrue the old rate up to `pending_time_` and
+    // drain at the pending rate from there; reproduce that two-segment law.
+    double rem = f.remaining;
+    if (f.rate > 0.0 && pending_time_ > f.accrued_at)
+      rem -= f.rate * (pending_time_ - f.accrued_at);
+    return rem - pending_rate_ * (t - pending_time_);
+  }
+  // Rate unchanged by the pending value: the linear drain law is unbroken
+  // (the eager write-back would have early-outed without accruing).
+  return remaining_at(f, t);
+}
+
+void FlowSim::materialize_pending() {
+  // Apply the coalesced uniform rate exactly as the eager per-resolve
+  // write-back would have: within one instant only the *first* rate change
+  // performs accrual arithmetic (later segments are zero-width), and a flow
+  // whose rate never differed from any value parked this instant was an
+  // early-out throughout — so touching only (mixed || changed) flows is
+  // bit-identical to the whole-set write it replaces.
+  if (!pending_uniform_) return;
+  pending_uniform_ = false;
+  const double tp = pending_time_;
+  const double v = pending_rate_;
+  std::uint64_t applied = 0;
+  for (int s : active_order_) {
+    Flow& f = slots_[static_cast<std::size_t>(s)];
+    if (pending_mixed_ || v != f.rate) {
+      if (f.rate > 0.0 && tp > f.accrued_at)
+        f.remaining -= f.rate * (tp - f.accrued_at);
+      f.accrued_at = tp;
+      if (v != f.rate) {
+        f.rate = v;
+        ++applied;
+      }
+    }
+  }
+  note_writeback(applied,
+                 static_cast<std::uint64_t>(active_order_.size()) - applied);
+}
+
+int FlowSim::try_single_incremental(SolveStats* ss) {
+  // Single-bottleneck verdict from the maintained top-2 share summary,
+  // touching only this resolve's dirty links. Soundness rests on two facts:
+  // clean links' shares are the very doubles the full scan would compute
+  // (same capacity under an unmoved epoch, same crosser count), and a clean
+  // link can never be the unique all-flows bottleneck (this resolve's
+  // churned flow crosses the bottleneck, dirtying it). `pending` rates are
+  // irrelevant here — the verdict reads only capacities and incidence
+  // counts, both maintained eagerly.
+  if (!sb_valid_ || stalled_ != 0 || sb_l1_ < 0) return -1;
+  if (fabric_.capacity_epoch() != sb_cap_epoch_) {
+    sb_valid_ = false;
+    return -1;
+  }
+  const double inf = std::numeric_limits<double>::infinity();
+  const bool l1_dirty = link_dirty_[static_cast<std::size_t>(sb_l1_)] != 0;
+  const bool l2_dirty =
+      sb_l2_ >= 0 && link_dirty_[static_cast<std::size_t>(sb_l2_)] != 0;
+  // Exact minimum share over clean (non-dirty) links, and whether the
+  // clean runner-up is also known exactly.
+  double c1 = inf, c2 = inf;
+  int c1l = -1, c2l = -1;
+  bool c2_known = false;
+  if (!l1_dirty) {
+    c1 = sb_min1_;
+    c1l = sb_l1_;
+    if (sb_l2_ < 0 || !l2_dirty) {
+      c2 = sb_l2_ >= 0 ? sb_min2_ : inf;
+      c2l = sb_l2_;
+      c2_known = true;
+    }
+  } else if (sb_l2_ >= 0 && !l2_dirty) {
+    c1 = sb_min2_;
+    c1l = sb_l2_;
+  } else if (sb_l2_ >= 0) {
+    // Both ranked links churned: the clean minimum is unknowable.
+    sb_valid_ = false;
+    return -1;
+  } else {
+    c2_known = true;  // the only live link was sb_l1_, now dirty: no clean links
+  }
+
+  // Fresh top-2 among dirty links (emptied links are no longer constraints;
+  // their lazy compaction stays with the full scan).
+  const auto& caps = fabric_.effective_capacities();
+  double d1 = inf, d2 = inf;
+  int d1l = -1, d2l = -1;
+  for (int l : dirty_links_) {
+    const auto lu = static_cast<std::size_t>(l);
+    const std::size_t n = flows_on_link_[lu].size();
+    if (n == 0) continue;
+    const double c = caps[lu];
+    if (!std::isfinite(c) || c < 0.0) return -1;  // full scan diagnoses
+    const double share = std::max(0.0, c) / static_cast<double>(n);
+    if (share < d1) {
+      d2 = d1;
+      d2l = d1l;
+      d1 = share;
+      d1l = l;
+    } else if (share < d2) {
+      d2 = share;
+      d2l = l;
+    }
+  }
+
+  const double m = std::min(c1, d1);
+  if (!std::isfinite(m)) return -1;
+  const double cutoff = m * (1.0 + 1e-9);
+  int verdict;
+  if (c1 <= cutoff) {
+    // A clean link fires. It cannot carry every active flow (the churned
+    // flow would have dirtied it), so the full scan would reject too:
+    // either several links fire or the firing one misses flows.
+    verdict = 0;
+  } else if (d2 <= cutoff) {
+    verdict = 0;  // >= 2 dirty links fire
+  } else if (flows_on_link_[static_cast<std::size_t>(d1l)].size() !=
+             active_order_.size()) {
+    verdict = 0;
+  } else {
+    verdict = 1;
+  }
+
+  // Refresh the summary to the exact post-churn top-2 where derivable:
+  // merge the clean top-2 (partially known) with the dirty top-2.
+  double n1, n2;
+  int n1l, n2l;
+  bool exact = true;
+  if (d1 <= c1) {
+    n1 = d1;
+    n1l = d1l;
+    if (d2 <= c1) {
+      n2 = d2;
+      n2l = d2l;
+    } else {
+      n2 = c1;
+      n2l = c1l;
+    }
+  } else {
+    n1 = c1;
+    n1l = c1l;
+    // Runner-up is min(d1, clean second) — needs the clean second exactly.
+    if (c2_known && c2 <= d1) {
+      n2 = c2;
+      n2l = c2l;
+    } else if (c2_known || d1 <= c2) {
+      n2 = d1;
+      n2l = d1l;
+    } else {
+      exact = false;
+      n1 = n2 = 0.0;
+      n1l = n2l = -1;
+    }
+  }
+  if (exact && n1l >= 0) {
+    sb_min1_ = n1;
+    sb_l1_ = n1l;
+    sb_min2_ = n2;
+    sb_l2_ = std::isfinite(n2) ? n2l : -1;
+    sb_updated_ = true;
+  } else {
+    sb_valid_ = false;
+  }
+
+  ++stats_.minshare_incr;
+  static obs::Counter& incr =
+      obs::metrics().counter("net.solver.minshare.incr_scan");
+  incr.inc();
+  if (verdict != 1) return verdict;
+  // A zero uniform rate stalls every flow — that path (stall counters,
+  // traces, Drop sweeps) must stay eager; let the full machinery run it.
+  if (!(m > 0.0)) return -1;
+
+  // Single bottleneck: park the uniform rate; same-instant re-parks coalesce
+  // (zero-width segments do no accrual arithmetic in the eager path either).
+  if (pending_uniform_ && eng_.now() != pending_time_) materialize_pending();
+  if (!pending_uniform_) {
+    pending_uniform_ = true;
+    pending_time_ = eng_.now();
+    pending_first_ = m;
+    pending_mixed_ = false;
+  } else {
+    pending_mixed_ = pending_mixed_ || m != pending_first_;
+  }
+  pending_rate_ = m;
+  if (ss) {
+    ss->iterations = 1;
+    ss->bottleneck_links = 1;
+  }
+  return 1;
 }
 
 bool FlowSim::warm_single_bottleneck(SolveStats* ss) {
@@ -403,7 +638,8 @@ bool FlowSim::warm_single_bottleneck(SolveStats* ss) {
   // the check costs one O(live links) pass, no per-flow work.
   const auto& caps = fabric_.effective_capacities();
   const double inf = std::numeric_limits<double>::infinity();
-  double min_share = inf;
+  double min_share = inf, second_share = inf;
+  int min_link = -1, second_link = -1;
   std::size_t w = 0;
   bool bad_capacity = false;
   for (std::size_t i = 0; i < live_links_.size(); ++i) {
@@ -424,35 +660,85 @@ bool FlowSim::warm_single_bottleneck(SolveStats* ss) {
       bad_capacity = true;
       continue;
     }
-    min_share =
-        std::min(min_share, std::max(0.0, c) / static_cast<double>(n));
+    const double share = std::max(0.0, c) / static_cast<double>(n);
+    if (share < min_share) {
+      second_share = min_share;
+      second_link = min_link;
+      min_share = share;
+      min_link = l;
+    } else if (share < second_share) {
+      second_share = share;
+      second_link = l;
+    }
   }
   live_links_.resize(w);
   if (bad_capacity)
     throw std::invalid_argument(
         "max_min_rates: capacities must be finite and >= 0");
+  // The pass just computed the exact top-2 min shares over live links: store
+  // them so the next resolve's incremental verdict can skip this scan.
+  sb_min1_ = min_share;
+  sb_l1_ = min_link;
+  sb_min2_ = second_share;
+  sb_l2_ = std::isfinite(second_share) ? second_link : -1;
+  sb_cap_epoch_ = fabric_.capacity_epoch();
+  sb_valid_ = min_link >= 0;
+  sb_updated_ = true;
+  ++stats_.minshare_full;
+  static obs::Counter& full_scan =
+      obs::metrics().counter("net.solver.minshare.full_scan");
+  full_scan.inc();
   if (!std::isfinite(min_share)) return false;  // general path will diagnose
   const double cutoff = min_share * (1.0 + 1e-9);
-  std::size_t fired_lu = 0;
-  int fired = 0;
-  for (int l : live_links_) {
-    const auto lu = static_cast<std::size_t>(l);
-    const double n = static_cast<double>(flows_on_link_[lu].size());
-    if (std::max(0.0, caps[lu]) / n <= cutoff) {
-      if (++fired > 1) return false;
-      fired_lu = lu;
-    }
-  }
-  if (fired != 1 || flows_on_link_[fired_lu].size() != active_order_.size())
+  // "Exactly one link fires" is a top-2 question: the minimum always fires,
+  // so uniqueness is `second_share > cutoff` — same verdict as the old
+  // counting pass, without re-walking the live list.
+  if (second_share <= cutoff ||
+      flows_on_link_[static_cast<std::size_t>(min_link)].size() !=
+          active_order_.size())
     return false;
   if (ss) {
     ss->iterations = 1;
     ss->bottleneck_links = 1;
   }
+  // Park, don't write: the closed form's uniform rate goes through the same
+  // lazy coalescing as the incremental verdict, so even resolves that had to
+  // pay this full scan (summary invalidated by churn on both ranked links)
+  // contribute ~1 materialised write per churn instead of one per active
+  // flow. A zero rate or a stalled survivor needs set_rate's stall
+  // bookkeeping at *this* instant — those stay eager, as does reference
+  // mode (`incremental_writeback = false`, the whole-set write).
+  if (cfg_.incremental_writeback && stalled_ == 0 && min_share > 0.0) {
+    if (pending_uniform_ && eng_.now() != pending_time_) materialize_pending();
+    if (!pending_uniform_) {
+      pending_uniform_ = true;
+      pending_time_ = eng_.now();
+      pending_first_ = min_share;
+      pending_mixed_ = false;
+    } else {
+      pending_mixed_ = pending_mixed_ || min_share != pending_first_;
+    }
+    pending_rate_ = min_share;
+    return true;
+  }
+  // Eager write: settle any parked rate first — the early-out comparison and
+  // set_rate's accrual both read `f.rate`. (Reference mode never parks; this
+  // matters for the zero-rate / stalled cases reached after a same-instant
+  // park, e.g. a capacity failure landing in the instant of a start burst.)
+  materialize_pending();
+  std::uint64_t applied = 0;
   for (int s : active_order_) {
     Flow& f = slots_[static_cast<std::size_t>(s)];
-    set_rate(f.id, f, min_share);
+    const bool noop = min_share == f.rate && (min_share > 0.0 || f.stalled);
+    if (!noop) {
+      set_rate(f.id, f, min_share);
+      ++applied;
+    } else if (!cfg_.incremental_writeback) {
+      set_rate(f.id, f, min_share);
+    }
   }
+  note_writeback(applied,
+                 static_cast<std::uint64_t>(active_order_.size()) - applied);
   return true;
 }
 
@@ -474,12 +760,20 @@ void FlowSim::warm_solve(SolveStats* ss) {
       obs::metrics().stats("net.solver.frontier_size");
   warm_hits.inc();
 
-  if (warm_single_bottleneck(ss)) {
+  // A conclusive incremental "no" verdict from `try_single_incremental`
+  // makes the full O(live links) scan pointless this resolve.
+  if (!sb_skip_full_ && warm_single_bottleneck(ss)) {
     ++stats_.warm_single_hits;
     frontier_stat.add(0.0);
     warm_meta_ok_ = false;  // no fresh freeze metadata this pass
     return;
   }
+
+  // From here on the solve compares against and writes `f.rate` (memo
+  // replay and the general water-filling both go through set_rate): the
+  // parked uniform rate must be settled first or the early-out comparisons
+  // and accrual would read stale values.
+  materialize_pending();
 
   if (warm_memo_lookup()) {
     ++stats_.warm_memo_hits;
@@ -529,6 +823,14 @@ void FlowSim::warm_solve(SolveStats* ss) {
   std::int64_t bottlenecks = 0;
   warm_seq2_.clear();
   warm_seq2_lvl_.clear();
+  // Change-list: flows whose frozen rate will differ from the currently
+  // applied one, recorded at freeze time (f.rate is untouched until the
+  // final write-back, so the set_rate early-out condition evaluated here is
+  // exactly the one the write-back would hit). Replayed flows are never
+  // pushed: a replay freezes each flow at its own current `f.rate`, and a
+  // live rate-0 flow is always stalled after its first applied solve, so
+  // the early-out condition provably holds for them.
+  changed_slots_.clear();
 
   // Frozen-prefix replay, removal-only deltas: with k* the minimum freeze
   // level among the flows removed since the previous warm solve, every
@@ -622,6 +924,9 @@ void FlowSim::warm_solve(SolveStats* ss) {
           warm_frozen_[su] = warm_pass_;
           warm_level_[su] = level;
           warm_rate_[su] = min_share;
+          const Flow& ff = slots_[su];
+          if (!(min_share == ff.rate && (min_share > 0.0 || ff.stalled)))
+            changed_slots_.push_back(s);
           warm_seq2_.push_back(s);
           warm_seq2_lvl_.push_back(level);
           --remaining;
@@ -640,6 +945,9 @@ void FlowSim::warm_solve(SolveStats* ss) {
           warm_level_[su] = level;
           warm_rate_[su] = min_share;
           warm_batch_[su] = warm_batch_epoch_;
+          const Flow& ff = slots_[su];
+          if (!(min_share == ff.rate && (min_share > 0.0 || ff.stalled)))
+            changed_slots_.push_back(s);
           warm_seq2_.push_back(s);
           warm_seq2_lvl_.push_back(level);
           --remaining;
@@ -697,9 +1005,24 @@ void FlowSim::warm_solve(SolveStats* ss) {
     ss->bottleneck_links = bottlenecks;
   }
 
-  for (int s : active_order_) {
-    Flow& f = slots_[static_cast<std::size_t>(s)];
-    set_rate(f.id, f, warm_rate_[static_cast<std::size_t>(s)]);
+  if (cfg_.incremental_writeback) {
+    // Only flows whose rate actually moves reach set_rate; the order is
+    // freeze order rather than ascending id, which is immaterial — each
+    // write touches one flow's independent state at one instant.
+    for (int s : changed_slots_) {
+      Flow& f = slots_[static_cast<std::size_t>(s)];
+      set_rate(f.id, f, warm_rate_[static_cast<std::size_t>(s)]);
+    }
+    note_writeback(changed_slots_.size(), members - changed_slots_.size());
+  } else {
+    std::uint64_t applied = 0;
+    for (int s : active_order_) {
+      Flow& f = slots_[static_cast<std::size_t>(s)];
+      const double r = warm_rate_[static_cast<std::size_t>(s)];
+      if (!(r == f.rate && (r > 0.0 || f.stalled))) ++applied;
+      set_rate(f.id, f, r);
+    }
+    note_writeback(applied, members - applied);
   }
 }
 
@@ -710,41 +1033,78 @@ void FlowSim::resolve_and_schedule() {
   }
   if (active_count_ == 0) {
     clear_dirty();
+    sb_valid_ = false;  // incidence changed with no verification to refresh it
     return;
   }
   ++stats_.resolves;
 
   bool full = !cfg_.incremental;
   bool warm = false;
+  bool lazy = false;  // single-bottleneck verdict resolved without a solve
+  sb_skip_full_ = false;
+  sb_updated_ = false;
+  SolveStats ss;
   if (full) {
     ++stats_.full_solves;
     comp_slots_.clear();
   } else {
-    // With warm start enabled the BFS may stop early: it only has to prove
-    // the component oversized — the warm solve re-derives membership from
-    // `active_order_` itself, so `comp_slots_` is just a size lower bound.
-    const double limit =
-        cfg_.fallback_fraction * static_cast<double>(active_count_);
-    affected_component(cfg_.warm_start ? limit : -1.0);
-    stats_.largest_component =
-        std::max<std::uint64_t>(stats_.largest_component, comp_slots_.size());
-    if (comp_truncated_ ||
-        static_cast<double>(comp_slots_.size()) > limit) {
-      if (cfg_.warm_start) {
+    if (cfg_.warm_start && cfg_.incremental_writeback) {
+      // Incremental single-bottleneck verdict from the maintained top-2
+      // share summary: a "yes" skips the BFS, the O(live links) scan AND
+      // the write-back — the uniform rate is parked for lazy,
+      // once-per-instant materialisation.
+      const int verdict = try_single_incremental(&ss);
+      if (verdict == 1) {
+        lazy = true;
         warm = true;
+        comp_slots_.clear();
         ++stats_.warm_solves;
-      } else {
-        full = true;
-        ++stats_.fallback_solves;
-        static obs::Counter& warm_fb =
-            obs::metrics().counter("net.solver.warmstart.fallback");
-        warm_fb.inc();
+        ++stats_.warm_single_hits;
+        warm_meta_ok_ = false;  // no fresh freeze metadata this pass
+        static obs::Counter& warm_hits =
+            obs::metrics().counter("net.solver.warmstart.hit");
+        static obs::ShardedStats& frontier_stat =
+            obs::metrics().stats("net.solver.frontier_size");
+        warm_hits.inc();
+        frontier_stat.add(0.0);
+      } else if (verdict == 0) {
+        sb_skip_full_ = true;
+      }
+    }
+    if (!lazy) {
+      // The parked uniform rate (if any) is NOT applied here: the BFS below
+      // reads only incidence, and a bailed verdict usually lands back in the
+      // closed form, which re-parks. Each eager path that really compares or
+      // writes `f.rate` materialises at its own entry instead — this is what
+      // keeps same-instant start bursts (scenario injection, the bench ramp)
+      // from paying one whole-set write per bailed verdict.
+      // With warm start enabled the BFS may stop early: it only has to
+      // prove the component oversized — the warm solve re-derives
+      // membership from `active_order_` itself, so `comp_slots_` is just a
+      // size lower bound.
+      const double limit =
+          cfg_.fallback_fraction * static_cast<double>(active_count_);
+      affected_component(cfg_.warm_start ? limit : -1.0);
+      stats_.largest_component = std::max<std::uint64_t>(
+          stats_.largest_component, comp_slots_.size());
+      if (comp_truncated_ ||
+          static_cast<double>(comp_slots_.size()) > limit) {
+        if (cfg_.warm_start) {
+          warm = true;
+          ++stats_.warm_solves;
+        } else {
+          full = true;
+          ++stats_.fallback_solves;
+          static obs::Counter& warm_fb =
+              obs::metrics().counter("net.solver.warmstart.fallback");
+          warm_fb.inc();
+        }
       }
     }
   }
 
-  SolveStats ss;
-  if (warm) {
+  if (full) materialize_pending();
+  if (warm && !lazy) {
     warm_solve(&ss);
   } else if (full) {
     // Re-solve the whole active set, decomposed into connected components
@@ -776,6 +1136,7 @@ void FlowSim::resolve_and_schedule() {
     warm_meta_ok_ = false;
   } else if (!comp_slots_.empty()) {
     ++stats_.component_solves;
+    materialize_pending();  // solve_component compares and writes `f.rate`
     solve_component(comp_slots_, &ss);
     warm_meta_ok_ = false;  // some rates changed outside the warm bookkeeping
   }
@@ -821,7 +1182,12 @@ void FlowSim::resolve_and_schedule() {
   // subtract nothing), so no re-solve is needed.
   dropped_slots_.clear();
   dropped_ids_.clear();
-  if (cfg_.stall_policy == StallPolicy::Drop) {
+  // Under a parked uniform rate the sweep is skipped as provably empty: the
+  // pending rate is positive and covers every active flow, so the eager
+  // write would have left no zero-rate flows (reading `f.rate` here would
+  // see stale values). This covers both park sites — the incremental
+  // verdict and the closed form inside the warm solve.
+  if (cfg_.stall_policy == StallPolicy::Drop && !pending_uniform_) {
     for (int s : solved)
       if (slots_[static_cast<std::size_t>(s)].rate <= 0.0)
         dropped_slots_.push_back(s);
@@ -839,15 +1205,34 @@ void FlowSim::resolve_and_schedule() {
 
   const double now = eng_.now();
   double next_done = std::numeric_limits<double>::infinity();
-  for (const Flow& f : slots_)
-    if (f.id != 0 && f.rate > 0.0)
-      next_done = std::min(next_done, remaining_at(f, now) / f.rate);
+  if (pending_uniform_) {
+    // Every active flow's effective rate is the (positive) pending value;
+    // `remaining_eff_at` is bitwise the remaining the eager write-back would
+    // have produced, so the completion horizon is identical.
+    for (int s : active_order_) {
+      const Flow& f = slots_[static_cast<std::size_t>(s)];
+      next_done =
+          std::min(next_done, remaining_eff_at(f, now) / pending_rate_);
+    }
+  } else {
+    for (const Flow& f : slots_)
+      if (f.id != 0 && f.rate > 0.0)
+        next_done = std::min(next_done, remaining_at(f, now) / f.rate);
+  }
+
+  // Summary upkeep: a resolve that neither merged nor rebuilt the top-2
+  // leaves it stale against the new incidence; drops after the verdict do
+  // the same. Either way the next resolve must take the full scan.
+  if (!sb_updated_ || !dropped_slots_.empty()) sb_valid_ = false;
 
   clear_dirty();
 
   if (std::isfinite(next_done)) {
     pending_event_ = eng_.schedule_in(std::max(next_done, 0.0), [this] {
       has_pending_event_ = false;
+      // Completions read and remove flows: settle the parked uniform rate
+      // first so `remaining`/`rate` fields are the eager path's values.
+      materialize_pending();
       const double t = eng_.now();
       // Complete every flow that has drained (ties finish together).
       done_slots_.clear();
@@ -900,7 +1285,8 @@ void FlowSim::for_each_flow(
   const double now = eng_.now();
   for (int s : active_order_) {
     const Flow& f = slots_[static_cast<std::size_t>(s)];
-    fn(f.id, f.path, remaining_at(f, now), f.rate);
+    fn(f.id, f.path, remaining_eff_at(f, now),
+       pending_uniform_ ? pending_rate_ : f.rate);
   }
 }
 

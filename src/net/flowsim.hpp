@@ -57,6 +57,12 @@ struct FlowSimConfig {
   // bit-identical to the cold path. `false` restores the PR 5 behaviour —
   // a cold full re-solve — which stays available as the reference oracle.
   bool warm_start = true;
+  // Apply solver results through the change-list write-back (DESIGN.md §9):
+  // only flows whose computed rate differs from the applied rate reach
+  // `set_rate`, and same-instant uniform (single-bottleneck) rates coalesce
+  // lazily, materialising once per distinct timestamp. `false` restores the
+  // whole-set write — the reference for the write-back differential tests.
+  bool incremental_writeback = true;
   StallPolicy stall_policy = StallPolicy::Stall;
 };
 
@@ -104,6 +110,18 @@ class FlowSim {
     std::uint64_t solver_iterations = 0;
     std::uint64_t bottleneck_links = 0;
     std::uint64_t largest_component = 0;
+    // Rate write-back accounting: `applied` counts solver results that
+    // actually changed a flow's rate (a `set_rate` that does work),
+    // `skipped` counts results proven no-ops (the flow already held the
+    // computed rate). applied + skipped == flows handed a result.
+    std::uint64_t writeback_applied = 0;
+    std::uint64_t writeback_skipped = 0;
+    // Single-bottleneck verification scans: `minshare_incr` resolved the
+    // verdict from the incremental per-link share summary (touching only
+    // links incident to churned flows); `minshare_full` fell back to the
+    // full O(live links) scan (summary invalid or inconclusive).
+    std::uint64_t minshare_incr = 0;
+    std::uint64_t minshare_full = 0;
   };
   const Stats& stats() const { return stats_; }
   const FlowSimConfig& config() const { return cfg_; }
@@ -163,6 +181,18 @@ class FlowSim {
   // for everyone — order-independent, so it is checked and applied without
   // the O(flows x hops) passes. True on hit; rates already applied.
   bool warm_single_bottleneck(SolveStats* ss);
+  // Incremental single-bottleneck verdict from the per-link share summary,
+  // touching only this resolve's dirty links. 1 = single bottleneck (the
+  // uniform rate is now pending, lazily materialised); 0 = conclusively not
+  // single-bottleneck (the full verification scan can be skipped); -1 =
+  // summary insufficient, run the full O(live links) scan.
+  int try_single_incremental(SolveStats* ss);
+  // Apply the pending uniform rate (accruals as of `pending_time_`,
+  // bit-identical to the eager per-resolve application it coalesced).
+  void materialize_pending();
+  // `remaining` under the pending uniform rate without materialising it.
+  double remaining_eff_at(const Flow& f, double t) const;
+  void note_writeback(std::uint64_t applied, std::uint64_t skipped);
   // Same, seeded from one flow under the caller's visit epoch — the full
   // solve sweeps components with this so fallbacks stay allocation-free.
   void component_from(int seed);
@@ -240,6 +270,35 @@ class FlowSim {
   };
   WarmMemo memo_[2];
   int memo_next_ = 0;
+  // --- incremental write-back (DESIGN.md §9) ----------------------------
+  // Change-list the warm water-filling loop builds while freezing: slots
+  // whose computed rate differs from the currently applied rate (or that
+  // must stall). The final write-back touches only these.
+  std::vector<int> changed_slots_;
+  // Lazy uniform rate: a successful single-bottleneck resolve parks its
+  // (rate, time) here instead of writing every flow. Same-instant re-solves
+  // overwrite it (zero-width rate segments perform no accrual arithmetic in
+  // the eager path either, so coalescing is bitwise exact); any read or
+  // later-time resolve materialises it first. `pending_mixed_` records
+  // whether more than one distinct value was parked this instant — if so,
+  // the eager path would have accrued every flow at `pending_time_`, so the
+  // materialisation must too.
+  bool pending_uniform_ = false;
+  double pending_rate_ = 0.0;
+  double pending_time_ = 0.0;
+  double pending_first_ = 0.0;
+  bool pending_mixed_ = false;
+  // Per-link min-share summary: exact top-2 of max(0,c)/crossers over live
+  // links, maintained across resolves so the single-bottleneck verification
+  // touches only dirty links. Invalidated whenever a resolve ends without
+  // refreshing it (component/full solves, drops after the verdict) or the
+  // capacity epoch moves.
+  bool sb_valid_ = false;
+  bool sb_updated_ = false;    // summary refreshed during this resolve
+  bool sb_skip_full_ = false;  // incremental verdict: conclusive "no"
+  std::uint64_t sb_cap_epoch_ = 0;
+  double sb_min1_ = 0.0, sb_min2_ = 0.0;
+  int sb_l1_ = -1, sb_l2_ = -1;
   std::vector<int> dropped_slots_;
   std::vector<std::uint64_t> dropped_ids_;
   std::vector<int> done_slots_;

@@ -26,6 +26,10 @@ net::FlowSim::Stats stats_delta(const net::FlowSim::Stats& after,
   d.bottleneck_links = after.bottleneck_links - before.bottleneck_links;
   d.largest_component =
       std::max(after.largest_component, before.largest_component);
+  d.writeback_applied = after.writeback_applied - before.writeback_applied;
+  d.writeback_skipped = after.writeback_skipped - before.writeback_skipped;
+  d.minshare_incr = after.minshare_incr - before.minshare_incr;
+  d.minshare_full = after.minshare_full - before.minshare_full;
   return d;
 }
 
@@ -83,8 +87,9 @@ void ScenarioSession::apply_overlay(const Scenario& sc) {
     return std::find(sc.fail_links.begin(), sc.fail_links.end(), l) !=
            sc.fail_links.end();
   };
-  const std::vector<int> cur = fabric_.overlay().failed_link_ids();  // copy
-  for (int l : cur)
+  const auto& failed = fabric_.overlay().failed_link_ids();
+  ov_failed_scratch_.assign(failed.begin(), failed.end());  // grow-only copy
+  for (int l : ov_failed_scratch_)
     if (!wants_failed(l)) fabric_.restore_link(l);
   for (int l : sc.fail_links) fabric_.fail_link(l);
 
@@ -93,31 +98,46 @@ void ScenarioSession::apply_overlay(const Scenario& sc) {
       if (ol == l) return true;
     return false;
   };
-  const auto cur_ov = fabric_.overlay().capacity_overrides();  // copy
-  for (const auto& [l, cap] : cur_ov)
+  const auto& overrides = fabric_.overlay().capacity_overrides();
+  ov_caps_scratch_.assign(overrides.begin(), overrides.end());  // grow-only
+  for (const auto& [l, cap] : ov_caps_scratch_)
     if (!wants_override(l)) fabric_.clear_link_capacity(l);
   for (const auto& [l, cap] : sc.capacity_overrides)
     fabric_.set_link_capacity(l, cap);
 }
 
 ScenarioResult ScenarioSession::run(const Scenario& sc) {
+  ScenarioResult res;
+  run(sc, res);
+  return res;
+}
+
+void ScenarioSession::run(const Scenario& sc, ScenarioResult& out) {
   validate(sc);
   apply_overlay(sc);
 
-  ScenarioResult res;
-  res.capacity_epoch = fabric_.capacity_epoch();
-  res.completion_s.assign(sc.flows.size(), -1.0);
+  out.capacity_epoch = fabric_.capacity_epoch();
+  out.completion_s.assign(sc.flows.size(), -1.0);
+  out.makespan_s = 0;
+  out.dropped = 0;
   const net::FlowSim::Stats before = sim_->stats();
   const std::uint64_t dropped_before = sim_->dropped_flows();
 
   // Engine time is monotone across the session's scenarios; everything the
   // caller sees is relative to this scenario's start.
   const double t0 = eng_.now();
+  cur_sc_ = &sc;
+  cur_res_ = &out;
+  cur_t0_ = t0;
   for (std::size_t i = 0; i < sc.flows.size(); ++i) {
-    const FlowSpec& f = sc.flows[i];
-    eng_.schedule_at(t0 + f.start_s, [this, &res, f, i, t0] {
-      sim_->start(f.src, f.dst, f.bytes, [this, &res, i, t0] {
-        res.completion_s[i] = eng_.now() - t0;
+    // Both closures capture exactly [this, i]: small enough for
+    // std::function's in-place buffer, so a warmed session schedules and
+    // completes flows without touching the heap (the old captures carried
+    // the FlowSpec + t0 by value and heap-allocated twice per flow).
+    eng_.schedule_at(t0 + sc.flows[i].start_s, [this, i] {
+      const FlowSpec& f = cur_sc_->flows[i];
+      sim_->start(f.src, f.dst, f.bytes, [this, i] {
+        cur_res_->completion_s[i] = eng_.now() - cur_t0_;
       });
     });
   }
@@ -126,18 +146,21 @@ ScenarioResult ScenarioSession::run(const Scenario& sc) {
   } catch (...) {
     // A mid-run throw (solver rejecting an unvalidated capacity override,
     // routing with no live route) abandons queued events and active flows
-    // whose callbacks reference *this frame's* `res`. Rebuild engine + sim
-    // so nothing dangles into the next run, then let the caller see the
-    // error.
+    // whose callbacks reference *this run's* scenario + result. Rebuild
+    // engine + sim so nothing dangles into the next run, then let the
+    // caller see the error.
+    cur_sc_ = nullptr;
+    cur_res_ = nullptr;
     reset_sim();
     throw;
   }
+  cur_sc_ = nullptr;
+  cur_res_ = nullptr;
 
-  res.makespan_s = eng_.now() - t0;
-  res.dropped = sim_->dropped_flows() - dropped_before;
-  res.stats = stats_delta(sim_->stats(), before);
+  out.makespan_s = eng_.now() - t0;
+  out.dropped = sim_->dropped_flows() - dropped_before;
+  out.stats = stats_delta(sim_->stats(), before);
   ++scenarios_run_;
-  return res;
 }
 
 }  // namespace xscale::serve

@@ -83,6 +83,14 @@ class ScenarioSession {
   // kept, warm-start state starts cold.
   ScenarioResult run(const Scenario& sc);
 
+  // Allocation-free form: reuse the caller's result buffers (grow-only). A
+  // warmed session answering a repeated scenario through this overload
+  // touches the heap zero times — the solver scratch, the engine's event
+  // arena, the overlay-diff scratch and the scheduled closures (which fit
+  // std::function's small-buffer; see run()'s loop) are all session-lifetime.
+  // tests/test_serve.cpp pins this with a counting allocator.
+  void run(const Scenario& sc, ScenarioResult& out);
+
   const net::Fabric& fabric() const { return fabric_; }
   net::Fabric& fabric() { return fabric_; }
   const net::FlowSim& flowsim() const { return *sim_; }
@@ -100,6 +108,20 @@ class ScenarioSession {
   // references); engaged for the whole session lifetime.
   std::optional<net::FlowSim> sim_;
   std::uint64_t scenarios_run_ = 0;
+
+  // Scenario-run scratch. The scheduled start/completion closures capture
+  // only [this, index] (16 bytes, trivially copyable) so they live in
+  // std::function's small-buffer instead of heap-allocating twice per flow
+  // per scenario; the flow specs and result slot they need are reached
+  // through these members. Valid only while run() is on the stack.
+  const Scenario* cur_sc_ = nullptr;
+  ScenarioResult* cur_res_ = nullptr;
+  double cur_t0_ = 0;
+  // Grow-only copies of the current overlay state for the diff in
+  // apply_overlay() (the overlay mutates while we iterate, so iterating its
+  // own vectors directly would be UB).
+  std::vector<int> ov_failed_scratch_;
+  std::vector<std::pair<int, double>> ov_caps_scratch_;
 };
 
 }  // namespace xscale::serve

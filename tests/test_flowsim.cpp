@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "net/fabric.hpp"
@@ -251,14 +252,17 @@ enum class Shape { Incast, AllToAll, Permutation };
 // same seed drives every configuration, so any divergence between warm and
 // cold (or across thread counts) shows up as a completion-time mismatch.
 std::vector<double> run_shape(Shape shape, bool warm_start, int threads,
-                              int* oracle_checks) {
+                              int* oracle_checks,
+                              bool incremental_writeback = true,
+                              net::FlowSim::Stats* out_stats = nullptr) {
   sim::set_thread_count(threads);
   sim::Engine eng;
   auto fabric = small_dragonfly(net::Routing::Minimal);
   // A low fallback fraction pushes even moderate merged components through
   // the warm (or, with warm_start off, the cold fallback) whole-set path.
   net::FlowSim fs(eng, fabric,
-                  {.fallback_fraction = 0.25, .warm_start = warm_start});
+                  {.fallback_fraction = 0.25, .warm_start = warm_start,
+                   .incremental_writeback = incremental_writeback});
   sim::Rng rng(4242);
   const int eps = fabric.topology().num_endpoints();
   const int total = 160;
@@ -294,6 +298,7 @@ std::vector<double> run_shape(Shape shape, bool warm_start, int threads,
   for (int i = 0; i < 24; ++i) launch();
   eng.run();
   EXPECT_EQ(completed, total);
+  if (out_stats) *out_stats = fs.stats();
   if (warm_start && shape == Shape::Incast) {
     // The cliff pattern must actually ride the new path, not fall back —
     // and mostly through the single-bottleneck closed form (one ejection
@@ -511,6 +516,149 @@ TEST(FlowSimWarmStart, RemovalOnlyDeltaReplaysFrozenPrefix) {
   eng.run();
   EXPECT_TRUE(b_done);
   EXPECT_EQ(fs.stats().fallback_solves, 0u);
+}
+
+// ---------------------------------------------------- rate write-back ---
+
+// The ISSUE 8 differential: the change-list write-back (applied set) union
+// the proven no-ops (skipped set) must equal the old whole-set write, bit
+// for bit. Reference mode (`incremental_writeback = false`) routes every
+// solver result through set_rate; incremental mode applies only the change
+// list and coalesces same-instant uniform rates lazily. Identical completion
+// sequences — at every thread count — prove the two writes are the same
+// function of the solve, and the in-run oracle checks (which read rates
+// through `for_each_flow`, i.e. through any pending uniform rate) pin the
+// observable rates as well.
+TEST(FlowSimWriteback, ChangeListEqualsWholeSetWriteBitwise) {
+  ThreadCountGuard guard;
+  for (Shape shape : {Shape::Incast, Shape::AllToAll, Shape::Permutation}) {
+    sim::set_thread_count(1);
+    net::FlowSim::Stats ref{};
+    const auto baseline =
+        run_shape(shape, /*warm_start=*/true, 1, nullptr,
+                  /*incremental_writeback=*/false, &ref);
+    // Reference mode hands every solved flow through the write-back, so the
+    // counter pair partitions the whole-set write exactly.
+    EXPECT_EQ(ref.writeback_applied + ref.writeback_skipped, ref.flows_solved);
+    EXPECT_GT(ref.writeback_applied, 0u);
+    for (int threads : {1, 2, 8}) {
+      int checks = 0;
+      net::FlowSim::Stats inc{};
+      const auto times = run_shape(shape, /*warm_start=*/true, threads,
+                                   &checks, /*incremental_writeback=*/true,
+                                   &inc);
+      ASSERT_EQ(times.size(), baseline.size());
+      for (std::size_t i = 0; i < times.size(); ++i)
+        EXPECT_EQ(times[i], baseline[i])
+            << "shape=" << static_cast<int>(shape) << " threads=" << threads
+            << " completion " << i;
+      EXPECT_GT(checks, 0);
+      EXPECT_GT(inc.writeback_applied, 0u);
+      // Coalescing can only shrink the applied set (same-instant uniform
+      // segments are zero-width; intermediate values never materialise).
+      EXPECT_LE(inc.writeback_applied, ref.writeback_applied);
+      if (shape == Shape::Incast) {
+        // The tentpole claim at test scale: incast write-back is dominated
+        // by skips, not applications.
+        EXPECT_LT(inc.writeback_applied, inc.writeback_skipped);
+        EXPECT_GT(inc.minshare_incr, 0u);  // summary verdicts actually ran
+      }
+    }
+  }
+}
+
+// Satellite: stall and Drop transitions ride the applied set exactly once.
+// A flow whose rate goes to zero is `applied` on the transition (set_rate
+// does real work: accrual + stall bookkeeping) and `skipped` on every later
+// resolve it sits through — never re-applied.
+TEST(FlowSimWriteback, StallAndDropTransitionsAppliedExactlyOnce) {
+  for (net::StallPolicy policy :
+       {net::StallPolicy::Stall, net::StallPolicy::Drop}) {
+    sim::Engine eng;
+    auto fabric = small_dragonfly(net::Routing::Minimal);
+    fabric.fail_link(fabric.topology().ejection_link(3));
+    // fallback_fraction 0 pushes every resolve through the warm whole-set
+    // path, so the victim is re-presented to the write-back each time.
+    net::FlowSim fs(eng, fabric,
+                    {.fallback_fraction = 0.0, .stall_policy = policy});
+    bool victim_done = false;
+    fs.start(0, 3, 1e9, [&] { victim_done = true; });
+    const auto s1 = fs.stats();
+    // Exactly one application: the 0-rate transition (fresh flows hold rate
+    // 0 but are not stalled, so the write is not a no-op).
+    EXPECT_EQ(s1.writeback_applied, 1u);
+    if (policy == net::StallPolicy::Drop) {
+      EXPECT_EQ(fs.dropped_flows(), 1u);
+      EXPECT_EQ(fs.active_flows(), 0u);
+      continue;
+    }
+    ASSERT_EQ(fs.stalled_flows(), 1u);
+    // A healthy flow forces another whole-set resolve with the stalled
+    // victim still active: the victim must land in the skipped set.
+    bool other_done = false;
+    fs.start(4, 5, 17.5e9, [&] { other_done = true; });
+    const auto s2 = fs.stats();
+    EXPECT_EQ(s2.writeback_applied, s1.writeback_applied + 1);  // healthy only
+    EXPECT_GE(s2.writeback_skipped, s1.writeback_skipped + 1);  // victim skips
+    eng.run();
+    EXPECT_TRUE(other_done);
+    EXPECT_FALSE(victim_done);
+    EXPECT_EQ(fs.stalled_flows(), 1u);
+  }
+}
+
+// Satellite: the full stall/restore/drop churn stays bitwise identical
+// across write-back modes — mid-run capacity failures and recoveries
+// (which invalidate the min-share summary and force eager paths) produce
+// the same completion sequence whether the write-back is change-list or
+// whole-set.
+TEST(FlowSimWriteback, StallRestoreDropChurnBitwiseAcrossModes) {
+  for (net::StallPolicy policy :
+       {net::StallPolicy::Stall, net::StallPolicy::Drop}) {
+    auto run = [&](bool incw) {
+      sim::Engine eng;
+      auto fabric = small_dragonfly(net::Routing::Minimal);
+      const int ej3 = fabric.topology().ejection_link(3);
+      net::FlowSim fs(eng, fabric,
+                      {.fallback_fraction = 0.25,
+                       .incremental_writeback = incw,
+                       .stall_policy = policy});
+      std::vector<double> times;
+      int completed = 0, launched = 0;
+      const int total = 96;
+      sim::Rng rng(777);
+      std::function<void()> launch = [&] {
+        if (launched >= total) return;
+        const int i = launched++;
+        // Mostly incast into endpoint 0 (the warm fast path), with every
+        // sixth flow aimed at the failure-prone endpoint 3.
+        const int src =
+            1 + static_cast<int>(rng.index(static_cast<std::uint64_t>(30)));
+        const int dst = (i % 6 == 5) ? 3 : 0;
+        fs.start(src == dst ? src + 1 : src, dst, rng.uniform(1e6, 2e8), [&] {
+          ++completed;
+          times.push_back(eng.now());
+          // Fail mid-churn, restore later: stalls (or drops) happen while
+          // the incast fast path is hot.
+          if (completed == 20) fabric.fail_link(ej3);
+          if (completed == 48) fabric.restore_link(ej3);
+          launch();
+        });
+      };
+      for (int i = 0; i < 16; ++i) launch();
+      eng.run();
+      return std::make_pair(times, fs.stats());
+    };
+    const auto [ref_times, ref_stats] = run(false);
+    const auto [inc_times, inc_stats] = run(true);
+    ASSERT_EQ(inc_times.size(), ref_times.size());
+    for (std::size_t i = 0; i < inc_times.size(); ++i)
+      EXPECT_EQ(inc_times[i], ref_times[i])
+          << "policy=" << static_cast<int>(policy) << " completion " << i;
+    EXPECT_EQ(ref_stats.writeback_applied + ref_stats.writeback_skipped,
+              ref_stats.flows_solved);
+    EXPECT_LE(inc_stats.writeback_applied, ref_stats.writeback_applied);
+  }
 }
 
 }  // namespace

@@ -7,7 +7,11 @@
 // which doubles as the data-race check on the shared snapshot.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
 #include <memory>
+#include <new>
 #include <sstream>
 #include <vector>
 
@@ -18,6 +22,66 @@
 #include "serve/session.hpp"
 #include "sim/parallel.hpp"
 #include "topo/topology.hpp"
+
+// ---------------------------------------------------------------------------
+// Interposed counting allocator (same harness as bench/micro_flowsim): every
+// global new/new[] bumps one relaxed atomic, so the allocation-free repeated-
+// scenario claim is checked against the real allocator, not a model of it.
+// ---------------------------------------------------------------------------
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+std::uint64_t heap_allocs() {
+  return g_heap_allocs.load(std::memory_order_relaxed);
+}
+void* counted_alloc(std::size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void* counted_aligned_alloc(std::size_t n, std::size_t align) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t rounded = (n + align - 1) / align * align;
+  return std::aligned_alloc(align, rounded ? rounded : align);
+}
+}  // namespace
+
+void* operator new(std::size_t n) {
+  if (void* p = counted_alloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) {
+  if (void* p = counted_alloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  return counted_alloc(n);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  return counted_alloc(n);
+}
+void* operator new(std::size_t n, std::align_val_t a) {
+  if (void* p = counted_aligned_alloc(n, static_cast<std::size_t>(a))) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  if (void* p = counted_aligned_alloc(n, static_cast<std::size_t>(a))) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace {
 
@@ -303,6 +367,39 @@ TEST(ServeSession, RepeatedScenarioIsDiffAppliedAndEpochStable) {
   for (std::size_t i = 0; i < r1.completion_s.size(); ++i)
     EXPECT_EQ(r1.completion_s[i], r2.completion_s[i]);
   EXPECT_EQ(r2.stats.warm_memo_stale, 0u);
+}
+
+TEST(ServeSession, RepeatedScenarioIsAllocationFreeAndReusesScratch) {
+  auto snap = net::make_snapshot(small_topology(), minimal_cfg());
+  // warm_start off: every resolve takes the full-solve path through
+  // solve_component — the one site that feeds `net.solver.scratch_reuse` —
+  // so the counter proves the per-session SolveScratch (and the component
+  // CSR/caps/rates arenas around it) survives across scenarios instead of
+  // being rebuilt per resolve.
+  net::FlowSimConfig cfg = serve::ScenarioSession::default_sim_config();
+  cfg.warm_start = false;
+  serve::ScenarioSession session(snap, cfg);
+  const auto stream = scenario_stream(snap->topology(), 2);
+  const serve::Scenario& sc = stream[0];
+
+  serve::ScenarioResult out;
+  for (int k = 0; k < 3; ++k) session.run(sc, out);  // warm every arena
+
+  auto& reuse = obs::metrics().counter("net.solver.scratch_reuse");
+  const std::uint64_t reuse0 = reuse.value();
+  const std::uint64_t a0 = heap_allocs();
+  constexpr int kRepeats = 8;
+  for (int k = 0; k < kRepeats; ++k) session.run(sc, out);
+  const std::uint64_t a1 = heap_allocs();
+  const std::uint64_t reuse1 = reuse.value();
+
+  EXPECT_EQ(a1 - a0, 0u)
+      << "a warmed session must answer a repeated scenario with zero heap "
+         "allocations: scheduled closures must fit std::function's buffer "
+         "and all scratch must be session-lifetime";
+  EXPECT_GE(reuse1 - reuse0, static_cast<std::uint64_t>(kRepeats))
+      << "each repeated scenario must reuse the session's solver scratch at "
+         "least once";
 }
 
 TEST(ServeSession, DropsFlowsThatOnlyCrossFailedTerminalLinks) {

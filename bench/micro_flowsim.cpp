@@ -26,10 +26,12 @@
 #include <cstdlib>
 #include <functional>
 #include <new>
+#include <optional>
 #include <vector>
 
 #include "net/fabric.hpp"
 #include "net/flowsim.hpp"
+#include "net/rotor.hpp"
 #include "obs/metrics.hpp"
 #include "obs/options.hpp"
 #include "resil/jobsim.hpp"
@@ -103,25 +105,56 @@ namespace {
 
 enum class Pattern { Permutation, Incast, AllToAll };
 
+// Topology family for the cross-topology churn rows (ISSUE 9): same churn
+// driver, same counters, different fabric physics.
+enum class Fab { Dragonfly, OsFatTree, Rotor };
+
 // Wall-clock of the last build_fabric call, in ms — recorded per benchmark so
 // a topology-construction regression shows up in the snapshot instead of
 // silently inflating setup time outside the measured region.
 double g_topo_build_ms = 0.0;
 
-net::Fabric build_fabric(int endpoints) {
-  // Dragonfly shapes sized so groups x switches x endpoints = n.
-  int g = 4, s = 4, e = 4;  // 64
-  if (endpoints >= 9408) {
-    g = 74; s = 16; e = 8;  // 9,472 eps — the paper's 74+6-group Frontier shape
-  } else if (endpoints >= 4096) {
-    g = 32; s = 16; e = 8;
-  } else if (endpoints >= 1024) {
-    g = 16; s = 8; e = 8;
-  } else if (endpoints >= 256) {
-    g = 8; s = 8; e = 4;
-  }
+net::Fabric build_fabric(int endpoints, Fab fam = Fab::Dragonfly) {
   const auto tb0 = std::chrono::steady_clock::now();
-  auto t = topo::Topology::uniform_dragonfly(g, {s, e}, 1, 25e9, 180e-9);
+  topo::Topology t = [&] {
+    switch (fam) {
+      case Fab::OsFatTree: {
+        // Square-ish leaves x eps_per_leaf = n, 4:1 oversubscribed uplinks.
+        int leaves = 8, e = 8;  // 64
+        if (endpoints >= 1024) {
+          leaves = 32; e = 32;
+        } else if (endpoints >= 256) {
+          leaves = 16; e = 16;
+        }
+        return topo::Topology::oversubscribed_fat_tree(leaves, e, 4.0, 25e9,
+                                                       180e-9);
+      }
+      case Fab::Rotor: {
+        // Full-coverage rotor (n_matchings = n_switches - 1) so every churn
+        // pair eventually gets a live slot.
+        int sw = 8, e = 8;  // 64
+        if (endpoints >= 256) {
+          sw = 16; e = 16;
+        }
+        return topo::Topology::rotor(sw, e, sw - 1, 250e-6, 0.9, 25e9,
+                                     180e-9);
+      }
+      case Fab::Dragonfly:
+        break;
+    }
+    // Dragonfly shapes sized so groups x switches x endpoints = n.
+    int g = 4, s = 4, e = 4;  // 64
+    if (endpoints >= 9408) {
+      g = 74; s = 16; e = 8;  // 9,472 eps — the paper's 74+6-group shape
+    } else if (endpoints >= 4096) {
+      g = 32; s = 16; e = 8;
+    } else if (endpoints >= 1024) {
+      g = 16; s = 8; e = 8;
+    } else if (endpoints >= 256) {
+      g = 8; s = 8; e = 4;
+    }
+    return topo::Topology::uniform_dragonfly(g, {s, e}, 1, 25e9, 180e-9);
+  }();
   net::FabricConfig cfg;
   cfg.routing = net::Routing::Minimal;  // deterministic paths across modes
   net::Fabric fabric(std::move(t), cfg);
@@ -252,14 +285,29 @@ std::uint64_t churn(net::FlowSim& fs, sim::Engine& eng, Pattern p, int n,
   return d.completions;
 }
 
-void BM_FlowChurn(benchmark::State& state, Pattern p, bool incremental) {
+// Re-price a rotor overlay back to slot 0 (matching 0 live, rest dark) so
+// every run starts from the same slot state regardless of where the previous
+// run's rotation stopped — RotorSchedule assumes slot-0 pricing at
+// construction.
+void reset_rotor_slot0(net::Fabric& fabric) {
+  const auto& t = fabric.topology();
+  std::vector<std::pair<int, double>> batch;
+  for (int m = 0; m < t.rotor_matchings(); ++m)
+    for (int l : t.rotor_matching_links(m))
+      batch.emplace_back(l, m == 0 ? t.rotor_active_capacity() : 0.0);
+  fabric.set_link_capacities(batch);
+}
+
+void BM_FlowChurn(benchmark::State& state, Pattern p, bool incremental,
+                  Fab fam = Fab::Dragonfly) {
   const int n = static_cast<int>(state.range(0));
-  const auto fabric = build_fabric(n);
+  auto fabric = build_fabric(n, fam);
+  const bool is_rotor = fabric.topology().is_rotor();
   const double topo_ms = g_topo_build_ms;
   const auto target = static_cast<std::uint64_t>(2 * n);
   net::FlowSim::Stats last{};
   std::size_t heap = 0, stale = 0;
-  std::uint64_t allocs = 0;
+  std::uint64_t allocs = 0, slot_transitions = 0;
   RouteCacheProbe rc;
   {
     // Prime the shared route cache (it lives on the topology snapshot and
@@ -270,6 +318,13 @@ void BM_FlowChurn(benchmark::State& state, Pattern p, bool incremental) {
     // first-run cold misses.
     sim::Engine weng;
     net::FlowSim wfs(weng, fabric, {.incremental = incremental});
+    std::optional<net::RotorSchedule> wrotor;
+    if (is_rotor) {
+      // Rotor churn needs live slot rotation: a flow whose matching is dark
+      // parks at rate zero until its slot comes back.
+      wrotor.emplace(weng, fabric, &wfs);
+      wrotor->start();
+    }
     churn(wfs, weng, p, n, target);
     rc.reset();
   }
@@ -277,13 +332,20 @@ void BM_FlowChurn(benchmark::State& state, Pattern p, bool incremental) {
   for (auto _ : state) {
     const std::uint64_t a0 = heap_allocs();
     sim::Engine eng;
+    if (is_rotor) reset_rotor_slot0(fabric);
     net::FlowSim fs(eng, fabric, {.incremental = incremental});
+    std::optional<net::RotorSchedule> rotor;
+    if (is_rotor) {
+      rotor.emplace(eng, fabric, &fs);
+      rotor->start();
+    }
     const auto done = churn(fs, eng, p, n, target, &wb);
     benchmark::DoNotOptimize(done);
     allocs += heap_allocs() - a0;
     last = fs.stats();
     heap = eng.heap_size();
     stale = eng.cancelled_events();
+    if (rotor) slot_transitions = rotor->transitions();
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(target));
@@ -329,6 +391,14 @@ void BM_FlowChurn(benchmark::State& state, Pattern p, bool incremental) {
           : 0.0;
   state.counters["rc_hit%"] = rc.hit_pct();
   state.counters["topo_build_ms"] = topo_ms;
+  if (is_rotor) {
+    // Slot-boundary cost (ISSUE 9): how many transitions the run needed and
+    // how many warm-memo generations they invalidated. check_bench.py gates
+    // that rotor rows actually rotated and that slot re-pricing leaves the
+    // route cache untouched (the generic rc_hit% floor).
+    state.counters["slot_transitions"] = static_cast<double>(slot_transitions);
+    state.counters["memo_stale"] = static_cast<double>(last.warm_memo_stale);
+  }
 }
 
 // ISSUE 5 acceptance probe: allocations per *steady-state* incremental
@@ -491,6 +561,21 @@ BENCHMARK_CAPTURE(BM_FlowChurn, incast_incremental, Pattern::Incast, true)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_FlowChurn, incast_full, Pattern::Incast, false)
     ->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+// Cross-topology churn rows (ISSUE 9): identical driver and counters on the
+// 4:1 oversubscribed fat-tree and the full-coverage rotor, so the route-cache
+// and write-back gates cover all three fabric families.
+BENCHMARK_CAPTURE(BM_FlowChurn, osft_permutation_incremental,
+                  Pattern::Permutation, true, Fab::OsFatTree)
+    ->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_FlowChurn, osft_incast_incremental, Pattern::Incast,
+                  true, Fab::OsFatTree)
+    ->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_FlowChurn, rotor_permutation_incremental,
+                  Pattern::Permutation, true, Fab::Rotor)
+    ->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_FlowChurn, rotor_incast_incremental, Pattern::Incast,
+                  true, Fab::Rotor)
+    ->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_SteadyResolve, alltoall, Pattern::AllToAll)
     ->Arg(1024)->Arg(4096)->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_SteadyResolve, permutation, Pattern::Permutation)

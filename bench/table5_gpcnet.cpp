@@ -61,5 +61,20 @@ int main(int argc, char** argv) {
               "qualitative gap the paper attributes to Slingshot's congestion\n"
               "control vs Summit's EDR InfiniBand.\n",
               rn.impact[1]);
+
+  // Cross-machine comparison (ISSUE 9): the same congestor suite on Summit
+  // (non-blocking fat-tree, no Slingshot-class CC) and Aurora (Slingshot
+  // dragonfly, 8 NICs/node) — the three-point spread the cross-topology
+  // chapter in EXPERIMENTS.md tabulates.
+  cfg.ppn = 8;
+  const auto summit = machines::summit();
+  auto sfab = summit.build_fabric();
+  auto rs = mpi::run_gpcnet(summit, sfab, cfg);
+  print_result("--- Cross-machine: Summit, 8 PPN ---", rs);
+
+  const auto aurora = machines::aurora();
+  auto afab = aurora.build_fabric();
+  auto ra = mpi::run_gpcnet(aurora, afab, cfg);
+  print_result("--- Cross-machine: Aurora, 8 PPN ---", ra);
   return 0;
 }

@@ -104,6 +104,26 @@ def check_structural(cur, errors):
                      f"{name}: rc_hit% = {rc} (< 50; steady churn must be "
                      "served from the shared route cache)")
 
+    # Rotor slot churn (ISSUE 9): the rotor churn rows must have actually
+    # rotated — slot_transitions == 0 means the schedule never fired and the
+    # row silently measured a frozen slot-0 fabric — and slot re-pricing must
+    # stay on the warm/incremental resolve paths rather than driving every
+    # transition to the cold fallback solve. (Their rc_hit% is covered by the
+    # generic route-cache floor above: slot changes re-price links but never
+    # re-steer routes.)
+    for name, entry in sorted(cur.items()):
+        if name.startswith(CHURN + "/rotor_"):
+            tr = entry.get("slot_transitions")
+            if tr is not None and tr <= 0:
+                fail(errors,
+                     f"{name}: slot_transitions = {tr} (rotor churn must "
+                     "advance slots; the schedule never fired)")
+            fb = entry.get("fallback%")
+            if fb is not None and fb > 25.0:
+                fail(errors,
+                     f"{name}: fallback% = {fb} (> 25; rotor slot re-pricing "
+                     "must resolve warm, not cold-fallback per transition)")
+
     # Acceptance ratios at 1,024 endpoints — same-run, so machine-free.
     incast_inc = cur.get(f"{CHURN}/incast_incremental/1024")
     incast_full = cur.get(f"{CHURN}/incast_full/1024")

@@ -84,6 +84,7 @@ for name in ("micro_flowsim", "micro_simcore", "micro_serve"):
                   "comp_avg", "fallback%", "warm%", "frontier_avg",
                   "threads", "heap", "stale",
                   "warm_memo%", "memo_stale", "epochs_max", "reroutes",
+                  "slot_transitions",
                   "writeback%", "rc_hit%", "topo_build_ms"):
             if k in b:
                 entry[k] = round(b[k], 6)

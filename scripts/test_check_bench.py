@@ -158,6 +158,47 @@ class CheckBenchDriver(unittest.TestCase):
         r = self.run_gate(path, path)
         self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
 
+    def test_rotor_slot_churn_gates(self):
+        # ISSUE 9: a rotor churn row whose schedule never fired (frozen
+        # slot-0 fabric) must fail, as must one that cold-fallbacks on slot
+        # re-pricing.
+        def rotor_entry(transitions, fallback):
+            return entry(2e4, **{"fallback%": fallback, "warm%": 60.0,
+                                 "rc_hit%": 95.0,
+                                 "slot_transitions": transitions})
+
+        ok = self.healthy()
+        ok["micro_flowsim/BM_FlowChurn/rotor_permutation_incremental/64"] = \
+            rotor_entry(1159.0, 0.0)
+        path = self.write("rotor_ok.json", snapshot(ok))
+        r = self.run_gate(path, path)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+        frozen = self.healthy()
+        frozen["micro_flowsim/BM_FlowChurn/rotor_permutation_incremental/64"] \
+            = rotor_entry(0.0, 0.0)
+        path = self.write("rotor_frozen.json", snapshot(frozen))
+        r = self.run_gate(path, path)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("slot_transitions", r.stdout)
+
+        cold = self.healthy()
+        cold["micro_flowsim/BM_FlowChurn/rotor_incast_incremental/64"] = \
+            rotor_entry(1612.0, 80.0)
+        path = self.write("rotor_cold.json", snapshot(cold))
+        r = self.run_gate(path, path)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("cold-fallback", r.stdout)
+
+        # Rotor rows are churn rows: the generic route-cache floor applies.
+        bypass = self.healthy()
+        bypass["micro_flowsim/BM_FlowChurn/rotor_permutation_incremental/64"] \
+            = entry(2e4, **{"rc_hit%": 10.0, "slot_transitions": 1159.0})
+        path = self.write("rotor_bypass.json", snapshot(bypass))
+        r = self.run_gate(path, path)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("rc_hit%", r.stdout)
+
     def test_serve_sibling_staleness_gate(self):
         stale = self.healthy()
         stale["micro_serve/BM_ServeBatch/1"] = entry(1000.0)

@@ -17,6 +17,7 @@ BENCHES=(
   fig3_gemm fig4_cpu_gpu_bw fig5_gcd_gcd_bw fig6_mpigraph
   sec43_storage sec44_scaling sec51_power sec54_resiliency
   table6_caar table7_ecp ablation_design
+  xtopo_fat_tree xtopo_rotor
 )
 
 cmake --build "$BUILD" -j --target golden_check "${BENCHES[@]}"

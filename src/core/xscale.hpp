@@ -23,6 +23,7 @@
 #include "net/fabric.hpp"
 #include "net/flowsim.hpp"
 #include "net/patterns.hpp"
+#include "net/rotor.hpp"
 #include "obs/metrics.hpp"
 #include "obs/options.hpp"
 #include "obs/trace.hpp"

@@ -64,6 +64,62 @@ Machine summit() {
   return m;
 }
 
+Machine aurora() {
+  // Argonne's Aurora (the architecture paper in PAPERS.md): HPE Cray EX
+  // blades with 2x Intel Xeon CPU Max (on-package HBM omitted here — the DDR5
+  // channels carry the capacity story) + 6x Data Center GPU Max 1550, eight
+  // Slingshot-11 NICs per node on the same dragonfly technology as Frontier.
+  Machine m;
+  m.name = "Aurora";
+  m.year = 2023;
+  hw::NodeConfig n;
+  n.name = "HPE Cray EX (Aurora blade)";
+  n.cpu.name = "Intel Xeon CPU Max 9470C";
+  n.cpu.ccds = 1;
+  n.cpu.cores = 52;
+  n.cpu.clock_hz = 2.4e9;
+  n.cpu.fp64_per_cycle_per_core = 32;  // 2x AVX-512 FMA
+  n.cpu.ddr.channels = 8;
+  n.cpu.ddr.mts = 4800;
+  n.cpu.ddr.dimms = 8;
+  n.cpu.ddr.dimm_capacity_bytes = GiB(64);  // 512 GiB/socket
+  n.cpu.ddr.stream_efficiency_nps4 = 0.80;
+  n.cpu.ddr.stream_efficiency_nps1 = 0.80;
+  n.cpu_sockets = 2;
+  n.gpu.name = "Intel Data Center GPU Max 1550";
+  n.gpu.fp64_vector = TFLOPS(52);
+  n.gpu.fp64_matrix = TFLOPS(52);
+  n.gpu.fp32_vector = TFLOPS(52);
+  n.gpu.fp32_matrix = TFLOPS(52);
+  n.gpu.fp16_vector = TFLOPS(104);
+  n.gpu.fp16_matrix = TFLOPS(832);  // XMX
+  n.gpu.hbm.capacity_bytes = GiB(128);
+  n.gpu.hbm.peak_bandwidth = GBs(3277);  // HBM2e, 3.2 TB/s
+  n.gpu.hbm.efficiency_scale = 0.85;
+  n.gpu.gemm_eff_fp64 = 0.80;
+  n.gpu.gemm_eff_fp32 = 0.80;
+  n.gpu.gemm_eff_fp16 = 0.80;
+  n.gpus = 6;
+  n.nic = hw::cassini();
+  n.nics = 8;  // one Slingshot-11 NIC per GPU tile pair + CPU pair
+  // Consistent with the ~2 EF headline aggregate over 63,744 GPUs.
+  n.gpu_fp64_dgemm_sustained = TFLOPS(31.5);
+  m.node = n;
+  m.total_nodes = 10624;
+  m.compute_nodes = 10624;
+  // Slingshot dragonfly sized to the NIC count exactly: 83 groups x 64
+  // switches x 16 endpoints = 84,992 endpoints = 10,624 nodes x 8 NICs.
+  m.topology_factory = [] {
+    return topo::Topology::uniform_dragonfly(
+        /*n_groups=*/83, {/*switches=*/64, /*endpoints_per_switch=*/16},
+        /*links_per_pair=*/4, Gbps(200), 150e-9);
+  };
+  m.fabric_defaults.routing = net::Routing::Adaptive;
+  m.fabric_defaults.congestion_control = true;
+  m.fabric_defaults.nic_efficiency = 0.70;  // Slingshot, same NIC as Frontier
+  return m;
+}
+
 Machine titan() {
   Machine m;
   m.name = "Titan";
@@ -190,6 +246,7 @@ std::optional<Machine> by_name(const std::string& name) {
                  [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
   if (lower == "frontier") return frontier();
   if (lower == "summit") return summit();
+  if (lower == "aurora") return aurora();
   if (lower == "titan") return titan();
   if (lower == "mira") return mira();
   if (lower == "theta") return theta();

@@ -85,6 +85,7 @@ topo::Topology frontier_topology(const FrontierFabricSpec& spec = {});
 
 Machine frontier();
 Machine summit();
+Machine aurora();  // HPE Cray EX, Intel CPU Max + GPU Max, Slingshot dragonfly
 Machine titan();
 Machine mira();    // IBM BG/Q, ~10 PF (EXAALT baseline)
 Machine theta();   // Cray XC40 KNL (ExaSky baseline)

@@ -59,7 +59,7 @@ bool FabricOverlay::restore_link(int link_id) {
   return true;
 }
 
-bool FabricOverlay::set_link_capacity(int link_id, double capacity) {
+bool FabricOverlay::set_capacity_no_bump(int link_id, double capacity) {
   const std::size_t id = check_link(link_id);
   for (auto& [oid, cap] : overrides_) {
     if (oid != link_id) continue;
@@ -71,7 +71,6 @@ bool FabricOverlay::set_link_capacity(int link_id, double capacity) {
       // records the override but never materialises.
       materialize();
       cow_cap_[id] = capacity;
-      ++cap_epoch_;
     }
     return was_live;
   }
@@ -79,11 +78,23 @@ bool FabricOverlay::set_link_capacity(int link_id, double capacity) {
   const bool live = failed_.empty() || !failed_[id];
   if (live && effective_capacities()[id] == capacity) return false;
   materialize();
-  if (live) {
-    cow_cap_[id] = capacity;
-    ++cap_epoch_;
-  }
+  if (live) cow_cap_[id] = capacity;
   return live;
+}
+
+bool FabricOverlay::set_link_capacity(int link_id, double capacity) {
+  if (!set_capacity_no_bump(link_id, capacity)) return false;
+  ++cap_epoch_;
+  return true;
+}
+
+bool FabricOverlay::set_link_capacities(
+    const std::vector<std::pair<int, double>>& updates) {
+  bool changed = false;
+  for (const auto& [id, cap] : updates)
+    changed = set_capacity_no_bump(id, cap) || changed;
+  if (changed) ++cap_epoch_;
+  return changed;
 }
 
 bool FabricOverlay::clear_link_capacity(int link_id) {

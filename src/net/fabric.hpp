@@ -81,6 +81,12 @@ class FabricOverlay {
   // value is NOT validated here — the solver rejects non-finite/negative
   // capacities at resolve time, which the fault-injection tests rely on.
   bool set_link_capacity(int link_id, double capacity);
+  // Batched capacity overrides: applies every (link, capacity) pair but bumps
+  // the epoch AT MOST ONCE for the whole batch (zero times if every pair is a
+  // no-op). A rotor slot transition re-prices one matching off and another on
+  // through this call, so consumer memos see exactly one staleness event per
+  // slot instead of one per link.
+  bool set_link_capacities(const std::vector<std::pair<int, double>>& updates);
   // Remove a capacity override, returning the link to its base capacity.
   bool clear_link_capacity(int link_id);
   // Restore every failure and override in one call (one epoch bump).
@@ -99,6 +105,7 @@ class FabricOverlay {
 
  private:
   std::size_t check_link(int link_id) const;
+  bool set_capacity_no_bump(int link_id, double capacity);
   void materialize();
   double restored_capacity(int link_id) const;
 
@@ -179,6 +186,10 @@ class Fabric {
   // Scenario capacity override (see FabricOverlay::set_link_capacity).
   bool set_link_capacity(int link_id, double capacity) {
     return overlay_.set_link_capacity(link_id, capacity);
+  }
+  // Batched overrides, one epoch bump (see FabricOverlay::set_link_capacities).
+  bool set_link_capacities(const std::vector<std::pair<int, double>>& updates) {
+    return overlay_.set_link_capacities(updates);
   }
   bool clear_link_capacity(int link_id) {
     return overlay_.clear_link_capacity(link_id);

@@ -74,6 +74,26 @@ std::uint64_t FlowSim::start_on_path(std::vector<int> path, double bytes,
   return start_slot(slot, bytes, std::move(on_done));
 }
 
+void FlowSim::notify_capacity_change(const std::vector<int>& links) {
+  ensure_sized();
+  const auto n = static_cast<int>(link_dirty_.size());
+  for (int l : links) {
+    if (l < 0 || l >= n)
+      throw std::out_of_range("notify_capacity_change: link id " +
+                              std::to_string(l) + " out of range [0, " +
+                              std::to_string(n) + ")");
+  }
+  if (active_count_ == 0) return;  // nothing to re-price
+  // A pending uniform rate parked at an earlier instant was computed under
+  // the old capacities and covers accrual up to now — apply it before the
+  // re-resolve rewrites rates (same contract as start_slot).
+  if (pending_uniform_ && eng_.now() != pending_time_) materialize_pending();
+  for (int l : links)
+    if (!flows_on_link_[static_cast<std::size_t>(l)].empty()) mark_dirty(l);
+  if (dirty_links_.empty()) return;  // no active flow touches a changed link
+  resolve_and_schedule();
+}
+
 std::uint64_t FlowSim::start_slot(int slot, double bytes, Done on_done) {
   // A pending uniform rate parked at an *earlier* instant covers exactly the
   // members that were active then — apply it before this flow joins the
@@ -534,7 +554,7 @@ int FlowSim::try_single_incremental(SolveStats* ss) {
 
   const double m = std::min(c1, d1);
   if (!std::isfinite(m)) return -1;
-  const double cutoff = m * (1.0 + 1e-9);
+  const double cutoff = m;  // exact ties only, matching the solver cores
   int verdict;
   if (c1 <= cutoff) {
     // A clean link fires. It cannot carry every active flow (the churned
@@ -689,7 +709,7 @@ bool FlowSim::warm_single_bottleneck(SolveStats* ss) {
       obs::metrics().counter("net.solver.minshare.full_scan");
   full_scan.inc();
   if (!std::isfinite(min_share)) return false;  // general path will diagnose
-  const double cutoff = min_share * (1.0 + 1e-9);
+  const double cutoff = min_share;  // exact ties only, matching the cores
   // "Exactly one link fires" is a top-2 question: the minimum always fires,
   // so uniqueness is `second_share > cutoff` — same verdict as the old
   // counting pass, without re-walking the live list.
@@ -901,7 +921,7 @@ void FlowSim::warm_solve(SolveStats* ss) {
     if (!std::isfinite(min_share))
       throw std::runtime_error(
           "max_min_rates: no finite bottleneck share for remaining flows");
-    const double cutoff = min_share * (1.0 + 1e-9);
+    const double cutoff = min_share;  // exact ties only, matching the cores
     const int level = static_cast<int>(iterations);
     for (int l : warm_links_) {
       const auto lu = static_cast<std::size_t>(l);

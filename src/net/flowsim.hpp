@@ -87,6 +87,16 @@ class FlowSim {
 
   std::size_t active_flows() const { return active_count_; }
 
+  // The fabric overlay's capacities changed out-of-band (a RotorSchedule slot
+  // transition, a fabric-manager sweep): mark the given links dirty and
+  // re-resolve now. This is how stalled flows on a re-priced link wake up —
+  // they hold their links, so the dirty-link BFS reaches them even though no
+  // flow was added or removed. Links not carried by any active flow are
+  // ignored; out-of-range ids throw. The caller bumps the overlay epoch
+  // (set_link_capacity/set_link_capacities) *before* calling this, which is
+  // what retires the warm memo and the single-bottleneck summary.
+  void notify_capacity_change(const std::vector<int>& links);
+
   // Zero-rate flows currently parked (StallPolicy::Stall) / removed so far
   // (StallPolicy::Drop). Stalled flows still count as active.
   std::size_t stalled_flows() const { return stalled_; }

@@ -280,7 +280,11 @@ std::vector<int> TopologySnapshot::valiant_path(
   const int ga = topo_.group_of_switch(sa);
   const int gb = topo_.group_of_switch(sb);
   std::vector<int> minimal;
-  if (topo_.is_fat_tree()) {
+  // No non-minimal routing on a fat-tree (one core, nothing to spread over)
+  // or a rotor (traffic rides the direct matching link; a two-hop detour's
+  // legs belong to different matchings and are never live in the same slot,
+  // so a valiant flow would stall forever).
+  if (topo_.is_fat_tree() || topo_.is_rotor()) {
     minimal_path_into(src_ep, dst_ep, failed, minimal);
     return minimal;
   }
@@ -355,7 +359,8 @@ void TopologySnapshot::route_into(int src_ep, int dst_ep, sim::Rng& rng,
       return;
     case Routing::Adaptive: {
       minimal_path_into(src_ep, dst_ep, failed, out);
-      if (topo_.is_fat_tree() || global_load == nullptr) return;
+      if (topo_.is_fat_tree() || topo_.is_rotor() || global_load == nullptr)
+        return;
       auto val_p = valiant_path(src_ep, dst_ep, rng, failed);
       if (val_p.size() == out.size()) return;  // intra-group or fallback
       // UGAL: compare queue-depth proxies (flow counts) on the switch-switch

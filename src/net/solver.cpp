@@ -104,9 +104,18 @@ std::vector<double> solve_core_reference(
           "max_min_rates: no finite bottleneck share for remaining flows");
 
     // Freeze every flow crossing any link whose share ties the minimum
-    // (within a relative tolerance); symmetric traffic patterns produce
-    // massive ties and this collapses them into one iteration.
-    const double cutoff = min_share * (1.0 + 1e-9);
+    // EXACTLY. Symmetric traffic patterns produce massive bitwise ties
+    // (identical capacity / crosser-count arithmetic) and those still
+    // collapse into one iteration. The tie test must not carry a relative
+    // slack: a near-tie tolerance lets the minimum link "capture" a link
+    // from an unrelated connected component whose share drifted within the
+    // window, freezing its flows at the *other* component's share — which
+    // breaks the bit-identity between this global solve and the
+    // per-component decomposition that `max_min_rates_components` and the
+    // incremental FlowSim paths rely on. With exact ties, each component's
+    // firing sequence in the global solve is precisely its local solve's
+    // sequence, so decomposition is lossless at the ULP level.
+    const double cutoff = min_share;
     for (int l : active_links) {
       const auto lu = static_cast<std::size_t>(l);
       if (active_w[lu] <= 0.0) continue;
@@ -247,7 +256,9 @@ void max_min_rates_csr(const double* capacities, std::size_t num_links,
       throw std::runtime_error(
           "max_min_rates: no finite bottleneck share for remaining flows");
 
-    const double cutoff = min_share * (1.0 + 1e-9);
+    // Exact-tie firing — see solve_core_reference on why the cutoff carries
+    // no relative slack (component decomposability of the bits).
+    const double cutoff = min_share;
     for (int l : s.active_links) {
       const auto lu = static_cast<std::size_t>(l);
       if (s.active_w[lu] <= 0.0) continue;

@@ -163,6 +163,17 @@ Topology Topology::uniform_dragonfly(int n_groups, GroupSpec spec, int links_per
 
 Topology Topology::fat_tree(int leaves, int eps_per_leaf, double link_bw,
                             double hop_latency) {
+  // Non-blocking == oversubscription ratio 1: the uplink carries the leaf's
+  // full injection demand and is never the bottleneck.
+  return oversubscribed_fat_tree(leaves, eps_per_leaf, 1.0, link_bw,
+                                 hop_latency);
+}
+
+Topology Topology::oversubscribed_fat_tree(int leaves, int eps_per_leaf,
+                                           double oversub_ratio, double link_bw,
+                                           double hop_latency) {
+  if (oversub_ratio < 1.0)
+    throw std::invalid_argument("oversub_ratio must be >= 1");
   Topology t;
   t.fat_tree_ = true;
   t.n_groups_ = 1;
@@ -190,15 +201,95 @@ Topology Topology::fat_tree(int leaves, int eps_per_leaf, double link_bw,
       t.ejection_link_.push_back(
           t.add_link(l, ep, LinkKind::Ejection, link_bw, hop_latency));
     }
-    // Non-blocking core: uplink capacity equals the leaf's full injection
-    // demand, so it is never the bottleneck.
-    const double up = link_bw * static_cast<double>(eps_per_leaf);
+    // Uplink capacity: full injection demand divided by the oversubscription
+    // ratio. At ratio 1 the uplink is never the bottleneck; above 1 inter-leaf
+    // traffic contends here before it contends at the terminals.
+    const double up =
+        link_bw * static_cast<double>(eps_per_leaf) / oversub_ratio;
     const int upl = t.add_link(l, core, LinkKind::Core, up, hop_latency);
     const int dnl = t.add_link(core, l, LinkKind::Core, up, hop_latency);
     t.switch_link_idx_[key(l, core, t.num_switches_ + 1)] = upl;
     t.switch_link_idx_[key(core, l, t.num_switches_ + 1)] = dnl;
   }
   return t;
+}
+
+Topology Topology::rotor(int n_switches, int eps_per_switch, int n_matchings,
+                         double slot_s, double duty_cycle, double link_bw,
+                         double hop_latency) {
+  if (n_switches < 2) throw std::invalid_argument("rotor needs >= 2 switches");
+  if (n_matchings < 1 || n_matchings > n_switches - 1)
+    throw std::invalid_argument("n_matchings must be in [1, n_switches - 1]");
+  if (slot_s <= 0.0) throw std::invalid_argument("slot_s must be positive");
+  if (duty_cycle <= 0.0 || duty_cycle > 1.0)
+    throw std::invalid_argument("duty_cycle must be in (0, 1]");
+
+  // One switch per group: every inter-switch link is a Global link, so the
+  // dragonfly routing branch (direct group-to-group hop) serves unchanged and
+  // the route cache never needs a rotor-specific path. The links of ALL
+  // matchings are laid down statically; a slot change only re-prices them
+  // (never adds or removes links), which is what keeps the shared snapshot's
+  // route cache valid across slot boundaries.
+  Topology t;
+  t.n_groups_ = n_switches;
+  t.num_switches_ = n_switches;
+  t.rotor_matchings_ = n_matchings;
+  t.rotor_slot_s_ = slot_s;
+  t.rotor_duty_cycle_ = duty_cycle;
+  t.rotor_active_capacity_ = link_bw * duty_cycle;
+
+  const auto ns = static_cast<std::size_t>(n_switches);
+  const auto eps = ns * static_cast<std::size_t>(eps_per_switch);
+  const auto globals = ns * static_cast<std::size_t>(n_matchings);
+  t.group_first_switch_.reserve(ns);
+  t.group_size_.reserve(ns);
+  t.group_of_switch_.reserve(ns);
+  t.endpoint_switch_.reserve(eps);
+  t.injection_link_.reserve(eps);
+  t.ejection_link_.reserve(eps);
+  t.links_.reserve(2 * eps + globals);
+  t.global_link_idx_.reserve(globals);
+
+  for (int s = 0; s < n_switches; ++s) {
+    t.group_first_switch_.push_back(s);
+    t.group_size_.push_back(1);
+    t.group_of_switch_.push_back(s);
+  }
+  for (int s = 0; s < n_switches; ++s) {
+    for (int e = 0; e < eps_per_switch; ++e) {
+      const int ep = static_cast<int>(t.endpoint_switch_.size());
+      t.endpoint_switch_.push_back(s);
+      t.injection_link_.push_back(
+          t.add_link(ep, s, LinkKind::Injection, link_bw, hop_latency));
+      t.ejection_link_.push_back(
+          t.add_link(s, ep, LinkKind::Ejection, link_bw, hop_latency));
+    }
+  }
+  // Matching m: directed link i -> (i + m + 1) mod n from every switch.
+  // Matching 0 is live at build time; the rest idle at zero capacity until a
+  // RotorSchedule overlay activates them.
+  for (int m = 0; m < n_matchings; ++m) {
+    const double cap = m == 0 ? t.rotor_active_capacity_ : 0.0;
+    for (int i = 0; i < n_switches; ++i) {
+      const int j = (i + m + 1) % n_switches;
+      const int id = t.add_link(i, j, LinkKind::Global, cap, hop_latency);
+      t.global_link_idx_[key(i, j, t.n_groups_ + 1)] = id;
+    }
+  }
+  return t;
+}
+
+std::vector<int> Topology::rotor_matching_links(int m) const {
+  if (m < 0 || m >= rotor_matchings_)
+    throw std::out_of_range("rotor matching index out of range");
+  std::vector<int> ids;
+  ids.reserve(static_cast<std::size_t>(num_switches_));
+  for (int i = 0; i < num_switches_; ++i) {
+    const int id = global_link(i, (i + m + 1) % num_switches_);
+    assert(id >= 0);
+    ids.push_back(id);
+  }
+  return ids;
 }
 
 }  // namespace xscale::topo

@@ -5,13 +5,26 @@
 // §3.2) are aggregated into one logical link whose capacity is the bundle
 // sum — flows are assumed to stripe across a bundle, which Slingshot does.
 //
-// Builders:
+// Builders (four families; pick by what contention you need to model):
 //   * `dragonfly(...)` — Slingshot-style three-hop dragonfly: fully connected
 //     switches inside a group (L1 ports), direct group-to-group bundles
-//     (L2 ports), 16 endpoints per switch (L0 ports).
-//   * `fat_tree(...)` — non-blocking Clos abstraction (Summit): contention
-//     exists only at endpoint injection/ejection, modelled by a core of
-//     unlimited capacity.
+//     (L2 ports), 16 endpoints per switch (L0 ports). Use for Frontier-class
+//     machines where the taper and adaptive-vs-minimal routing matter.
+//   * `fat_tree(...)` — non-blocking Clos abstraction (Summit): every leaf
+//     uplink carries the leaf's full injection demand, so contention exists
+//     only at endpoint injection/ejection. Use as the "ideal fabric"
+//     baseline, or for machines that really are non-blocking.
+//   * `oversubscribed_fat_tree(...)` — the same Clos shape with leaf uplinks
+//     thinned by an oversubscription ratio (2:1, 4:1, ...), so inter-leaf
+//     traffic contends at the uplink the way commodity datacenter fabrics
+//     do. Use when the question is how much taper an application tolerates.
+//   * `rotor(...)` — time-sliced rotor/optical fabric: one switch per group,
+//     inter-switch links partitioned into round-robin matchings of which
+//     exactly one is live per slot. The builder lays down *every* matching's
+//     links; matching 0 is live (capacity = link_bw x duty_cycle) and all
+//     others carry zero capacity until a `net::RotorSchedule` drives the
+//     slot rotation through a fabric overlay. Use to stress wholesale
+//     capacity churn (every slot boundary reprices every inter-switch link).
 #pragma once
 
 #include <cstdint>
@@ -88,6 +101,16 @@ class Topology {
 
   bool is_fat_tree() const { return fat_tree_; }
 
+  // --- rotor metadata ---------------------------------------------------------
+  bool is_rotor() const { return rotor_matchings_ > 0; }
+  int rotor_matchings() const { return rotor_matchings_; }
+  double rotor_slot_s() const { return rotor_slot_s_; }
+  double rotor_duty_cycle() const { return rotor_duty_cycle_; }
+  // Capacity an inter-switch link carries while its matching is live.
+  double rotor_active_capacity() const { return rotor_active_capacity_; }
+  // Link ids of matching `m` (one directed link per switch: i -> (i+m+1) mod n).
+  std::vector<int> rotor_matching_links(int m) const;
+
   // --- builders ---------------------------------------------------------------
   // `bundle_links(g, h)` returns physical link count of the g->h bundle
   // (0 = not connected). Must be symmetric.
@@ -105,11 +128,34 @@ class Topology {
   static Topology fat_tree(int leaves, int eps_per_leaf, double link_bw,
                            double hop_latency);
 
+  // Oversubscribed fat-tree: same shape as `fat_tree`, but each leaf's core
+  // uplink/downlink carries only `eps_per_leaf * link_bw / oversub_ratio`,
+  // so inter-leaf traffic contends at the uplink (ratio 1 is non-blocking).
+  static Topology oversubscribed_fat_tree(int leaves, int eps_per_leaf,
+                                          double oversub_ratio, double link_bw,
+                                          double hop_latency);
+
+  // Time-sliced rotor fabric: `n_switches` single-switch groups, inter-switch
+  // links partitioned into `n_matchings` round-robin matchings (matching m
+  // connects switch i -> (i+m+1) mod n_switches; full any-to-any coverage
+  // needs n_matchings == n_switches - 1). The built topology is frozen at
+  // slot 0: matching 0's links carry `link_bw * duty_cycle`, every other
+  // matching's links carry zero. `net::RotorSchedule` rotates the live
+  // matching every `slot_s` seconds through a fabric overlay; the base
+  // snapshot is never mutated.
+  static Topology rotor(int n_switches, int eps_per_switch, int n_matchings,
+                        double slot_s, double duty_cycle, double link_bw,
+                        double hop_latency);
+
  private:
   int add_link(int src, int dst, LinkKind kind, double cap, double lat);
 
   int num_switches_ = 0;
   bool fat_tree_ = false;
+  int rotor_matchings_ = 0;  // 0 = not a rotor fabric
+  double rotor_slot_s_ = 0;
+  double rotor_duty_cycle_ = 1.0;
+  double rotor_active_capacity_ = 0;
   std::vector<Link> links_;
   std::vector<int> endpoint_switch_;
   std::vector<int> injection_link_;

@@ -67,9 +67,9 @@ TEST(Solver, WeightedFairnessAcrossMultipleBottlenecks) {
 
 TEST(Solver, MassiveTieCollapsesIntoOneIteration) {
   // 64 disjoint equal-capacity links, 4 flows each: every link ties at the
-  // same share, so the 1e-9-relative cutoff must freeze all 256 flows in a
-  // single water-filling iteration (symmetric all-to-all patterns depend on
-  // this collapse for performance).
+  // same share bitwise, so the exact-tie cutoff must freeze all 256 flows in
+  // a single water-filling iteration (symmetric all-to-all patterns depend
+  // on this collapse for performance).
   const int nlinks = 64, per = 4;
   std::vector<double> cap(nlinks, 25e9);
   std::vector<std::vector<int>> paths;
@@ -82,14 +82,26 @@ TEST(Solver, MassiveTieCollapsesIntoOneIteration) {
   EXPECT_EQ(ss.bottleneck_links, nlinks);
 }
 
-TEST(Solver, NearTieWithinCutoffCollapsesToo) {
-  // Shares within 1e-9 relative of the minimum freeze in the same pass.
-  const std::vector<double> cap{10.0, 10.0 * (1.0 + 0.5e-9)};
+TEST(Solver, NearTiesStayInSeparateIterationsForDecomposability) {
+  // Shares that are close but NOT bitwise equal must freeze in separate
+  // iterations, each at its own link's share. The historical 1e-9-relative
+  // cutoff let the minimum "capture" a near-tied link from an unrelated
+  // component, freezing its flows at the *other* component's share — so the
+  // global solve and the per-component decomposition disagreed at the ULP
+  // level (the warm==cold differential caught this on the oversubscribed
+  // fat-tree, where drifted residuals land within 1e-9 of fresh quotients).
+  const double hi = 10.0 * (1.0 + 0.5e-9);
+  const std::vector<double> cap{10.0, hi};
   const std::vector<std::vector<int>> paths{{0}, {1}};
   net::SolveStats ss;
   const auto r = net::max_min_rates(cap, paths, nullptr, &ss);
-  EXPECT_EQ(ss.iterations, 1);
-  EXPECT_DOUBLE_EQ(r[0], 10.0);
+  EXPECT_EQ(ss.iterations, 2);
+  EXPECT_EQ(r[0], 10.0);
+  EXPECT_EQ(r[1], hi);  // its own share, not the foreign minimum
+  // And precisely because of that, splitting by component loses nothing:
+  const auto split = net::max_min_rates_components(cap, paths);
+  EXPECT_EQ(split[0], r[0]);
+  EXPECT_EQ(split[1], r[1]);
 }
 
 TEST(Solver, MalformedCapacitiesThrowInAllBuildModes) {
@@ -403,8 +415,23 @@ TEST(Machines, FrontierTable1Aggregates) {
 TEST(Machines, LookupByName) {
   EXPECT_TRUE(machines::by_name("frontier").has_value());
   EXPECT_TRUE(machines::by_name("SUMMIT").has_value());
-  EXPECT_FALSE(machines::by_name("aurora").has_value());
+  EXPECT_TRUE(machines::by_name("Aurora").has_value());
+  EXPECT_FALSE(machines::by_name("el capitan").has_value());
   EXPECT_EQ(machines::by_name("Mira")->total_nodes, 49152);
+}
+
+TEST(Machines, AuroraAggregates) {
+  const auto m = machines::aurora();
+  EXPECT_EQ(m.total_nodes, 10624);
+  EXPECT_TRUE(m.has_fabric());
+  // ~2 EF headline FP64 over 63,744 GPU Max devices.
+  EXPECT_NEAR(m.fp64_dgemm_peak() / 1e18, 2.0, 0.05);
+  // 8 Slingshot-11 NICs per node: 8 x 25 GB/s injection.
+  EXPECT_NEAR(m.injection_bandwidth_per_node() / 1e9, 200, 0.1);
+  EXPECT_EQ(machines::endpoints_per_node(m), 8);
+  // Topology sized to the NIC count exactly (83 x 64 x 16 endpoints).
+  const auto topo = m.topology_factory();
+  EXPECT_EQ(topo.num_endpoints(), m.total_nodes * 8);
 }
 
 TEST(Machines, EndpointMapping) {

@@ -422,4 +422,141 @@ TEST_P(RouteCacheProperty, CachedEqualsFreshAndMinimalInvariantsHold) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, RouteCacheProperty, ::testing::Values(2, 4, 9, 17));
 
+// Route-cache contract across topology families (ISSUE 9 satellite 1): the
+// universal invariants — cached == fresh routes, non-empty, duplicate-free,
+// correct terminal links, and terminal-link failures never invalidating the
+// switch-pair route table — hold on every family; the hop-structure bound is
+// family-specific (a dragonfly minimal route crosses at most 3 switch links
+// of which at most 1 is global; a fat-tree route crosses exactly 0 or 2 Core
+// links and nothing else; a full-coverage rotor route crosses at most 1
+// Global link and no Core/Local ones).
+
+struct RouteFamily {
+  const char* name;
+  topo::Topology (*make)();
+};
+
+topo::Topology route_family_dragonfly() {
+  return topo::Topology::uniform_dragonfly(6, {4, 4}, 1, 25e9, 180e-9);
+}
+topo::Topology route_family_os_fat_tree() {
+  return topo::Topology::oversubscribed_fat_tree(12, 8, 4.0, 25e9, 180e-9);
+}
+topo::Topology route_family_rotor() {
+  // Full matching coverage (n-1) so every switch pair has a direct link.
+  return topo::Topology::rotor(10, 8, 9, 250e-6, 0.9, 25e9, 180e-9);
+}
+
+class RouteCacheFamilyProperty
+    : public ::testing::TestWithParam<RouteFamily> {};
+
+TEST_P(RouteCacheFamilyProperty, UniversalInvariantsAndFamilyHopBounds) {
+  const RouteFamily fam = GetParam();
+  const auto build = [&](bool cache) {
+    net::FabricConfig cfg;
+    cfg.routing = net::Routing::Minimal;
+    cfg.route_cache = cache;
+    return net::Fabric(fam.make(), cfg);
+  };
+  net::Fabric cached = build(true);
+  net::Fabric fresh = build(false);
+  const auto& t = cached.topology();
+  const int eps = t.num_endpoints();
+  sim::Rng rng_a(99), rng_b(99);
+
+  const auto check_pair = [&](int a, int b) {
+    const auto pc = cached.route(a, b, rng_a);
+    const auto pf = fresh.route(a, b, rng_b);
+    ASSERT_EQ(pc, pf) << fam.name << " src=" << a << " dst=" << b;
+    ASSERT_FALSE(pc.empty());
+    std::set<int> uniq(pc.begin(), pc.end());
+    EXPECT_EQ(uniq.size(), pc.size()) << fam.name << ": duplicate link";
+    int local = 0, global = 0, core = 0;
+    for (int l : pc) {
+      switch (t.link(l).kind) {
+        case topo::LinkKind::Local: ++local; break;
+        case topo::LinkKind::Global: ++global; break;
+        case topo::LinkKind::Core: ++core; break;
+        default: break;
+      }
+    }
+    if (t.is_fat_tree()) {
+      EXPECT_EQ(local, 0) << fam.name;
+      EXPECT_EQ(global, 0) << fam.name;
+      EXPECT_TRUE(core == 0 || core == 2) << fam.name << " core=" << core;
+      EXPECT_EQ(pc.size(), static_cast<std::size_t>(2 + core)) << fam.name;
+    } else if (t.is_rotor()) {
+      EXPECT_EQ(local, 0) << fam.name;
+      EXPECT_EQ(core, 0) << fam.name;
+      EXPECT_LE(global, 1) << fam.name;
+      EXPECT_EQ(pc.size(), static_cast<std::size_t>(2 + global)) << fam.name;
+    } else {
+      EXPECT_LE(local + global, 3) << fam.name;
+      EXPECT_LE(global, 1) << fam.name;
+      EXPECT_EQ(core, 0) << fam.name;
+    }
+    EXPECT_EQ(t.link(pc.front()).src, a);
+    EXPECT_EQ(t.link(pc.back()).dst, b);
+  };
+
+  // Deterministic same-switch/neighbour pairs, then a random cross sample;
+  // each pair queried twice so the second visit rides the cache-hit path.
+  sim::Rng pick(7);
+  for (int trial = 0; trial < 120; ++trial) {
+    int a, b;
+    if (trial < 40) {
+      a = trial % eps;
+      b = (a + 1 + trial / 2) % eps;
+    } else {
+      a = static_cast<int>(pick.index(static_cast<std::uint64_t>(eps)));
+      b = static_cast<int>(pick.index(static_cast<std::uint64_t>(eps)));
+    }
+    if (a == b) continue;
+    check_pair(a, b);
+    check_pair(a, b);
+  }
+
+  // Terminal failures zero capacity but never steer packets elsewhere, on
+  // every family: the switch-pair route table must survive untouched.
+  const int a = 0, b = eps - 1;
+  const auto before = cached.route(a, b, rng_a);
+  const int eject_b = t.ejection_link(b);
+  ASSERT_EQ(t.link(eject_b).kind, topo::LinkKind::Ejection);
+  const auto misses = [] {
+    return obs::metrics().counter("net.route_cache.miss").value();
+  };
+  const auto sweep = [&] {
+    for (int trial = 0; trial < 40; ++trial) {
+      const int p = trial % eps;
+      const int q = (p + 1 + trial / 2) % eps;
+      if (p == q) continue;
+      check_pair(p, q);
+    }
+  };
+  sweep();  // re-warm anything the random sample evicted
+  const auto m0 = misses();
+  sweep();
+  const auto steady_misses = misses() - m0;
+  cached.fail_link(eject_b);
+  fresh.fail_link(eject_b);
+  EXPECT_EQ(cached.route(a, b, rng_a), before);
+  EXPECT_EQ(fresh.route(a, b, rng_b), before);
+  const auto m1 = misses();
+  sweep();
+  EXPECT_EQ(misses() - m1, steady_misses)
+      << fam.name << ": terminal-link failure invalidated the route cache";
+  cached.restore_link(eject_b);
+  fresh.restore_link(eject_b);
+  EXPECT_EQ(cached.route(a, b, rng_a), before);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, RouteCacheFamilyProperty,
+    ::testing::Values(RouteFamily{"dragonfly", route_family_dragonfly},
+                      RouteFamily{"os_fat_tree", route_family_os_fat_tree},
+                      RouteFamily{"rotor", route_family_rotor}),
+    [](const ::testing::TestParamInfo<RouteFamily>& info) {
+      return std::string(info.param.name);
+    });
+
 }  // namespace

@@ -15,6 +15,7 @@
 #include <sstream>
 #include <vector>
 
+#include "net/rotor.hpp"
 #include "net/snapshot.hpp"
 #include "obs/metrics.hpp"
 #include "serve/batcher.hpp"
@@ -136,8 +137,52 @@ std::vector<serve::Scenario> scenario_stream(const topo::Topology& topo,
   return {fail_sc, fail_sc, clean_sc, fail_sc};
 }
 
+// ISSUE 9: the rotor analogue of scenario_stream. Slot state is ordinary
+// overlay capacity state, so a served "advance to slot s" is just capacity
+// overrides: matching 0's links to zero, matching s's links to the active
+// capacity. Session i parks in slot 1 + (i % (m-1)) and runs flows that ride
+// exactly that matching, then returns to slot 0 (override-free), then back —
+// the same fail/fail/clean/fail churn shape as the dragonfly stream.
+std::vector<serve::Scenario> rotor_scenario_stream(const topo::Topology& topo,
+                                                   int i) {
+  const int n_sw = topo.num_groups();
+  const int eps_per = topo.num_endpoints() / n_sw;
+  const int m = topo.rotor_matchings();
+  const int slot = 1 + (i % (m - 1));
+  const int a = i % n_sw;
+  const auto flows_via = [&](int s, double bytes) {
+    // Matching s holds links a -> (a + s + 1) mod n; flows between those two
+    // switches' endpoints ride it.
+    std::vector<serve::FlowSpec> fl;
+    const int b = (a + s + 1) % n_sw;
+    for (int k = 0; k < 3; ++k) {
+      serve::FlowSpec f;
+      f.src = a * eps_per + k;
+      f.dst = b * eps_per + k;
+      f.bytes = bytes;
+      fl.push_back(f);
+    }
+    return fl;
+  };
+
+  serve::Scenario slot_sc;  // slot `slot`: matching 0 dark, matching s live
+  for (int l : topo.rotor_matching_links(0))
+    slot_sc.capacity_overrides.emplace_back(l, 0.0);
+  for (int l : topo.rotor_matching_links(slot))
+    slot_sc.capacity_overrides.emplace_back(l, topo.rotor_active_capacity());
+  slot_sc.flows = flows_via(slot, 1e6);
+
+  serve::Scenario clean_sc;  // back to slot 0 (the snapshot's base pricing)
+  clean_sc.flows = flows_via(0, 2e6);
+
+  return {slot_sc, slot_sc, clean_sc, slot_sc};
+}
+
+using StreamFn = std::vector<serve::Scenario> (*)(const topo::Topology&, int);
+
 std::vector<std::vector<serve::ScenarioResult>> run_shared(
-    std::shared_ptr<const net::TopologySnapshot> snap, int n_sessions) {
+    std::shared_ptr<const net::TopologySnapshot> snap, int n_sessions,
+    StreamFn stream = scenario_stream) {
   serve::BatcherConfig cfg;
   cfg.max_sessions = n_sessions;
   serve::Batcher batcher(snap, cfg);
@@ -148,7 +193,7 @@ std::vector<std::vector<serve::ScenarioResult>> run_shared(
     ids.push_back(id);
   }
   for (int i = 0; i < n_sessions; ++i)
-    for (const auto& sc : scenario_stream(snap->topology(), i))
+    for (const auto& sc : stream(snap->topology(), i))
       EXPECT_TRUE(batcher.submit(ids[static_cast<std::size_t>(i)], sc));
   auto res = batcher.run_batch();
   res.resize(static_cast<std::size_t>(n_sessions));
@@ -158,12 +203,13 @@ std::vector<std::vector<serve::ScenarioResult>> run_shared(
 // The oracle: every session gets its own private Fabric (its own snapshot,
 // its own route cache), run serially.
 std::vector<std::vector<serve::ScenarioResult>> run_private(
-    const topo::Topology& topo, net::FabricConfig cfg, int n_sessions) {
+    const topo::Topology& topo, net::FabricConfig cfg, int n_sessions,
+    StreamFn stream = scenario_stream) {
   std::vector<std::vector<serve::ScenarioResult>> res(
       static_cast<std::size_t>(n_sessions));
   for (int i = 0; i < n_sessions; ++i) {
     serve::ScenarioSession session(net::make_snapshot(topo, cfg));
-    for (const auto& sc : scenario_stream(topo, i))
+    for (const auto& sc : stream(topo, i))
       res[static_cast<std::size_t>(i)].push_back(session.run(sc));
   }
   return res;
@@ -280,6 +326,127 @@ TEST(ServeAcceptance, SixtyFourSessionsOneSnapshotZeroSiblingInvalidation) {
   // the isolation above is not vacuous.
   EXPECT_GT(batcher.session(ids[1])->fabric().capacity_epoch(), 0u);
   EXPECT_GT(batcher.session(ids[1])->fabric().failed_links(), 0);
+}
+
+// --- ISSUE 9: rotor fabrics under the serving layer ------------------------
+
+topo::Topology rotor_topology() {
+  // 6 single-switch groups x 4 endpoints, full coverage (5 matchings).
+  return topo::Topology::rotor(6, 4, 5, 100e-6, 0.9, 25e9, 180e-9);
+}
+
+// The full serving differential extends to rotor fabrics unchanged: shared
+// snapshot + COW overlays bitwise-equals private fabrics at every thread
+// count, with slot state served as ordinary capacity overrides.
+TEST(ServeRotor, SharedSnapshotBitwiseEqualsPrivateFabrics) {
+  ThreadCountGuard guard;
+  const auto topo = rotor_topology();
+  const auto cfg = minimal_cfg();
+  const auto oracle = run_private(topo, cfg, 8, rotor_scenario_stream);
+  for (int threads : {1, 2, 8}) {
+    sim::set_thread_count(threads);
+    const auto got =
+        run_shared(net::make_snapshot(topo, cfg), 8, rotor_scenario_stream);
+    expect_bitwise_equal(got, oracle);
+  }
+}
+
+// Sibling isolation under slot churn, at the serving layer: while other
+// sessions rotate their live matching scenario after scenario, a session
+// parked in slot 0 must see zero route-cache misses, zero epoch movement and
+// zero warm-memo invalidation — slot state is overlay state, so the PR 7
+// isolation contract covers it with no new machinery.
+TEST(ServeRotor, SlotChurnSessionsLeaveSiblingUntouched) {
+  ThreadCountGuard guard;
+  sim::set_thread_count(8);
+  auto snap = net::make_snapshot(rotor_topology(), minimal_cfg());
+
+  serve::BatcherConfig cfg;
+  cfg.max_sessions = 8;
+  serve::Batcher batcher(snap, cfg);
+  std::vector<int> ids;
+  for (int i = 0; i < 8; ++i) ids.push_back(batcher.open_session());
+
+  // Session 0 stays in slot 0 forever: flows riding matching 0, no overrides.
+  const auto clean = rotor_scenario_stream(snap->topology(), 0)[2];
+  const auto submit_round = [&] {
+    EXPECT_TRUE(batcher.submit(ids[0], clean));
+    for (int i = 1; i < 8; ++i)
+      for (const auto& sc : rotor_scenario_stream(snap->topology(), i))
+        EXPECT_TRUE(batcher.submit(ids[static_cast<std::size_t>(i)], sc));
+  };
+  submit_round();
+  auto first = batcher.run_batch();
+
+  const auto miss_before =
+      obs::metrics().counter("net.route_cache.miss").value();
+  EXPECT_TRUE(batcher.submit(ids[0], clean));
+  auto solo = batcher.run_batch();
+  const auto miss_after =
+      obs::metrics().counter("net.route_cache.miss").value();
+  EXPECT_EQ(miss_before, miss_after)
+      << "sibling slot churn must not invalidate the shared route cache";
+  EXPECT_EQ(batcher.session(ids[0])->fabric().capacity_epoch(), 0u);
+  EXPECT_EQ(batcher.session(ids[0])->flowsim().stats().warm_memo_stale, 0u);
+  // Bitwise-stable repeat for the slot-0 sibling.
+  const auto& solo_res = solo[static_cast<std::size_t>(ids[0])];
+  ASSERT_EQ(solo_res.size(), 1u);
+  EXPECT_EQ(first[static_cast<std::size_t>(ids[0])][0].makespan_s,
+            solo_res[0].makespan_s);
+  // The churners really rotated (epochs moved) — isolation is not vacuous.
+  EXPECT_GT(batcher.session(ids[1])->fabric().capacity_epoch(), 0u);
+}
+
+// The acceptance criterion verbatim: a real RotorSchedule driving slot
+// transitions on one overlay must leave a sibling fabric on the SAME shared
+// snapshot completely untouched — sibling epoch pinned at 0 and zero new
+// route-cache misses, because a transition re-prices links without ever
+// re-steering a route.
+TEST(ServeRotor, RotorScheduleChurnDoesNotInvalidateSiblingFabric) {
+  auto snap = net::make_snapshot(rotor_topology(), minimal_cfg());
+  net::Fabric churner(snap);
+  net::Fabric sibling(snap);
+  const double slot = snap->topology().rotor_slot_s();
+  const int eps_per = 4;
+
+  // Warm the sibling: flows between adjacent switches (matching 0, live at
+  // the snapshot's base slot 0), run to completion.
+  const auto run_sibling = [&] {
+    sim::Engine eng;
+    net::FlowSim fs(eng, sibling, {});
+    double makespan = 0;
+    for (int a = 0; a < 6; ++a)
+      for (int k = 0; k < eps_per; ++k)
+        fs.start(a * eps_per + k, ((a + 1) % 6) * eps_per + k, 1e6,
+                 [&] { makespan = eng.now(); });
+    eng.run();
+    return makespan;
+  };
+  const double warm_makespan = run_sibling();
+  const auto miss_before =
+      obs::metrics().counter("net.route_cache.miss").value();
+
+  // Churn: a live RotorSchedule walks the churner's overlay through > 20
+  // slot transitions with traffic in flight.
+  {
+    sim::Engine eng;
+    net::FlowSim fs(eng, churner, {});
+    net::RotorSchedule rotor(eng, churner, &fs);
+    rotor.start();
+    eng.schedule_in(20.5 * slot, [] {});
+    eng.run();
+    EXPECT_GE(rotor.transitions(), 20u);
+    EXPECT_GT(churner.capacity_epoch(), 0u);
+  }
+
+  // The sibling saw none of it: epoch pinned, cache fully warm, results
+  // bitwise identical to the pre-churn run.
+  EXPECT_EQ(sibling.capacity_epoch(), 0u);
+  const double makespan_after = run_sibling();
+  EXPECT_EQ(obs::metrics().counter("net.route_cache.miss").value(),
+            miss_before)
+      << "rotor slot transitions invalidated the shared route cache";
+  EXPECT_EQ(makespan_after, warm_makespan);
 }
 
 // --- admission control + backpressure --------------------------------------

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_gemm.dir/fig3_gemm.cpp.o"
+  "CMakeFiles/fig3_gemm.dir/fig3_gemm.cpp.o.d"
+  "fig3_gemm"
+  "fig3_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_cpu_gpu_bw.dir/fig4_cpu_gpu_bw.cpp.o"
+  "CMakeFiles/fig4_cpu_gpu_bw.dir/fig4_cpu_gpu_bw.cpp.o.d"
+  "fig4_cpu_gpu_bw"
+  "fig4_cpu_gpu_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cpu_gpu_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_gcd_gcd_bw.dir/fig5_gcd_gcd_bw.cpp.o"
+  "CMakeFiles/fig5_gcd_gcd_bw.dir/fig5_gcd_gcd_bw.cpp.o.d"
+  "fig5_gcd_gcd_bw"
+  "fig5_gcd_gcd_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_gcd_gcd_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_gcd_gcd_bw.
+# This may be replaced when dependencies are built.

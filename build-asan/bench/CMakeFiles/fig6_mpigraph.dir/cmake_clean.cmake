@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_mpigraph.dir/fig6_mpigraph.cpp.o"
+  "CMakeFiles/fig6_mpigraph.dir/fig6_mpigraph.cpp.o.d"
+  "fig6_mpigraph"
+  "fig6_mpigraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_mpigraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_flowsim.dir/micro_flowsim.cpp.o"
+  "CMakeFiles/micro_flowsim.dir/micro_flowsim.cpp.o.d"
+  "micro_flowsim"
+  "micro_flowsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_flowsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

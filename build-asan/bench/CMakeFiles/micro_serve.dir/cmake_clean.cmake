@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_serve.dir/micro_serve.cpp.o"
+  "CMakeFiles/micro_serve.dir/micro_serve.cpp.o.d"
+  "micro_serve"
+  "micro_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec43_storage.dir/sec43_storage.cpp.o"
+  "CMakeFiles/sec43_storage.dir/sec43_storage.cpp.o.d"
+  "sec43_storage"
+  "sec43_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec43_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

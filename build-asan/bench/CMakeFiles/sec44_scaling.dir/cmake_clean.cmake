@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec44_scaling.dir/sec44_scaling.cpp.o"
+  "CMakeFiles/sec44_scaling.dir/sec44_scaling.cpp.o.d"
+  "sec44_scaling"
+  "sec44_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec44_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

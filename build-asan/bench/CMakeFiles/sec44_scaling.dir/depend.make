@@ -1,0 +1,2 @@
+# Empty dependencies file for sec44_scaling.
+# This may be replaced when dependencies are built.

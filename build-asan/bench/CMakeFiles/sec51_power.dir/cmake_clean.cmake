@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec51_power.dir/sec51_power.cpp.o"
+  "CMakeFiles/sec51_power.dir/sec51_power.cpp.o.d"
+  "sec51_power"
+  "sec51_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec51_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec54_resiliency.dir/sec54_resiliency.cpp.o"
+  "CMakeFiles/sec54_resiliency.dir/sec54_resiliency.cpp.o.d"
+  "sec54_resiliency"
+  "sec54_resiliency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec54_resiliency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

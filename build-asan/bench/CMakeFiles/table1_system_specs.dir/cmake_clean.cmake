@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_system_specs.dir/table1_system_specs.cpp.o"
+  "CMakeFiles/table1_system_specs.dir/table1_system_specs.cpp.o.d"
+  "table1_system_specs"
+  "table1_system_specs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_system_specs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table1_system_specs.
+# This may be replaced when dependencies are built.

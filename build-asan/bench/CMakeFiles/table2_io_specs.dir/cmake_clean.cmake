@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_io_specs.dir/table2_io_specs.cpp.o"
+  "CMakeFiles/table2_io_specs.dir/table2_io_specs.cpp.o.d"
+  "table2_io_specs"
+  "table2_io_specs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_io_specs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_cpu_stream.dir/table3_cpu_stream.cpp.o"
+  "CMakeFiles/table3_cpu_stream.dir/table3_cpu_stream.cpp.o.d"
+  "table3_cpu_stream"
+  "table3_cpu_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_cpu_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_gpu_stream.dir/table4_gpu_stream.cpp.o"
+  "CMakeFiles/table4_gpu_stream.dir/table4_gpu_stream.cpp.o.d"
+  "table4_gpu_stream"
+  "table4_gpu_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_gpu_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_gpcnet.dir/table5_gpcnet.cpp.o"
+  "CMakeFiles/table5_gpcnet.dir/table5_gpcnet.cpp.o.d"
+  "table5_gpcnet"
+  "table5_gpcnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_gpcnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_caar.dir/table6_caar.cpp.o"
+  "CMakeFiles/table6_caar.dir/table6_caar.cpp.o.d"
+  "table6_caar"
+  "table6_caar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_caar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_ecp.dir/table7_ecp.cpp.o"
+  "CMakeFiles/table7_ecp.dir/table7_ecp.cpp.o.d"
+  "table7_ecp"
+  "table7_ecp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_ecp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

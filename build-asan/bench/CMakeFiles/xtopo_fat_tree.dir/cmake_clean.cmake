@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtopo_fat_tree.dir/xtopo_fat_tree.cpp.o"
+  "CMakeFiles/xtopo_fat_tree.dir/xtopo_fat_tree.cpp.o.d"
+  "xtopo_fat_tree"
+  "xtopo_fat_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtopo_fat_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtopo_rotor.dir/xtopo_rotor.cpp.o"
+  "CMakeFiles/xtopo_rotor.dir/xtopo_rotor.cpp.o.d"
+  "xtopo_rotor"
+  "xtopo_rotor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtopo_rotor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

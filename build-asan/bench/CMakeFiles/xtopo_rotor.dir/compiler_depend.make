@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for xtopo_rotor.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_porting.dir/app_porting.cpp.o"
+  "CMakeFiles/app_porting.dir/app_porting.cpp.o.d"
+  "app_porting"
+  "app_porting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_porting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_replay.dir/failure_replay.cpp.o"
+  "CMakeFiles/failure_replay.dir/failure_replay.cpp.o.d"
+  "failure_replay"
+  "failure_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

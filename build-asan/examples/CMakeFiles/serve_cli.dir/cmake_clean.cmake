@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_cli.dir/serve_cli.cpp.o"
+  "CMakeFiles/serve_cli.dir/serve_cli.cpp.o.d"
+  "serve_cli"
+  "serve_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app.cpp" "src/CMakeFiles/xscale.dir/apps/app.cpp.o" "gcc" "src/CMakeFiles/xscale.dir/apps/app.cpp.o.d"
+  "/root/repo/src/apps/catalog.cpp" "src/CMakeFiles/xscale.dir/apps/catalog.cpp.o" "gcc" "src/CMakeFiles/xscale.dir/apps/catalog.cpp.o.d"
+  "/root/repo/src/apps/hpl.cpp" "src/CMakeFiles/xscale.dir/apps/hpl.cpp.o" "gcc" "src/CMakeFiles/xscale.dir/apps/hpl.cpp.o.d"
+  "/root/repo/src/apps/tables.cpp" "src/CMakeFiles/xscale.dir/apps/tables.cpp.o" "gcc" "src/CMakeFiles/xscale.dir/apps/tables.cpp.o.d"
+  "/root/repo/src/hw/gpu.cpp" "src/CMakeFiles/xscale.dir/hw/gpu.cpp.o" "gcc" "src/CMakeFiles/xscale.dir/hw/gpu.cpp.o.d"
+  "/root/repo/src/hw/memory.cpp" "src/CMakeFiles/xscale.dir/hw/memory.cpp.o" "gcc" "src/CMakeFiles/xscale.dir/hw/memory.cpp.o.d"
+  "/root/repo/src/hw/node.cpp" "src/CMakeFiles/xscale.dir/hw/node.cpp.o" "gcc" "src/CMakeFiles/xscale.dir/hw/node.cpp.o.d"
+  "/root/repo/src/hw/xgmi.cpp" "src/CMakeFiles/xscale.dir/hw/xgmi.cpp.o" "gcc" "src/CMakeFiles/xscale.dir/hw/xgmi.cpp.o.d"
+  "/root/repo/src/machines/machine.cpp" "src/CMakeFiles/xscale.dir/machines/machine.cpp.o" "gcc" "src/CMakeFiles/xscale.dir/machines/machine.cpp.o.d"
+  "/root/repo/src/mpi/collective_sim.cpp" "src/CMakeFiles/xscale.dir/mpi/collective_sim.cpp.o" "gcc" "src/CMakeFiles/xscale.dir/mpi/collective_sim.cpp.o.d"
+  "/root/repo/src/mpi/comm.cpp" "src/CMakeFiles/xscale.dir/mpi/comm.cpp.o" "gcc" "src/CMakeFiles/xscale.dir/mpi/comm.cpp.o.d"
+  "/root/repo/src/mpi/gpcnet.cpp" "src/CMakeFiles/xscale.dir/mpi/gpcnet.cpp.o" "gcc" "src/CMakeFiles/xscale.dir/mpi/gpcnet.cpp.o.d"
+  "/root/repo/src/net/fabric.cpp" "src/CMakeFiles/xscale.dir/net/fabric.cpp.o" "gcc" "src/CMakeFiles/xscale.dir/net/fabric.cpp.o.d"
+  "/root/repo/src/net/flowsim.cpp" "src/CMakeFiles/xscale.dir/net/flowsim.cpp.o" "gcc" "src/CMakeFiles/xscale.dir/net/flowsim.cpp.o.d"
+  "/root/repo/src/net/rotor.cpp" "src/CMakeFiles/xscale.dir/net/rotor.cpp.o" "gcc" "src/CMakeFiles/xscale.dir/net/rotor.cpp.o.d"
+  "/root/repo/src/net/snapshot.cpp" "src/CMakeFiles/xscale.dir/net/snapshot.cpp.o" "gcc" "src/CMakeFiles/xscale.dir/net/snapshot.cpp.o.d"
+  "/root/repo/src/net/solver.cpp" "src/CMakeFiles/xscale.dir/net/solver.cpp.o" "gcc" "src/CMakeFiles/xscale.dir/net/solver.cpp.o.d"
+  "/root/repo/src/obs/metrics.cpp" "src/CMakeFiles/xscale.dir/obs/metrics.cpp.o" "gcc" "src/CMakeFiles/xscale.dir/obs/metrics.cpp.o.d"
+  "/root/repo/src/obs/options.cpp" "src/CMakeFiles/xscale.dir/obs/options.cpp.o" "gcc" "src/CMakeFiles/xscale.dir/obs/options.cpp.o.d"
+  "/root/repo/src/obs/trace.cpp" "src/CMakeFiles/xscale.dir/obs/trace.cpp.o" "gcc" "src/CMakeFiles/xscale.dir/obs/trace.cpp.o.d"
+  "/root/repo/src/perf/host_stream.cpp" "src/CMakeFiles/xscale.dir/perf/host_stream.cpp.o" "gcc" "src/CMakeFiles/xscale.dir/perf/host_stream.cpp.o.d"
+  "/root/repo/src/perf/roofline.cpp" "src/CMakeFiles/xscale.dir/perf/roofline.cpp.o" "gcc" "src/CMakeFiles/xscale.dir/perf/roofline.cpp.o.d"
+  "/root/repo/src/power/power.cpp" "src/CMakeFiles/xscale.dir/power/power.cpp.o" "gcc" "src/CMakeFiles/xscale.dir/power/power.cpp.o.d"
+  "/root/repo/src/resil/jobsim.cpp" "src/CMakeFiles/xscale.dir/resil/jobsim.cpp.o" "gcc" "src/CMakeFiles/xscale.dir/resil/jobsim.cpp.o.d"
+  "/root/repo/src/resil/resiliency.cpp" "src/CMakeFiles/xscale.dir/resil/resiliency.cpp.o" "gcc" "src/CMakeFiles/xscale.dir/resil/resiliency.cpp.o.d"
+  "/root/repo/src/sched/slurm.cpp" "src/CMakeFiles/xscale.dir/sched/slurm.cpp.o" "gcc" "src/CMakeFiles/xscale.dir/sched/slurm.cpp.o.d"
+  "/root/repo/src/serve/batcher.cpp" "src/CMakeFiles/xscale.dir/serve/batcher.cpp.o" "gcc" "src/CMakeFiles/xscale.dir/serve/batcher.cpp.o.d"
+  "/root/repo/src/serve/frontend.cpp" "src/CMakeFiles/xscale.dir/serve/frontend.cpp.o" "gcc" "src/CMakeFiles/xscale.dir/serve/frontend.cpp.o.d"
+  "/root/repo/src/serve/session.cpp" "src/CMakeFiles/xscale.dir/serve/session.cpp.o" "gcc" "src/CMakeFiles/xscale.dir/serve/session.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/xscale.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/xscale.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/parallel.cpp" "src/CMakeFiles/xscale.dir/sim/parallel.cpp.o" "gcc" "src/CMakeFiles/xscale.dir/sim/parallel.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/xscale.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/xscale.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/sim/table.cpp" "src/CMakeFiles/xscale.dir/sim/table.cpp.o" "gcc" "src/CMakeFiles/xscale.dir/sim/table.cpp.o.d"
+  "/root/repo/src/sim/units.cpp" "src/CMakeFiles/xscale.dir/sim/units.cpp.o" "gcc" "src/CMakeFiles/xscale.dir/sim/units.cpp.o.d"
+  "/root/repo/src/storage/campaign.cpp" "src/CMakeFiles/xscale.dir/storage/campaign.cpp.o" "gcc" "src/CMakeFiles/xscale.dir/storage/campaign.cpp.o.d"
+  "/root/repo/src/storage/nvme.cpp" "src/CMakeFiles/xscale.dir/storage/nvme.cpp.o" "gcc" "src/CMakeFiles/xscale.dir/storage/nvme.cpp.o.d"
+  "/root/repo/src/storage/orion.cpp" "src/CMakeFiles/xscale.dir/storage/orion.cpp.o" "gcc" "src/CMakeFiles/xscale.dir/storage/orion.cpp.o.d"
+  "/root/repo/src/topo/topology.cpp" "src/CMakeFiles/xscale.dir/topo/topology.cpp.o" "gcc" "src/CMakeFiles/xscale.dir/topo/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

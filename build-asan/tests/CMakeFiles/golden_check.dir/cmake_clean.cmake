@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golden_check.dir/golden_check.cpp.o"
+  "CMakeFiles/golden_check.dir/golden_check.cpp.o.d"
+  "golden_check"
+  "golden_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golden_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resil.dir/test_resil.cpp.o"
+  "CMakeFiles/test_resil.dir/test_resil.cpp.o.d"
+  "test_resil"
+  "test_resil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

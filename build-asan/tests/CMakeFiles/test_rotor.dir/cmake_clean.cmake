@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rotor.dir/test_rotor.cpp.o"
+  "CMakeFiles/test_rotor.dir/test_rotor.cpp.o.d"
+  "test_rotor"
+  "test_rotor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rotor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

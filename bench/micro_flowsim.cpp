@@ -142,9 +142,20 @@ net::Fabric build_fabric(int endpoints, Fab fam = Fab::Dragonfly) {
       case Fab::Dragonfly:
         break;
     }
-    // Dragonfly shapes sized so groups x switches x endpoints = n.
+    // Dragonfly shapes sized so groups x switches x endpoints = n. Above the
+    // paper's single-Frontier shape the ladder scales by adding groups at the
+    // same 16x8 group spec (the real machine's scale-out axis): 148 groups ~
+    // 2x Frontier, 296 ~ 4x, 740 ~ 10x (the 100k smoke row). Past ~724
+    // switches the Fabric drops its dense switch-pair route table, so these
+    // rows also exercise the sparse routing path.
     int g = 4, s = 4, e = 4;  // 64
-    if (endpoints >= 9408) {
+    if (endpoints >= 75776) {
+      g = 740; s = 16; e = 8;  // 94,720 eps — 10x-Frontier smoke shape
+    } else if (endpoints >= 37888) {
+      g = 296; s = 16; e = 8;  // 37,888 eps — 4x Frontier
+    } else if (endpoints >= 18944) {
+      g = 148; s = 16; e = 8;  // 18,944 eps — 2x Frontier
+    } else if (endpoints >= 9408) {
       g = 74; s = 16; e = 8;  // 9,472 eps — the paper's 74+6-group shape
     } else if (endpoints >= 4096) {
       g = 32; s = 16; e = 8;
@@ -205,6 +216,7 @@ struct ChurnDriver {
   // too), not write-back waste, and must not pollute the sub-linear gate.
   std::uint64_t mark1 = 0, mark2 = 0;  // 0 = disabled
   net::FlowSim::Stats stats1{}, stats2{};
+  std::uint64_t allocs1 = 0, allocs2 = 0;  // heap_allocs() at the marks
   std::vector<int> shift;
   std::vector<int> perm;
   std::vector<int> idle;  // endpoints whose chain stopped on budget exhaustion
@@ -242,10 +254,13 @@ struct ChurnDriver {
     }
     fs.start(src, dst, rng.uniform(1e7, 1e8), [this, src] {
       ++completions;
-      if (completions == mark1)
+      if (completions == mark1) {
         stats1 = fs.stats();
-      else if (completions == mark2)
+        allocs1 = heap_allocs();
+      } else if (completions == mark2) {
         stats2 = fs.stats();
+        allocs2 = heap_allocs();
+      }
       launch(src);
     });
   }
@@ -259,21 +274,35 @@ struct ChurnDriver {
   }
 };
 
+// Completion target for one churn run over n endpoints. Small rows replace
+// every flow once over (2n completions: n ramp + n replacements); the
+// multi-Frontier rows (>= 16,384 endpoints, ISSUE 10) cap the replacement
+// phase at n/4 churn events so a 94k-endpoint run stays minutes, not hours —
+// steady-state throughput is already converged well before one full
+// replacement generation.
+std::uint64_t churn_target(int n) {
+  const auto un = static_cast<std::uint64_t>(n);
+  return n >= 16384 ? un + un / 4 : 2 * un;
+}
+
 // One churn run from scratch: `target` completions. Returns completions.
-// With `wb` non-null, also reports write-back counts over the steady window
-// (completions target/8 .. 3*target/8) — strictly inside the replacement-
-// sustained phase, since the launch budget lasts until completion target/2,
-// so the window sees neither the initial ramp nor the drain tail.
+// With `wb` non-null, also reports write-back and allocation counts over the
+// steady window: with R = target - n replacement launches after the initial
+// ramp, the window spans completions R/4 .. 3R/4 — strictly inside the
+// replacement-sustained phase (the budget lasts until completion R), so it
+// sees neither the initial ramp nor the drain tail.
 struct WindowCounts {
   std::uint64_t applied = 0, skipped = 0;
+  std::uint64_t allocs = 0, ops = 0;  // heap allocations over the window
 };
 std::uint64_t churn(net::FlowSim& fs, sim::Engine& eng, Pattern p, int n,
                     std::uint64_t target, WindowCounts* wb = nullptr) {
   ChurnDriver d(fs, p, n);
   d.budget = target;
   if (wb) {
-    d.mark1 = target / 8;
-    d.mark2 = 3 * target / 8;
+    const std::uint64_t r = target - static_cast<std::uint64_t>(n);
+    d.mark1 = r / 4;
+    d.mark2 = 3 * r / 4;
   }
   const int first = p == Pattern::Incast ? 1 : 0;
   for (int i = first; i < n; ++i) d.launch(i);
@@ -281,6 +310,8 @@ std::uint64_t churn(net::FlowSim& fs, sim::Engine& eng, Pattern p, int n,
   if (wb) {
     wb->applied = d.stats2.writeback_applied - d.stats1.writeback_applied;
     wb->skipped = d.stats2.writeback_skipped - d.stats1.writeback_skipped;
+    wb->allocs = d.allocs2 - d.allocs1;
+    wb->ops = d.mark2 - d.mark1;
   }
   return d.completions;
 }
@@ -304,7 +335,7 @@ void BM_FlowChurn(benchmark::State& state, Pattern p, bool incremental,
   auto fabric = build_fabric(n, fam);
   const bool is_rotor = fabric.topology().is_rotor();
   const double topo_ms = g_topo_build_ms;
-  const auto target = static_cast<std::uint64_t>(2 * n);
+  const auto target = churn_target(n);
   net::FlowSim::Stats last{};
   std::size_t heap = 0, stale = 0;
   std::uint64_t allocs = 0, slot_transitions = 0;
@@ -389,6 +420,24 @@ void BM_FlowChurn(benchmark::State& state, Pattern p, bool incremental,
       wb_total > 0
           ? 100.0 * static_cast<double>(wb.applied) / wb_total
           : 0.0;
+  // Steady-window allocations per churn event (ISSUE 10): allocs/op above
+  // includes the cold start (engine, simulator, first-touch arena growth) by
+  // design; this one is measured strictly inside the replacement-sustained
+  // window and must sit at ~0 on incremental rows — the per-op restatement
+  // of BM_SteadyResolve's zero-allocation claim, now visible on every row.
+  state.counters["steady_allocs/op"] =
+      wb.ops ? static_cast<double>(wb.allocs) / static_cast<double>(wb.ops)
+             : 0.0;
+  // Share of water-filling iterations whose min-share scan crossed the
+  // parallel gate and ran as a chunked parallel reduce (ISSUE 10). Most
+  // incremental rows solve small per-churn components and stay at 0; the
+  // warm whole-set and full-solve paths engage once the live link count
+  // clears solver_tuning().parallel_scan_threshold.
+  state.counters["scan_engaged%"] =
+      last.solver_iterations
+          ? 100.0 * static_cast<double>(last.parallel_scans) /
+                static_cast<double>(last.solver_iterations)
+          : 0.0;
   state.counters["rc_hit%"] = rc.hit_pct();
   state.counters["topo_build_ms"] = topo_ms;
   if (is_rotor) {
@@ -456,33 +505,43 @@ void BM_FlowChurnThreads(benchmark::State& state) {
   sim::set_thread_count(static_cast<int>(state.range(0)));
   const int n = 4096;
   const auto fabric = build_fabric(n);
-  const auto target = static_cast<std::uint64_t>(2 * n);
+  const auto target = churn_target(n);
+  net::FlowSim::Stats last{};
   for (auto _ : state) {
     sim::Engine eng;
     net::FlowSim fs(eng, fabric, {.incremental = false});
     const auto done = churn(fs, eng, Pattern::AllToAll, n, target);
     benchmark::DoNotOptimize(done);
+    last = fs.stats();
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(target));
   state.counters["threads"] = static_cast<double>(state.range(0));
+  state.counters["scan_engaged%"] =
+      last.solver_iterations
+          ? 100.0 * static_cast<double>(last.parallel_scans) /
+                static_cast<double>(last.solver_iterations)
+          : 0.0;
   sim::set_thread_count(prev_threads);
 }
 
-// Thread-scaling for the warm whole-set solve (ISSUE 8): all-to-all churn at
-// 9,408 endpoints with fallback_fraction = 0, which routes every resolve
-// through the warm whole-set water-filling — the path whose min-share scan
-// and batch rate-subtraction cross the >= 4096 parallel gate once the live
-// link list is this large. The full-solve variant above never exercises
-// these code paths, so its scaling numbers said nothing about warm resolves
-// (and plain incremental all-to-all churn solves small per-churn components,
-// never the whole set).
+// Thread-scaling for the warm whole-set solve (ISSUE 8/10): all-to-all churn
+// with fallback_fraction = 0, which routes every resolve through the warm
+// whole-set water-filling — the path whose min-share scan and batch
+// rate-subtraction cross the parallel gates once the live link list is large
+// enough. The full-solve variant above never exercises these code paths, so
+// its scaling numbers said nothing about warm resolves (and plain
+// incremental all-to-all churn solves small per-churn components, never the
+// whole set). Args are {threads, endpoints}: the Frontier-scale row (9,408)
+// sweeps the full thread ladder; the 2x/4x-Frontier rows (ISSUE 10) run
+// {1, 4} so the recorded snapshot carries the 4-thread-vs-1-thread speedup
+// check_bench.py gates at every fabric scale.
 void BM_FlowChurnThreadsWarm(benchmark::State& state) {
   const int prev_threads = sim::thread_count();
   sim::set_thread_count(static_cast<int>(state.range(0)));
-  const int n = 9408;
+  const int n = static_cast<int>(state.range(1));
   const auto fabric = build_fabric(n);
-  const auto target = static_cast<std::uint64_t>(2 * n);
+  const auto target = churn_target(n);
   net::FlowSim::Stats last{};
   for (auto _ : state) {
     sim::Engine eng;
@@ -499,6 +558,11 @@ void BM_FlowChurnThreadsWarm(benchmark::State& state) {
       last.resolves ? 100.0 * static_cast<double>(last.warm_solves) /
                           static_cast<double>(last.resolves)
                     : 0.0;
+  state.counters["scan_engaged%"] =
+      last.solver_iterations
+          ? 100.0 * static_cast<double>(last.parallel_scans) /
+                static_cast<double>(last.solver_iterations)
+          : 0.0;
   sim::set_thread_count(prev_threads);
 }
 
@@ -546,18 +610,24 @@ void BM_EngineCancelChurn(benchmark::State& state) {
 
 }  // namespace
 
+// Multi-Frontier rows (ISSUE 10): 18,944 (2x Frontier), 37,888 (4x), and a
+// 94,720-endpoint (10x) permutation smoke row. record_bench.sh --quick
+// filters them out; the full recording includes them.
 BENCHMARK_CAPTURE(BM_FlowChurn, permutation_incremental, Pattern::Permutation, true)
     ->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)->Arg(9408)
+    ->Arg(18944)->Arg(37888)->Arg(94720)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_FlowChurn, permutation_full, Pattern::Permutation, false)
     ->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_FlowChurn, alltoall_incremental, Pattern::AllToAll, true)
     ->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)->Arg(9408)
+    ->Arg(18944)->Arg(37888)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_FlowChurn, alltoall_full, Pattern::AllToAll, false)
     ->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_FlowChurn, incast_incremental, Pattern::Incast, true)
     ->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)->Arg(9408)
+    ->Arg(18944)->Arg(37888)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_FlowChurn, incast_full, Pattern::Incast, false)
     ->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
@@ -584,7 +654,10 @@ BENCHMARK(BM_EngineCancelChurn)->Arg(4)->Arg(1024)->Unit(benchmark::kMillisecond
 BENCHMARK(BM_FlowChurnThreads)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FlowChurnThreadsWarm)
-    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+    ->Args({1, 9408})->Args({2, 9408})->Args({4, 9408})->Args({8, 9408})
+    ->Args({1, 18944})->Args({4, 18944})
+    ->Args({1, 37888})->Args({4, 37888})
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_JobReplayThreads)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 

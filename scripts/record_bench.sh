@@ -11,7 +11,9 @@
 #
 # Usage: scripts/record_bench.sh [build-dir] [--quick] [--out FILE]
 #   build-dir: CMake build tree with the benches built (default: build)
-#   --quick:   short min_time (0.1s) for smoke runs; default is 0.5s
+#   --quick:   short min_time (0.1s) for smoke runs, and skip the
+#              multi-Frontier rows (>= 18,944 endpoints, minutes each);
+#              default is 0.5s with every row
 #   --out:     write the snapshot to FILE instead of BENCH_flowsim.json
 #              (CI records a fresh snapshot here and diffs it against the
 #              committed one with scripts/check_bench.py)
@@ -20,6 +22,9 @@ cd "$(dirname "$0")/.."
 
 BUILD="build"
 MIN_TIME="0.5"
+# --quick drops the multi-Frontier churn rows (a 94k-endpoint fabric build
+# alone is tens of seconds); the full recording keeps everything.
+FILTER="all"
 OUT="BENCH_flowsim.json"
 expect_out=0
 for arg in "$@"; do
@@ -27,7 +32,7 @@ for arg in "$@"; do
     OUT="$arg"; expect_out=0; continue
   fi
   case "$arg" in
-    --quick) MIN_TIME="0.1" ;;
+    --quick) MIN_TIME="0.1"; FILTER='-/(18944|37888|94720)$' ;;
     --out) expect_out=1 ;;
     *) BUILD="$arg" ;;
   esac
@@ -48,6 +53,7 @@ for bench in micro_flowsim micro_simcore micro_serve; do
   echo "== $bench =="
   XSCALE_THREADS="${XSCALE_THREADS:-1}" "$bin" \
     --benchmark_min_time="$MIN_TIME" \
+    --benchmark_filter="$FILTER" \
     --benchmark_out="$TMP/$bench.json" --benchmark_out_format=json
 done
 
@@ -81,6 +87,7 @@ for name in ("micro_flowsim", "micro_simcore", "micro_serve"):
         entry = {"real_time_ms": round(b["real_time"] / 1e6, 3)
                  if b.get("time_unit") == "ns" else round(b["real_time"], 3)}
         for k in ("items_per_second", "allocs/resolve", "allocs/op",
+                  "steady_allocs/op", "scan_engaged%",
                   "comp_avg", "fallback%", "warm%", "frontier_avg",
                   "threads", "heap", "stale",
                   "warm_memo%", "memo_stale", "epochs_max", "reroutes",

@@ -20,8 +20,11 @@ CHECK = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                      "check_bench.py")
 
 
-def snapshot(benchmarks):
-    return {"git": "test", "benchmarks": benchmarks}
+def snapshot(benchmarks, num_cpus=None):
+    snap = {"git": "test", "benchmarks": benchmarks}
+    if num_cpus is not None:
+        snap["context"] = {"num_cpus": num_cpus}
+    return snap
 
 
 def entry(items_per_second, **extra):
@@ -198,6 +201,71 @@ class CheckBenchDriver(unittest.TestCase):
         r = self.run_gate(path, path)
         self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
         self.assertIn("rc_hit%", r.stdout)
+
+    def test_steady_alloc_gate(self):
+        # ISSUE 10: the steady-window allocation counter on incremental churn
+        # rows must stay at ~0; a per-resolve allocation creeping back into
+        # the warm path shows up here long before allocs/op moves.
+        leaky = self.healthy()
+        leaky["micro_flowsim/BM_FlowChurn/permutation_incremental/1024"] = \
+            entry(3e4, **{"steady_allocs/op": 0.8})
+        path = self.write("steady_leaky.json", snapshot(leaky))
+        r = self.run_gate(path, path)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("steady_allocs/op", r.stdout)
+
+        # Legacy snapshots without the column are not gated.
+        path = self.write("steady_legacy.json", snapshot(self.healthy()))
+        r = self.run_gate(path, path)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def warm_rows(self, one, four):
+        rows = self.healthy()
+        rows["micro_flowsim/BM_FlowChurnThreadsWarm/1/9408"] = \
+            entry(one, threads=1.0)
+        rows["micro_flowsim/BM_FlowChurnThreadsWarm/4/9408"] = \
+            entry(four, threads=4.0)
+        return rows
+
+    def test_thread_scaling_gate(self):
+        # ISSUE 10 acceptance: on a multi-core recording host, the 4-thread
+        # warm whole-set row must beat 1 thread by >= 1.3x; a flat curve
+        # (parallel gates regressed to never engaging, or a serialising lock)
+        # must fail.
+        path = self.write("scale_ok.json",
+                          snapshot(self.warm_rows(1000.0, 1900.0),
+                                   num_cpus=8))
+        r = self.run_gate(path, path)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+        path = self.write("scale_flat.json",
+                          snapshot(self.warm_rows(1000.0, 1050.0),
+                                   num_cpus=8))
+        r = self.run_gate(path, path)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("1.3x", r.stdout)
+
+    def test_thread_scaling_gate_skips_small_hosts(self):
+        # A flat curve on a 1-vCPU container is the honest result (workers
+        # time-slice one core); the gate must disengage, not fail.
+        path = self.write("scale_1cpu.json",
+                          snapshot(self.warm_rows(1000.0, 1000.0),
+                                   num_cpus=1))
+        r = self.run_gate(path, path)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("skipping", r.stdout)
+
+        # Legacy snapshots: no context block at all, and the pre-ISSUE-10
+        # single-arg row shape (BM_FlowChurnThreadsWarm/<threads>) — both
+        # must pass untouched.
+        legacy = self.healthy()
+        legacy["micro_flowsim/BM_FlowChurnThreadsWarm/1"] = \
+            entry(1000.0, threads=1.0)
+        legacy["micro_flowsim/BM_FlowChurnThreadsWarm/4"] = \
+            entry(1000.0, threads=4.0)
+        path = self.write("scale_legacy.json", snapshot(legacy))
+        r = self.run_gate(path, path)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
 
     def test_serve_sibling_staleness_gate(self):
         stale = self.healthy()

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "net/simd.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/parallel.hpp"
@@ -816,7 +817,11 @@ void FlowSim::warm_solve(SolveStats* ss) {
 
   // Encounter pass: residual capacity, unfrozen weight and the active-link
   // list in first-seen order over flows in ascending id — exactly how the
-  // CSR core initialises its scratch from a packed problem.
+  // CSR core initialises its scratch from a packed problem. Since ISSUE 10
+  // warm_resid_/warm_aw_ are POSITION-indexed (dense SoA parallel to
+  // warm_links_, contiguous for the scan kernel); link_local_id_ under the
+  // current remap epoch maps link id -> position, exactly as the component
+  // packer uses it.
   ++remap_epoch_;
   warm_links_.clear();
   for (int s : active_order_) {
@@ -828,14 +833,41 @@ void FlowSim::warm_solve(SolveStats* ss) {
         if (!std::isfinite(c) || c < 0.0)
           throw std::invalid_argument(
               "max_min_rates: capacities must be finite and >= 0");
+        const std::size_t p = warm_links_.size();
+        link_local_id_[lu] = static_cast<int>(p);
+        warm_resid_[p] = c;
+        warm_aw_[p] = 1.0;
         warm_links_.push_back(l);
-        warm_resid_[lu] = c;
-        warm_aw_[lu] = 1.0;
       } else {
-        warm_aw_[lu] += 1.0;
+        warm_aw_[static_cast<std::size_t>(link_local_id_[lu])] += 1.0;
       }
     }
   }
+
+  // Tandem compaction of the dense block (replaces the id-indexed erase):
+  // links whose unfrozen-crosser count hit zero leave the list, survivors
+  // keep first-seen order and get re-pointed positions. Unit weights make
+  // the threshold exact — warm_aw_ holds whole numbers, so <= 1e-12 means
+  // exactly zero, and an erased link can never be crossed by a flow that
+  // freezes later (no unfrozen flow crosses it), so its stamp is cleared
+  // rather than re-pointed.
+  auto compact_live = [&] {
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < warm_links_.size(); ++i) {
+      const int l = warm_links_[i];
+      const auto lu = static_cast<std::size_t>(l);
+      if (warm_aw_[i] <= 1e-12) {
+        link_remap_epoch_[lu] = 0;
+        continue;
+      }
+      warm_links_[w] = l;
+      warm_resid_[w] = warm_resid_[i];
+      warm_aw_[w] = warm_aw_[i];
+      link_local_id_[lu] = static_cast<int>(w);
+      ++w;
+    }
+    warm_links_.resize(w);
+  };
 
   ++warm_pass_;
   std::size_t remaining = members;
@@ -878,18 +910,19 @@ void FlowSim::warm_solve(SolveStats* ss) {
       --remaining;
       ++replayed;
       for (int l : f.path) {
-        const auto lu = static_cast<std::size_t>(l);
-        warm_resid_[lu] -= f.rate;
-        warm_aw_[lu] -= 1.0;
+        // Replayed flows' links are all in this epoch's encounter set, and
+        // no compaction has run yet, so the position is always live.
+        const auto p = static_cast<std::size_t>(
+            link_local_id_[static_cast<std::size_t>(l)]);
+        warm_resid_[p] -= f.rate;
+        warm_aw_[p] -= 1.0;
       }
     }
-    // One stable erase reproduces the incremental per-iteration erases the
-    // cold solve performs across the replayed levels (unit weights make the
-    // threshold exact: active weights are whole numbers, so <= 1e-12 means
-    // exactly zero at every intermediate step too).
-    std::erase_if(warm_links_, [&](int l) {
-      return warm_aw_[static_cast<std::size_t>(l)] <= 1e-12;
-    });
+    // One stable compaction reproduces the incremental per-iteration erases
+    // the cold solve performs across the replayed levels (unit weights make
+    // the threshold exact: active weights are whole numbers, so <= 1e-12
+    // means exactly zero at every intermediate step too).
+    compact_live();
     // Iteration parity with the cold solve: it would have run k*-1 levels
     // before reaching new work — or stopped at the last replayed level if
     // the replay already froze every current member.
@@ -900,44 +933,46 @@ void FlowSim::warm_solve(SolveStats* ss) {
   }
 
   const double inf = std::numeric_limits<double>::infinity();
+  // Same dispatched kernel as the CSR core: a branch-free sweep over the
+  // dense position-indexed block (simd.hpp pins scalar == AVX2 bitwise).
+  const MinShareScanFn kernel = min_share_scan();
+  const SolverTuning& tun = solver_tuning();
   auto scan_min = [&](std::size_t b, std::size_t e) {
-    double m = inf;
-    for (std::size_t i = b; i < e; ++i) {
-      const auto lu = static_cast<std::size_t>(warm_links_[i]);
-      if (warm_aw_[lu] <= 0.0) continue;
-      m = std::min(m, std::max(0.0, warm_resid_[lu]) / warm_aw_[lu]);
-    }
-    return m;
+    return kernel(warm_resid_.data(), warm_aw_.data(), b, e);
   };
 
+  std::int64_t parallel_scans = 0;
   while (remaining > 0) {
     ++iterations;
+    const std::size_t n_active = warm_links_.size();
+    const bool par_scan = n_active >= tun.parallel_scan_threshold;
+    if (par_scan) ++parallel_scans;
     const double min_share =
-        warm_links_.size() >= kParallelScanThreshold
-            ? sim::parallel_reduce(
-                  warm_links_.size(), kScanGrain, inf, scan_min,
-                  [](double a, double b) { return std::min(a, b); })
-            : scan_min(0, warm_links_.size());
+        par_scan ? sim::parallel_reduce(
+                       n_active, tun.scan_grain, inf, scan_min,
+                       [](double a, double b) { return std::min(a, b); })
+                 : scan_min(0, n_active);
     if (!std::isfinite(min_share))
       throw std::runtime_error(
           "max_min_rates: no finite bottleneck share for remaining flows");
     const double cutoff = min_share;  // exact ties only, matching the cores
     const int level = static_cast<int>(iterations);
-    for (int l : warm_links_) {
-      const auto lu = static_cast<std::size_t>(l);
-      if (warm_aw_[lu] <= 0.0) continue;
-      if (std::max(0.0, warm_resid_[lu]) / warm_aw_[lu] > cutoff) continue;
+    for (std::size_t pi = 0; pi < n_active; ++pi) {
+      const double aw = warm_aw_[pi];
+      if (aw <= 0.0) continue;
+      if (std::max(0.0, warm_resid_[pi]) / aw > cutoff) continue;
+      const auto lu = static_cast<std::size_t>(warm_links_[pi]);
       ++bottlenecks;
       const auto& on = flows_on_link_[lu];
       // Same serial-vs-batch split as the CSR core (see solver.hpp on why
       // the batch path is bit-identical); unit rates make the per-link
       // subtraction values within one batch all equal to min_share.
       std::size_t batch = 0;
-      if (warm_links_.size() >= kParallelScanThreshold) {
+      if (n_active >= tun.parallel_scan_threshold) {
         for (int s : on)
           if (warm_frozen_[static_cast<std::size_t>(s)] != warm_pass_) ++batch;
       }
-      if (batch < kParallelUpdateMin) {
+      if (batch < tun.parallel_update_min) {
         for (int s : on) {
           const auto su = static_cast<std::size_t>(s);
           if (warm_frozen_[su] == warm_pass_) continue;
@@ -951,9 +986,13 @@ void FlowSim::warm_solve(SolveStats* ss) {
           warm_seq2_lvl_.push_back(level);
           --remaining;
           for (int pl : slots_[su].path) {
-            const auto plu = static_cast<std::size_t>(pl);
-            warm_resid_[plu] -= min_share;
-            warm_aw_[plu] -= 1.0;
+            // Every link of a flow unfrozen until now still has unfrozen
+            // crossers, so it survived every compaction and its position
+            // under the current epoch is live (unit-weight argument above).
+            const auto p = static_cast<std::size_t>(
+                link_local_id_[static_cast<std::size_t>(pl)]);
+            warm_resid_[p] -= min_share;
+            warm_aw_[p] -= 1.0;
           }
         }
       } else {
@@ -973,22 +1012,20 @@ void FlowSim::warm_solve(SolveStats* ss) {
           --remaining;
         }
         sim::parallel_for(
-            warm_links_.size(), kScanGrain, [&](std::size_t b, std::size_t e) {
+            n_active, tun.scan_grain, [&](std::size_t b, std::size_t e) {
               for (std::size_t i = b; i < e; ++i) {
                 const auto lu2 = static_cast<std::size_t>(warm_links_[i]);
                 for (int s : flows_on_link_[lu2]) {
                   const auto su = static_cast<std::size_t>(s);
                   if (warm_batch_[su] != warm_batch_epoch_) continue;
-                  warm_resid_[lu2] -= warm_rate_[su];
-                  warm_aw_[lu2] -= 1.0;
+                  warm_resid_[i] -= warm_rate_[su];
+                  warm_aw_[i] -= 1.0;
                 }
               }
             });
       }
     }
-    std::erase_if(warm_links_, [&](int l) {
-      return warm_aw_[static_cast<std::size_t>(l)] <= 1e-12;
-    });
+    compact_live();
   }
 
   // Freeze metadata + memo for the next resolve's replay paths, then apply
@@ -1023,6 +1060,7 @@ void FlowSim::warm_solve(SolveStats* ss) {
   if (ss) {
     ss->iterations = iterations;
     ss->bottleneck_links = bottlenecks;
+    ss->parallel_scans = parallel_scans;
   }
 
   if (cfg_.incremental_writeback) {
@@ -1151,6 +1189,7 @@ void FlowSim::resolve_and_schedule() {
       solve_component(comp_slots_, &cs);
       ss.iterations += cs.iterations;
       ss.bottleneck_links += cs.bottleneck_links;
+      ss.parallel_scans += cs.parallel_scans;
     }
     comp_slots_ = order_;  // solved set, for the drop sweep below
     warm_meta_ok_ = false;
@@ -1164,6 +1203,7 @@ void FlowSim::resolve_and_schedule() {
   stats_.flows_solved += solved.size();
   stats_.solver_iterations += static_cast<std::uint64_t>(ss.iterations);
   stats_.bottleneck_links += static_cast<std::uint64_t>(ss.bottleneck_links);
+  stats_.parallel_scans += static_cast<std::uint64_t>(ss.parallel_scans);
 
   // Per-solve observability: component size, which solve path ran, and
   // solver effort — the numbers that explain where resolve time goes.

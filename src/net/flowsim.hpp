@@ -119,6 +119,11 @@ class FlowSim {
     std::uint64_t frontier_flows = 0;    // flows actually iterated warm-start
     std::uint64_t solver_iterations = 0;
     std::uint64_t bottleneck_links = 0;
+    // Water-filling iterations whose min-share scan crossed the
+    // SolverTuning::parallel_scan_threshold gate and ran as a chunked
+    // parallel reduce over the dense SoA (scan_engaged% in the bench
+    // counters = parallel_scans / solver_iterations).
+    std::uint64_t parallel_scans = 0;
     std::uint64_t largest_component = 0;
     // Rate write-back accounting: `applied` counts solver results that
     // actually changed a flow's rate (a `set_rate` that does work),
@@ -247,9 +252,14 @@ class FlowSim {
   // enough for the order-free single-bottleneck scan.
   std::vector<int> live_links_;
   std::vector<char> live_link_in_;          // [link] membership flag
+  // Dense link-state SoA for the warm water-filling loop (ISSUE 10):
+  // warm_resid_/warm_aw_ are indexed by POSITION in warm_links_, kept
+  // contiguous for the branch-free min-share scan kernel (net/simd.hpp);
+  // link_local_id_ under the current remap epoch maps link id -> position,
+  // and compaction rewrites all three in tandem.
   std::vector<int> warm_links_;             // touched links, first-seen order
-  std::vector<double> warm_resid_;          // [link] residual capacity
-  std::vector<double> warm_aw_;             // [link] unfrozen flows crossing
+  std::vector<double> warm_resid_;          // [position] residual capacity
+  std::vector<double> warm_aw_;             // [position] unfrozen crossers
   std::vector<double> warm_rate_;           // [slot] rate solved this pass
   std::vector<std::uint64_t> warm_frozen_;  // [slot] == warm_pass_: frozen
   std::vector<std::uint64_t> warm_batch_;   // [slot] parallel-update stamp

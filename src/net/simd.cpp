@@ -1,0 +1,112 @@
+#include "net/simd.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+
+// The AVX2 kernel is compiled whenever the build enables XSCALE_SIMD and
+// the compiler targets x86 — selection still happens at runtime via
+// __builtin_cpu_supports, so the same binary runs on hosts without AVX2.
+#if defined(XSCALE_SIMD) && defined(__GNUC__) && \
+    (defined(__x86_64__) || defined(__i386__))
+#define XSCALE_SIMD_AVX2 1
+#include <immintrin.h>
+#endif
+
+namespace xscale::net {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// The canonical per-element expression. Every kernel must match this bit
+// for bit: std::max(0.0, x) returns +0.0 for x <= 0 (and for NaN, matching
+// vmaxpd's second-operand rule), and the divide is a single correctly
+// rounded IEEE operation.
+inline double share_at(const double* resid, const double* aw,
+                       std::size_t i) {
+  return aw[i] > 0.0 ? std::max(0.0, resid[i]) / aw[i] : kInf;
+}
+
+std::atomic<ScanKernel> g_override{ScanKernel::Auto};
+
+}  // namespace
+
+double min_share_scan_scalar(const double* resid, const double* aw,
+                             std::size_t b, std::size_t e) {
+  // Four independent accumulator chains: breaks the loop-carried min
+  // dependency so the divides pipeline, and mirrors the vector kernel's
+  // lane structure (min is order-independent, so the split is free).
+  double m0 = kInf, m1 = kInf, m2 = kInf, m3 = kInf;
+  std::size_t i = b;
+  for (; i + 4 <= e; i += 4) {
+    m0 = std::min(m0, share_at(resid, aw, i));
+    m1 = std::min(m1, share_at(resid, aw, i + 1));
+    m2 = std::min(m2, share_at(resid, aw, i + 2));
+    m3 = std::min(m3, share_at(resid, aw, i + 3));
+  }
+  for (; i < e; ++i) m0 = std::min(m0, share_at(resid, aw, i));
+  return std::min(std::min(m0, m1), std::min(m2, m3));
+}
+
+#ifdef XSCALE_SIMD_AVX2
+__attribute__((target("avx2"))) static double min_share_scan_avx2(
+    const double* resid, const double* aw, std::size_t b, std::size_t e) {
+  const __m256d vzero = _mm256_setzero_pd();
+  const __m256d vinf = _mm256_set1_pd(kInf);
+  __m256d vmin = vinf;
+  std::size_t i = b;
+  for (; i + 4 <= e; i += 4) {
+    // r = max(0, resid): vmaxpd returns the second operand on equal/NaN,
+    // matching std::max(0.0, x) exactly (share_at above).
+    const __m256d r = _mm256_max_pd(_mm256_loadu_pd(resid + i), vzero);
+    const __m256d a = _mm256_loadu_pd(aw + i);
+    // live lane mask: aw > 0 (ordered compare — NaN lanes are not live).
+    const __m256d live = _mm256_cmp_pd(a, vzero, _CMP_GT_OQ);
+    // Unconditional IEEE divide; dead lanes may produce inf/NaN and are
+    // blended away before they can reach the accumulator.
+    const __m256d q = _mm256_div_pd(r, a);
+    vmin = _mm256_min_pd(vmin, _mm256_blendv_pd(vinf, q, live));
+  }
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, vmin);
+  double m = std::min(std::min(lane[0], lane[1]), std::min(lane[2], lane[3]));
+  for (; i < e; ++i) m = std::min(m, share_at(resid, aw, i));
+  return m;
+}
+#endif
+
+namespace {
+
+MinShareScanFn resolve_auto() {
+#ifdef XSCALE_SIMD_AVX2
+  if (__builtin_cpu_supports("avx2")) return &min_share_scan_avx2;
+#endif
+  return &min_share_scan_scalar;
+}
+
+}  // namespace
+
+void set_scan_kernel(ScanKernel k) {
+  g_override.store(k, std::memory_order_relaxed);
+}
+
+ScanKernel scan_kernel_override() {
+  return g_override.load(std::memory_order_relaxed);
+}
+
+MinShareScanFn min_share_scan() {
+  if (g_override.load(std::memory_order_relaxed) == ScanKernel::ForceScalar)
+    return &min_share_scan_scalar;
+  static const MinShareScanFn auto_fn = resolve_auto();
+  return auto_fn;
+}
+
+bool min_share_scan_is_simd() {
+  return min_share_scan() != &min_share_scan_scalar;
+}
+
+const char* min_share_scan_name() {
+  return min_share_scan_is_simd() ? "avx2" : "scalar";
+}
+
+}  // namespace xscale::net

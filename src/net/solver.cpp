@@ -7,9 +7,21 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "net/simd.hpp"
 #include "sim/parallel.hpp"
 
 namespace xscale::net {
+
+namespace {
+// Process-wide tuning. Read once per solve on the calling thread (worker
+// chunks never consult it), so mutation while solves are in flight is a
+// caller error — same contract as sim::set_thread_count.
+SolverTuning g_tuning;
+}  // namespace
+
+const SolverTuning& solver_tuning() { return g_tuning; }
+void set_solver_tuning(const SolverTuning& t) { g_tuning = t; }
+
 namespace {
 
 // Malformed inputs must not silently become garbage rates (NaN capacities
@@ -44,8 +56,14 @@ bool ensure(std::vector<T>& v, std::size_t n) {
   return grew;
 }
 
-// The pre-CSR water-filling core, retained verbatim as the differential
-// oracle; inputs already validated.
+// The pre-CSR water-filling core, retained as the differential oracle;
+// inputs already validated. The only change since PR 5: active-link list
+// membership is first-seen-deduplicated (`on_list`) instead of keyed on
+// `active_w == 0.0`. The two are identical unless a link's first crossers
+// all have weight exactly 0 (the old key re-pushed such a link, producing
+// duplicate list entries); the dense-SoA CSR core cannot represent
+// duplicates, so both sides now share the dedup semantics and stay
+// bit-identical on every input, zero-weight flows included (DESIGN.md §9).
 std::vector<double> solve_core_reference(
     const std::vector<double>& capacities,
     const std::vector<std::vector<int>>& paths,
@@ -62,11 +80,14 @@ std::vector<double> solve_core_reference(
   auto w_of = [&](std::size_t f) { return weights ? (*weights)[f] : 1.0; };
 
   std::vector<int> active_links;
+  std::vector<char> on_list(capacities.size(), 0);
   for (std::size_t f = 0; f < nf; ++f) {
     assert(!paths[f].empty());
     for (int l : paths[f]) {
-      if (active_w[static_cast<std::size_t>(l)] == 0.0)
+      if (!on_list[static_cast<std::size_t>(l)]) {
+        on_list[static_cast<std::size_t>(l)] = 1;
         active_links.push_back(l);
+      }
       active_w[static_cast<std::size_t>(l)] += w_of(f);
       flows_on[static_cast<std::size_t>(l)].push_back(static_cast<int>(f));
     }
@@ -83,17 +104,21 @@ std::vector<double> solve_core_reference(
     return m;
   };
 
+  const SolverTuning& tun = solver_tuning();
   std::size_t remaining = nf;
   std::int64_t iterations = 0;
   std::int64_t bottlenecks = 0;
+  std::int64_t parallel_scans = 0;
   while (remaining > 0) {
     ++iterations;
     // Find the smallest per-weight share among links with unfrozen flows.
     // min is exact for doubles, so chunked parallel scan == serial scan.
+    const bool par_scan = active_links.size() >= tun.parallel_scan_threshold;
+    if (par_scan) ++parallel_scans;
     const double min_share =
-        active_links.size() >= kParallelScanThreshold
+        par_scan
             ? sim::parallel_reduce(
-                  active_links.size(), kScanGrain, inf, scan_min,
+                  active_links.size(), tun.scan_grain, inf, scan_min,
                   [](double a, double b) { return std::min(a, b); })
             : scan_min(0, active_links.size());
     // No link constrains the remaining flows (e.g. every unfrozen flow has
@@ -142,6 +167,7 @@ std::vector<double> solve_core_reference(
   if (stats) {
     stats->iterations = iterations;
     stats->bottleneck_links = bottlenecks;
+    stats->parallel_scans = parallel_scans;
   }
   return rate;
 }
@@ -187,6 +213,7 @@ void max_min_rates_csr(const double* capacities, std::size_t num_links,
   bool grew = false;
   grew |= ensure(s.residual, num_links);
   grew |= ensure(s.active_w, num_links);
+  grew |= ensure(s.link_pos, num_links);
   grew |= ensure(s.frozen, nf);
   grew |= ensure(s.t_off, num_links + 1);
   grew |= ensure(s.t_cursor, num_links);
@@ -203,8 +230,9 @@ void max_min_rates_csr(const double* capacities, std::size_t num_links,
   // deterministic call sites (FlowSim) feed `net.solver.scratch_reuse`.
   s.last_solve_allocated = grew;
 
-  std::copy(capacities, capacities + num_links, s.residual.begin());
-  std::fill(s.active_w.begin(), s.active_w.end(), 0.0);
+  // residual / active_w are position-indexed into the dense SoA and written
+  // at first encounter below; only the id->position map needs clearing.
+  std::fill(s.link_pos.begin(), s.link_pos.end(), -1);
   std::fill(s.frozen.begin(), s.frozen.end(), 0);
   std::fill(rates_out, rates_out + nf, 0.0);
 
@@ -218,74 +246,93 @@ void max_min_rates_csr(const double* capacities, std::size_t num_links,
   for (std::size_t l = 1; l <= num_links; ++l) s.t_off[l] += s.t_off[l - 1];
   std::copy(s.t_off.begin(), s.t_off.end() - 1, s.t_cursor.begin());
 
+  // Dense SoA build: every crossed link gets one position (first-seen
+  // order, deduplicated via link_pos) and its residual / active weight live
+  // at that position, contiguous for the scan kernel.
   auto w_of = [&](std::size_t f) { return weights ? weights[f] : 1.0; };
   for (std::size_t f = 0; f < nf; ++f) {
     assert(off[f] < off[f + 1]);
     for (int i = off[f]; i < off[f + 1]; ++i) {
       const auto lu = static_cast<std::size_t>(lids[i]);
-      if (s.active_w[lu] == 0.0) s.active_links.push_back(lids[i]);
-      s.active_w[lu] += w_of(f);
+      int p = s.link_pos[lu];
+      if (p < 0) {
+        p = static_cast<int>(s.active_links.size());
+        s.link_pos[lu] = p;
+        s.active_links.push_back(lids[i]);
+        s.residual[static_cast<std::size_t>(p)] = capacities[lu];
+        s.active_w[static_cast<std::size_t>(p)] = 0.0;
+      }
+      s.active_w[static_cast<std::size_t>(p)] += w_of(f);
       s.t_flow[static_cast<std::size_t>(s.t_cursor[lu]++)] =
           static_cast<int>(f);
     }
   }
 
   const double inf = std::numeric_limits<double>::infinity();
+  // One kernel resolution per solve; every chunk (serial or parallel) runs
+  // the same code, so the result is independent of chunking (simd.hpp).
+  const MinShareScanFn kernel = min_share_scan();
+  const SolverTuning& tun = solver_tuning();
   auto scan_min = [&](std::size_t b, std::size_t e) {
-    double m = inf;
-    for (std::size_t i = b; i < e; ++i) {
-      const auto lu = static_cast<std::size_t>(s.active_links[i]);
-      if (s.active_w[lu] <= 0.0) continue;
-      m = std::min(m, std::max(0.0, s.residual[lu]) / s.active_w[lu]);
-    }
-    return m;
+    return kernel(s.residual.data(), s.active_w.data(), b, e);
   };
 
   std::size_t remaining = nf;
   std::int64_t iterations = 0;
   std::int64_t bottlenecks = 0;
+  std::int64_t parallel_scans = 0;
   while (remaining > 0) {
     ++iterations;
+    const std::size_t n_active = s.active_links.size();
+    const bool par_scan = n_active >= tun.parallel_scan_threshold;
+    if (par_scan) ++parallel_scans;
     const double min_share =
-        s.active_links.size() >= kParallelScanThreshold
-            ? sim::parallel_reduce(
-                  s.active_links.size(), kScanGrain, inf, scan_min,
-                  [](double a, double b) { return std::min(a, b); })
-            : scan_min(0, s.active_links.size());
+        par_scan ? sim::parallel_reduce(
+                       n_active, tun.scan_grain, inf, scan_min,
+                       [](double a, double b) { return std::min(a, b); })
+                 : scan_min(0, n_active);
     if (!std::isfinite(min_share))
       throw std::runtime_error(
           "max_min_rates: no finite bottleneck share for remaining flows");
 
     // Exact-tie firing — see solve_core_reference on why the cutoff carries
-    // no relative slack (component decomposability of the bits).
+    // no relative slack (component decomposability of the bits). The sweep
+    // walks active positions; the dense values are the same doubles the
+    // scan kernel just read.
     const double cutoff = min_share;
-    for (int l : s.active_links) {
-      const auto lu = static_cast<std::size_t>(l);
-      if (s.active_w[lu] <= 0.0) continue;
-      if (std::max(0.0, s.residual[lu]) / s.active_w[lu] > cutoff) continue;
+    for (std::size_t pi = 0; pi < n_active; ++pi) {
+      const double aw = s.active_w[pi];
+      if (aw <= 0.0) continue;
+      if (std::max(0.0, s.residual[pi]) / aw > cutoff) continue;
+      const auto lu = static_cast<std::size_t>(s.active_links[pi]);
       ++bottlenecks;
       // Firing-link batch size decides serial vs parallel update. The count
       // pass only runs when the problem is big enough for the parallel path
       // to possibly engage, and the gate reads problem state only — same
       // decision at every thread count.
       std::size_t batch = 0;
-      if (num_links >= kParallelScanThreshold) {
+      if (n_active >= tun.parallel_scan_threshold) {
         for (int ti = s.t_off[lu]; ti < s.t_off[lu + 1]; ++ti)
           if (!s.frozen[static_cast<std::size_t>(
                   s.t_flow[static_cast<std::size_t>(ti)])])
             ++batch;
       }
-      if (batch < kParallelUpdateMin) {
+      if (batch < tun.parallel_update_min) {
         for (int ti = s.t_off[lu]; ti < s.t_off[lu + 1]; ++ti) {
           const auto fu = static_cast<std::size_t>(s.t_flow[static_cast<std::size_t>(ti)]);
           if (s.frozen[fu]) continue;
           s.frozen[fu] = 1;
           rates_out[fu] = min_share * w_of(fu);
           --remaining;
-          for (int pi = off[fu]; pi < off[fu + 1]; ++pi) {
-            const auto plu = static_cast<std::size_t>(lids[pi]);
-            s.residual[plu] -= rates_out[fu];
-            s.active_w[plu] -= w_of(fu);
+          for (int pi2 = off[fu]; pi2 < off[fu + 1]; ++pi2) {
+            // Links already compacted off the active list take no further
+            // subtractions; their dense cells are dead and never read
+            // (pre-SoA code subtracted into dead id-indexed cells — same
+            // observable state, DESIGN.md §9).
+            const int p = s.link_pos[static_cast<std::size_t>(lids[pi2])];
+            if (p < 0) continue;
+            s.residual[static_cast<std::size_t>(p)] -= rates_out[fu];
+            s.active_w[static_cast<std::size_t>(p)] -= w_of(fu);
           }
         }
       } else {
@@ -294,7 +341,9 @@ void max_min_rates_csr(const double* capacities, std::size_t num_links,
         // active-weight value is read between the first freeze and the last
         // subtraction of a batch on the serial path either, so deferring is
         // exact; within one batch the serial per-flow subtraction order
-        // restricted to any link is ascending flow id == t_flow order.
+        // restricted to any link is ascending flow id == t_flow order. The
+        // sweep covers active positions (index-disjoint writes); per link
+        // the subtraction sequence matches the serial walk exactly.
         ++s.batch_epoch;
         for (int ti = s.t_off[lu]; ti < s.t_off[lu + 1]; ++ti) {
           const auto fu = static_cast<std::size_t>(s.t_flow[static_cast<std::size_t>(ti)]);
@@ -304,27 +353,45 @@ void max_min_rates_csr(const double* capacities, std::size_t num_links,
           s.batch_mark[fu] = s.batch_epoch;
           --remaining;
         }
-        sim::parallel_for(num_links, kScanGrain, [&](std::size_t b, std::size_t e) {
-          for (std::size_t l2 = b; l2 < e; ++l2) {
-            for (int ti = s.t_off[l2]; ti < s.t_off[l2 + 1]; ++ti) {
-              const auto fu = static_cast<std::size_t>(
-                  s.t_flow[static_cast<std::size_t>(ti)]);
-              if (s.batch_mark[fu] != s.batch_epoch) continue;
-              s.residual[l2] -= rates_out[fu];
-              s.active_w[l2] -= w_of(fu);
-            }
-          }
-        });
+        sim::parallel_for(
+            n_active, tun.scan_grain, [&](std::size_t b, std::size_t e) {
+              for (std::size_t p2 = b; p2 < e; ++p2) {
+                const auto l2 =
+                    static_cast<std::size_t>(s.active_links[p2]);
+                for (int ti = s.t_off[l2]; ti < s.t_off[l2 + 1]; ++ti) {
+                  const auto fu = static_cast<std::size_t>(
+                      s.t_flow[static_cast<std::size_t>(ti)]);
+                  if (s.batch_mark[fu] != s.batch_epoch) continue;
+                  s.residual[p2] -= rates_out[fu];
+                  s.active_w[p2] -= w_of(fu);
+                }
+              }
+            });
       }
     }
-    std::erase_if(s.active_links, [&](int l) {
-      return s.active_w[static_cast<std::size_t>(l)] <= 1e-12;
-    });
+    // Tandem compaction: drop links with no remaining unfrozen flows,
+    // keeping positions dense and first-seen-ordered (what std::erase_if
+    // did for the id-indexed layout).
+    std::size_t w = 0;
+    for (std::size_t pi = 0; pi < s.active_links.size(); ++pi) {
+      const int l = s.active_links[pi];
+      if (s.active_w[pi] <= 1e-12) {
+        s.link_pos[static_cast<std::size_t>(l)] = -1;
+        continue;
+      }
+      s.active_links[w] = l;
+      s.residual[w] = s.residual[pi];
+      s.active_w[w] = s.active_w[pi];
+      s.link_pos[static_cast<std::size_t>(l)] = static_cast<int>(w);
+      ++w;
+    }
+    s.active_links.resize(w);
   }
 
   if (stats) {
     stats->iterations = iterations;
     stats->bottleneck_links = bottlenecks;
+    stats->parallel_scans = parallel_scans;
   }
 }
 
@@ -459,6 +526,7 @@ std::vector<double> max_min_rates_components(
     for (const SolveStats& cs : comp_stats) {
       stats->iterations += cs.iterations;
       stats->bottleneck_links += cs.bottleneck_links;
+      stats->parallel_scans += cs.parallel_scans;
     }
   }
   return rate;

@@ -23,27 +23,49 @@ namespace xscale::net {
 
 // Parallelisation gates shared by the CSR core and FlowSim's warm-start
 // solve (flowsim.cpp mirrors the core loop over its persistent incidence,
-// DESIGN.md §9). Below kParallelScanThreshold active links the serial
-// min-scan wins; above it the scan is farmed out in kScanGrain-link chunks
+// DESIGN.md §9). Below parallel_scan_threshold active links the serial
+// min-scan wins; above it the scan is farmed out in scan_grain-link chunks
 // (min over doubles is exact and order-independent, so the parallel reduce
 // returns the same bits). A single firing link freezing at least
-// kParallelUpdateMin flows has its residual / active-weight updates applied
+// parallel_update_min flows has its residual / active-weight updates applied
 // by a parallel per-link sweep instead of the serial per-flow walk. Only
 // batches from ONE firing link qualify: within such a batch the subtraction
 // order projected onto any other link is ascending flow id — exactly the
 // transposed-incidence order — so the parallel sweep performs the same
 // subtractions per link in the same order and the result is bit-identical
 // to the serial path (the gates depend only on problem state, never on the
-// thread count).
-inline constexpr std::size_t kParallelScanThreshold = 4096;
-inline constexpr std::size_t kScanGrain = 2048;
-inline constexpr std::size_t kParallelUpdateMin = 2048;
+// thread count — and never on which scan kernel is dispatched).
+//
+// Defaults come from the ISSUE 10 crossover sweep (DESIGN.md §9 records the
+// measurements and derivation). Summary: the SIMD kernel scans at ~1
+// ns/link (scalar ~2), one pool fork/join region costs ~2-9 µs depending on
+// host and thread count, so the 4-thread scan break-even sits at ~3-8k
+// links — the pre-SIMD 4096 threshold is still mid-band and stays (a
+// cheaper serial baseline RAISES the scan crossover; it does not lower it).
+// The update gate moves instead: one batched-update item is a whole path's
+// subtractions (~15-30 ns, ~10x a scan link), so its measured crossover is
+// ~300-500 flows and the gate drops 2048 -> 512. scan_grain halves to 1024:
+// a chunk is then ~1-2 µs of kernel work, still far above per-chunk
+// queueing cost, with half the tail imbalance. Override via
+// set_solver_tuning (only while no solve is in flight, same contract as
+// sim::set_thread_count).
+struct SolverTuning {
+  std::size_t parallel_scan_threshold = 4096;
+  std::size_t scan_grain = 1024;
+  std::size_t parallel_update_min = 512;
+};
+const SolverTuning& solver_tuning();
+void set_solver_tuning(const SolverTuning& t);
 
 struct SolveStats {
   // int64: per-component totals accumulated across long churn runs overflow
   // 32 bits (a week-long storage campaign re-solves billions of times).
   std::int64_t iterations = 0;
   std::int64_t bottleneck_links = 0;
+  // Water-filling iterations whose min-share scan crossed the
+  // parallel_scan_threshold gate and ran as a chunked parallel reduce
+  // (scan_engaged% in the bench counters = parallel_scans / iterations).
+  std::int64_t parallel_scans = 0;
 };
 
 // Flat CSR path set: flow f's links are `link_ids[offsets[f] ..
@@ -83,9 +105,16 @@ struct PathsCsr {
 // problems back to back (FlowSim keeps one per simulator; the adapters keep
 // one per thread).
 struct SolveScratch {
-  std::vector<double> residual;   // [num_links] remaining capacity
-  std::vector<double> active_w;   // [num_links] unfrozen weight crossing
+  // Dense link-state SoA (ISSUE 10): residual capacity and unfrozen weight
+  // are indexed by POSITION in `active_links`, not by link id, so the
+  // min-share scan is a branch-free sweep over two contiguous double arrays
+  // (src/net/simd.hpp). `link_pos[link id]` maps back (-1 when the link is
+  // not on the active list); erasures compact all three arrays in tandem,
+  // preserving first-seen order.
+  std::vector<double> residual;   // [active position] remaining capacity
+  std::vector<double> active_w;   // [active position] unfrozen weight
   std::vector<int> active_links;  // links with unfrozen flows, first-seen order
+  std::vector<int> link_pos;      // [num_links] position in active_links or -1
   std::vector<char> frozen;       // [num_flows]
   // Transposed incidence (link -> flows), rebuilt per solve by counting sort.
   std::vector<int> t_off;     // [num_links + 1]
@@ -127,8 +156,11 @@ std::vector<double> max_min_rates(const std::vector<double>& capacities,
                                   SolveStats* stats = nullptr);
 
 // The original pointer-chasing implementation (vector-of-vectors incidence,
-// per-solve allocations), retained verbatim as the differential oracle: the
-// CSR core must match it bit-for-bit on every input. Not a hot path.
+// per-solve allocations), retained as the differential oracle: the CSR core
+// must match it bit-for-bit on every input — including flows with weight
+// exactly 0 (both sides keep the active-link list first-seen-deduplicated;
+// DESIGN.md §9 covers why that is the only input class where membership
+// bookkeeping could otherwise diverge). Not a hot path.
 std::vector<double> max_min_rates_reference(
     const std::vector<double>& capacities,
     const std::vector<std::vector<int>>& paths,

@@ -5,14 +5,17 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "net/fabric.hpp"
 #include "net/flowsim.hpp"
 #include "net/rotor.hpp"
+#include "net/simd.hpp"
 #include "net/solver.hpp"
 #include "sim/engine.hpp"
 #include "sim/parallel.hpp"
@@ -142,6 +145,67 @@ TEST(FlowSimIncremental, DifferentialOracleOnRandomChurn) {
       }
     }
   }
+}
+
+// SIMD-vs-scalar bitwise differential (ISSUE 10): the same churn workload —
+// every topology family, threads in {1, 2, 8} — must produce a bitwise
+// identical trajectory (every completion instant and every live rate after
+// every completion) whichever min-share scan kernel is dispatched. On
+// builds/hosts without a vector kernel both runs resolve to the scalar
+// kernel and the differential degenerates to a determinism check.
+TEST(FlowSimIncremental, SimdAndScalarKernelTrajectoriesIdentical) {
+  std::printf("min_share_scan dispatch: %s\n", net::min_share_scan_name());
+  const int prev_threads = sim::thread_count();
+  for (const FabricFamily& fam : kFamilies) {
+    for (const int threads : {1, 2, 8}) {
+      SCOPED_TRACE(std::string(fam.name) + ", threads " +
+                   std::to_string(threads));
+      sim::set_thread_count(threads);
+      auto run = [&](net::ScanKernel k) {
+        net::set_scan_kernel(k);
+        std::vector<double> trace;
+        sim::Engine eng;
+        auto fabric = fam.make(net::Routing::Adaptive);
+        net::FlowSim fs(eng, fabric);
+        std::optional<net::RotorSchedule> rotor;
+        if (fam.rotor) {
+          rotor.emplace(eng, fabric, &fs);
+          rotor->start();
+        }
+        sim::Rng rng(0x51D5u);
+        const int eps = fabric.topology().num_endpoints();
+        int launched = 0;
+        const int total = 200;
+        std::function<void()> launch = [&] {
+          if (launched >= total) return;
+          ++launched;
+          const int src =
+              static_cast<int>(rng.index(static_cast<std::uint64_t>(eps)));
+          int dst =
+              static_cast<int>(rng.index(static_cast<std::uint64_t>(eps)));
+          if (dst == src) dst = (dst + 1) % eps;
+          fs.start(src, dst, rng.uniform(1e6, 5e8), [&] {
+            trace.push_back(eng.now());
+            fs.for_each_flow(
+                [&](std::uint64_t, const std::vector<int>&, double,
+                    double rate) { trace.push_back(rate); });
+            launch();
+          });
+        };
+        for (int i = 0; i < 16; ++i) launch();
+        eng.run();
+        net::set_scan_kernel(net::ScanKernel::Auto);
+        return trace;
+      };
+      const auto dispatched = run(net::ScanKernel::Auto);
+      const auto scalar = run(net::ScanKernel::ForceScalar);
+      ASSERT_EQ(dispatched.size(), scalar.size());
+      ASSERT_GT(dispatched.size(), 1000u);  // the trajectory has real content
+      for (std::size_t i = 0; i < dispatched.size(); ++i)
+        EXPECT_EQ(dispatched[i], scalar[i]) << "trace index " << i;
+    }
+  }
+  sim::set_thread_count(prev_threads);
 }
 
 // Same-destination ties: many equal flows complete at the same instant, so
@@ -508,10 +572,10 @@ TEST(FlowSimWarmStart, FailedResolveLeavesSimulatorReSolvable) {
 }
 
 // The warm solve's batched update path — one firing link freezing more than
-// kParallelUpdateMin flows in a set touching more than kParallelScanThreshold
-// links — pinned against the oracle at every thread count. Synthetic paths
-// give the scale without a 4096-endpoint topology: every incast flow crosses
-// the shared link 0 plus two private links.
+// parallel_update_min flows in a set touching more than
+// parallel_scan_threshold links — pinned against the oracle at every thread
+// count. Synthetic paths give the scale without a 4096-endpoint topology:
+// every incast flow crosses the shared link 0 plus two private links.
 TEST(FlowSimWarmStart, BatchedUpdatePathMatchesOracleAcrossThreads) {
   ThreadCountGuard guard;
   for (int threads : {1, 2, 8}) {
@@ -522,7 +586,7 @@ TEST(FlowSimWarmStart, BatchedUpdatePathMatchesOracleAcrossThreads) {
     const std::size_t incast = 2100;
     const std::size_t extras = 50;
     ASSERT_GE(fabric.topology().links().size(), 1 + 2 * incast);
-    ASSERT_GT(incast, net::kParallelUpdateMin);
+    ASSERT_GT(incast, net::solver_tuning().parallel_update_min);
     net::FlowSim fs(eng, fabric);
     int done = 0;
     for (std::size_t f = 0; f < incast; ++f)

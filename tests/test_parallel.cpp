@@ -125,7 +125,7 @@ TEST(ThreadPool, ParallelEmitConcatenatesInChunkOrder) {
 }
 
 // The CSR core's batched rate-update path: one firing link freezing more
-// than kParallelUpdateMin flows, in a problem with enough links to open the
+// than parallel_update_min flows, in a problem with enough links to open the
 // parallel gates. The last 50 flows ride private links whose residuals are
 // written by the batched sweep, so their level-2 rates expose any wrong or
 // misordered subtraction. Must be bit-identical to the reference at every
@@ -135,8 +135,8 @@ TEST(ThreadPool, SolverBatchUpdatePathMatchesReferenceAcrossThreads) {
   const std::size_t incast = 2050;
   const std::size_t extras = 50;
   const std::size_t num_links = 1 + 2 * incast;  // 4101
-  ASSERT_GE(num_links, net::kParallelScanThreshold);
-  ASSERT_GT(incast, net::kParallelUpdateMin);
+  ASSERT_GE(num_links, net::solver_tuning().parallel_scan_threshold);
+  ASSERT_GT(incast, net::solver_tuning().parallel_update_min);
   std::vector<double> caps(num_links, 25e9);
   caps[0] = 10e9;  // shared bottleneck: fires first, freezes all incast flows
   std::vector<std::vector<int>> paths;
